@@ -1,0 +1,84 @@
+package gpar_test
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: each
+// DMine optimization (incremental diversification, Lemma 3 reduction,
+// Lemma 4 bisimulation prefilter, guided matching) toggled individually,
+// and the guided-search sketch depth for EIP.
+
+import (
+	"fmt"
+	"testing"
+
+	"gpar/internal/bench"
+	"gpar/internal/eip"
+	"gpar/internal/gen"
+	"gpar/internal/mine"
+)
+
+func BenchmarkAblation_DMineOptimizations(b *testing.B) {
+	sc := benchScale()
+	g, syms := bench.PokecGraph(sc.PokecUsers, sc.Seed)
+	pred := gen.PokecPredicates(syms)[0]
+	base := mine.Options{
+		K: 10, Sigma: sc.SigmaPokec[2], D: 2, Lambda: 0.5, N: 8,
+		MaxEdges: 3, MaxCandidatesPerRound: 60,
+	}
+	variants := []struct {
+		name string
+		mod  func(o mine.Options) mine.Options
+	}{
+		{"all-on", func(o mine.Options) mine.Options { return o.WithOptimizations() }},
+		{"all-off", func(o mine.Options) mine.Options { return o }},
+		{"incremental-only", func(o mine.Options) mine.Options { o.Incremental = true; return o }},
+		{"reduction+incremental", func(o mine.Options) mine.Options { o.Incremental = true; o.Reduction = true; return o }},
+		{"bisim-only", func(o mine.Options) mine.Options { o.BisimFilter = true; return o }},
+	}
+	for _, v := range variants {
+		opts := v.mod(base)
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := mine.DMine(g, pred, opts)
+				b.ReportMetric(float64(res.IsoChecks), "isoChecks")
+				b.ReportMetric(float64(res.Pruned), "pruned")
+			}
+		})
+	}
+}
+
+func BenchmarkAblation_EIPSketchDepth(b *testing.B) {
+	sc := benchScale()
+	g, syms := bench.PokecGraph(sc.PokecUsers, sc.Seed)
+	rules := gen.Rules(g, gen.PokecPredicates(syms)[0],
+		gen.RuleGenParams{Count: 24, VP: 4, EP: 5, Seed: sc.Seed})
+	for _, k := range []int{1, 2, 3} {
+		b.Run(fmt.Sprintf("sketchK=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := eip.Match(g, rules, eip.Options{N: 8, Eta: 1.5, SketchK: k})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.MaxWorkerOp), "maxWorkerOps")
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_EmbedCap measures the cost/recall knob of extension
+// discovery: the per-center embedding cap of algorithm DMine's localMine.
+func BenchmarkAblation_EmbedCap(b *testing.B) {
+	sc := benchScale()
+	g, syms := bench.PokecGraph(sc.PokecUsers, sc.Seed)
+	pred := gen.PokecPredicates(syms)[0]
+	for _, cap := range []int{8, 32, 64, 256} {
+		opts := mine.Options{
+			K: 10, Sigma: sc.SigmaPokec[2], D: 2, Lambda: 0.5, N: 8,
+			MaxEdges: 3, MaxCandidatesPerRound: 60, EmbedCap: cap,
+		}.WithOptimizations()
+		b.Run(fmt.Sprintf("cap=%d", cap), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := mine.DMine(g, pred, opts)
+				b.ReportMetric(float64(res.Kept), "rulesKept")
+			}
+		})
+	}
+}

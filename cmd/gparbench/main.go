@@ -1,0 +1,103 @@
+// Command gparbench regenerates the paper's tables and figures (Section 6)
+// at laptop scale. See DESIGN.md §4 for the experiment index.
+//
+// Usage:
+//
+//	gparbench                 # run everything at the default scale
+//	gparbench -quick          # tiny smoke-test scale
+//	gparbench -exp 5a,5h      # selected figures
+//	gparbench -exp case       # the Fig. 5(g) case study
+//	gparbench -exp precision  # the Exp-2 precision table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gpar/internal/bench"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "use the tiny smoke-test scale")
+		exp   = flag.String("exp", "all", "comma-separated experiment ids (5a..5o, 5x, case, precision, all)")
+		csv   = flag.String("csv", "", "also append figure data as CSV to this file")
+	)
+	flag.Parse()
+	sc := bench.DefaultScale()
+	if *quick {
+		sc = bench.QuickScale()
+	}
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+
+	type figFn struct {
+		id  string
+		fn  func(bench.Scale) bench.Figure
+		efn func(bench.Scale) (bench.Figure, error)
+	}
+	figs := []figFn{
+		{id: "5a", fn: bench.Fig5a},
+		{id: "5b", fn: bench.Fig5b},
+		{id: "5c", fn: bench.Fig5c},
+		{id: "5d", fn: bench.Fig5d},
+		{id: "5e", fn: bench.Fig5e},
+		{id: "5f", fn: bench.Fig5f},
+		{id: "5x", fn: bench.Fig5x},
+		{id: "5h", efn: bench.Fig5h},
+		{id: "5i", efn: bench.Fig5i},
+		{id: "5j", efn: bench.Fig5j},
+		{id: "5k", efn: bench.Fig5k},
+		{id: "5l", efn: bench.Fig5l},
+		{id: "5m", efn: bench.Fig5m},
+		{id: "5n", efn: bench.Fig5n},
+		{id: "5o", efn: bench.Fig5o},
+	}
+	for _, f := range figs {
+		if !all && !want[f.id] {
+			continue
+		}
+		var fig bench.Figure
+		var err error
+		if f.fn != nil {
+			fig = f.fn(sc)
+		} else {
+			fig, err = f.efn(sc)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gparbench: figure %s: %v\n", f.id, err)
+			os.Exit(1)
+		}
+		fig.Format(os.Stdout)
+		fmt.Println()
+		if *csv != "" {
+			cf, err := os.OpenFile(*csv, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "gparbench: %v\n", err)
+				os.Exit(1)
+			}
+			if err := fig.WriteCSV(cf); err != nil {
+				fmt.Fprintf(os.Stderr, "gparbench: %v\n", err)
+			}
+			cf.Close()
+		}
+	}
+	if all || want["case"] || want["5g"] {
+		bench.CaseStudy(os.Stdout, sc)
+		fmt.Println()
+	}
+	if all || want["precision"] {
+		fmt.Println("=== Exp-2 precision table (conf vs PCAconf vs Iconf) ===")
+		tops := []int{10, 30, 60}
+		if *quick {
+			tops = []int{5, 10}
+		}
+		table := bench.Precision(sc, tops)
+		table.Format(os.Stdout)
+	}
+}

@@ -1,0 +1,15 @@
+// Package gpar is a from-scratch Go reproduction of "Association Rules with
+// Graph Patterns" (Wenfei Fan, Xin Wang, Yinghui Wu, Jingbo Xu; PVLDB 8(12),
+// 2015): graph-pattern association rules (GPARs), their topological support
+// and Bayes-Factor/LCWA confidence, the parallel diversified mining
+// algorithm DMine (DMP), and the parallel scalable entity-identification
+// algorithms Matchc/Match (EIP), together with the baselines the paper
+// compares against (DMineno, disVF2, a GRAMI-like frequent-subgraph miner)
+// and a benchmark harness regenerating every table and figure of its
+// evaluation section.
+//
+// The implementation lives under internal/ (see DESIGN.md for the system
+// inventory); runnable entry points are the commands under cmd/ and the
+// programs under examples/. The root package exists to carry module-level
+// documentation and the figure-by-figure benchmarks in bench_test.go.
+package gpar

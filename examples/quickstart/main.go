@@ -1,0 +1,83 @@
+// Quickstart: build a small social graph, define one GPAR by hand, compute
+// its support and BF/LCWA confidence, and identify potential customers.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"gpar/internal/core"
+	"gpar/internal/eip"
+	"gpar/internal/graph"
+	"gpar/internal/match"
+	"gpar/internal/pattern"
+)
+
+func main() {
+	// A toy recommendation network: customers, friendships and restaurant
+	// visits.
+	syms := graph.NewSymbols()
+	g := graph.New(syms)
+	alice := g.AddNode("cust")
+	bob := g.AddNode("cust")
+	carol := g.AddNode("cust")
+	dave := g.AddNode("cust")
+	eve := g.AddNode("cust")
+	bistro := g.AddNode("restaurant")
+	diner := g.AddNode("restaurant")
+	bar := g.AddNode("bar")
+
+	g.AddEdge(alice, bob, "friend")
+	g.AddEdge(bob, alice, "friend")
+	g.AddEdge(carol, bob, "friend")
+	g.AddEdge(dave, carol, "friend")
+	g.AddEdge(eve, bob, "friend")
+
+	g.AddEdge(bob, bistro, "visit")
+	g.AddEdge(alice, bistro, "visit")
+	g.AddEdge(carol, bistro, "visit")
+	g.AddEdge(dave, diner, "visit")
+	// Eve only ever visits a bar: under the local closed world assumption
+	// she is a negative example for restaurant rules, not an unknown.
+	g.AddEdge(eve, bar, "visit")
+
+	// GPAR R(x,y): if x and a friend x' both exist and x' visits
+	// restaurant y, then x will likely visit y.
+	q := pattern.New(syms)
+	x := q.AddNode("cust")
+	x2 := q.AddNode("cust")
+	y := q.AddNode("restaurant")
+	q.X, q.Y = x, y
+	q.AddEdge(x, x2, "friend")
+	q.AddEdge(x2, y, "visit")
+
+	rule := &core.Rule{Q: q, Pred: core.Predicate{
+		XLabel:    syms.Intern("cust"),
+		EdgeLabel: syms.Intern("visit"),
+		YLabel:    syms.Intern("restaurant"),
+	}}
+	fmt.Println("rule:", rule)
+
+	// Sequential evaluation: the Section 3 statistics.
+	res := core.Eval(g, rule, match.Options{}, true)
+	fmt.Printf("supp(R,G)=%d supp(Q,G)=%d supp(q,G)=%d supp(q̄,G)=%d supp(Qq̄,G)=%d\n",
+		res.Stats.SuppR, res.Stats.SuppQ, res.Stats.SuppQ1,
+		res.Stats.SuppQbar, res.Stats.SuppQqb)
+	fmt.Printf("BF confidence  conf(R,G) = %.3f\n", res.Stats.Conf())
+	fmt.Printf("conventional   supp(R)/supp(Q) = %.3f\n", res.Stats.StdConf())
+
+	// Entity identification: who should we recommend restaurants to?
+	out, err := eip.Match(g, []*core.Rule{rule}, eip.Options{N: 2, Eta: 0.1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print("potential customers: ")
+	for i, v := range out.Identified {
+		if i > 0 {
+			fmt.Print(", ")
+		}
+		fmt.Printf("node %d (%s)", v, g.LabelName(v))
+	}
+	fmt.Println()
+}

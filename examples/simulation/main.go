@@ -1,0 +1,55 @@
+// Simulation: the matching-semantics extension the paper's conclusion
+// proposes as future work ("allowing other matching semantics such as graph
+// simulation"). Compares subgraph-isomorphism matching with (dual) graph
+// simulation on the paper's G1 graph: simulation is polynomial-time and
+// coarser — every isomorphism match survives, but nodes that only satisfy
+// the pattern "up to copy counting" appear as well.
+//
+// Run with: go run ./examples/simulation
+package main
+
+import (
+	"fmt"
+
+	"gpar/internal/gen"
+	"gpar/internal/graph"
+	"gpar/internal/match"
+	"gpar/internal/pattern"
+)
+
+func main() {
+	syms := graph.NewSymbols()
+	f := gen.G1(syms)
+	fmt.Printf("G1: %d nodes, %d edges\n\n", f.G.NumNodes(), f.G.NumEdges())
+
+	// Pattern: x likes two distinct French restaurants that are in the same
+	// city. Isomorphism requires two copies; simulation cannot count.
+	p := pattern.New(syms)
+	x := p.AddNode(gen.LCust)
+	fr := p.AddNode(gen.LFrench)
+	p.SetMult(fr, 2)
+	city := p.AddNode(gen.LCity)
+	p.AddEdge(x, fr, gen.ELike)
+	p.AddEdge(fr, city, gen.EIn)
+	p.X = x
+
+	iso := match.MatchSet(p, f.G, nil, match.Options{})
+	sim := match.SimulationSet(p, f.G)
+	fmt.Println("pattern:", p)
+	fmt.Printf("isomorphism matches of x: %v\n", iso)
+	fmt.Printf("simulation matches of x:  %v\n", sim)
+
+	// A pattern no isomorphism can satisfy (demanding 4 liked restaurants)
+	// still has simulation matches: simulation folds the copies together.
+	q := pattern.New(syms)
+	qx := q.AddNode(gen.LCust)
+	qfr := q.AddNode(gen.LFrench)
+	q.SetMult(qfr, 4)
+	q.AddEdge(qx, qfr, gen.ELike)
+	q.X = qx
+	fmt.Println("\npattern:", q)
+	fmt.Printf("isomorphism matches of x: %v\n", match.MatchSet(q, f.G, nil, match.Options{}))
+	fmt.Printf("simulation matches of x:  %v\n", match.SimulationSet(q, f.G))
+	fmt.Println("\n(simulation is the polynomial-time over-approximation the paper's")
+	fmt.Println(" future-work section proposes; see internal/match/simulation.go)")
+}

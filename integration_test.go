@@ -1,0 +1,82 @@
+package gpar_test
+
+// Integration tests for the command-line tools: each binary is compiled and
+// run through its primary code path. Skipped with -short.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runTool invokes `go run ./cmd/<tool> <args...>` in the repository root.
+func runTool(t *testing.T, tool string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run", "./cmd/" + tool}, args...)...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", tool, args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIWorkflow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration skipped in -short mode")
+	}
+	dir := t.TempDir()
+	graphFile := filepath.Join(dir, "graph.txt")
+	rulesFile := filepath.Join(dir, "rules.txt")
+	minedFile := filepath.Join(dir, "mined.txt")
+
+	// 1. Generate a graph.
+	runTool(t, "gpargen", "-kind", "pokec", "-users", "200", "-seed", "3", "-out", graphFile)
+	if fi, err := os.Stat(graphFile); err != nil || fi.Size() == 0 {
+		t.Fatalf("gpargen produced no graph: %v", err)
+	}
+
+	// 2. Generate rules from it.
+	runTool(t, "gpargen", "-kind", "rules", "-graph", graphFile,
+		"-pred", "user,like_music,music:Disco", "-count", "6", "-out", rulesFile)
+	if fi, err := os.Stat(rulesFile); err != nil || fi.Size() == 0 {
+		t.Fatalf("gpargen produced no rules: %v", err)
+	}
+
+	// 3. Mine diversified GPARs.
+	out := runTool(t, "gparmine", "-graph", graphFile,
+		"-pred", "user,like_music,music:Disco",
+		"-k", "4", "-sigma", "2", "-d", "2", "-n", "2", "-rules", minedFile)
+	if !strings.Contains(out, "predicate like_music(user, music:Disco)") {
+		t.Errorf("gparmine output unexpected:\n%s", out)
+	}
+
+	// 4. Identify entities with the generated rules.
+	out = runTool(t, "gparmatch", "-graph", graphFile, "-rules", rulesFile,
+		"-eta", "0.5", "-n", "2")
+	if !strings.Contains(out, "identified") {
+		t.Errorf("gparmatch output unexpected:\n%s", out)
+	}
+
+	// 5. Paper fixtures round trip through gpargen too.
+	g1File := filepath.Join(dir, "g1.txt")
+	runTool(t, "gpargen", "-kind", "g1", "-out", g1File)
+	data, err := os.ReadFile(g1File)
+	if err != nil || len(data) == 0 {
+		t.Fatalf("g1 fixture empty: %v", err)
+	}
+	if !strings.Contains(string(data), "French restaurant") {
+		t.Error("g1 fixture missing expected labels")
+	}
+}
+
+func TestCLIBenchQuickSelected(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration skipped in -short mode")
+	}
+	out := runTool(t, "gparbench", "-quick", "-exp", "case")
+	if !strings.Contains(out, "Case study") {
+		t.Errorf("gparbench case study output unexpected:\n%s", out)
+	}
+}

@@ -1,0 +1,224 @@
+// Package bench is the experiment harness that regenerates every table and
+// figure of Section 6 of "Association Rules with Graph Patterns" (PVLDB
+// 2015) at laptop scale: Figures 5(a)-5(f) and the varying-d result for
+// DMine vs DMineNo, Figure 5(g)'s case study, the precision table
+// (conf vs PCAconf vs Iconf), and Figures 5(h)-5(o) for Match vs Matchc vs
+// DisVF2.
+//
+// Graph sizes are scaled (Section 2 of DESIGN.md); each experiment reports
+// wall-clock seconds and, because this reproduction runs workers as
+// goroutines possibly on few cores, also the maximum per-worker match-work
+// counter — the quantity the paper's parallel-scalability claims are about.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"gpar/internal/core"
+	"gpar/internal/eip"
+	"gpar/internal/gen"
+	"gpar/internal/graph"
+	"gpar/internal/mine"
+)
+
+// Point is one measurement.
+type Point struct {
+	X       string  // swept parameter value
+	Seconds float64 // wall-clock time
+	Work    float64 // max per-worker op count (parallel-scalability proxy)
+}
+
+// Series is one algorithm's curve.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Figure is one reproduced plot.
+type Figure struct {
+	ID    string // e.g. "5a"
+	Title string
+	XAxis string
+	Serie []Series
+}
+
+// Format renders the figure as an aligned text table.
+func (f Figure) Format(w io.Writer) {
+	fmt.Fprintf(w, "Figure %s — %s (x: %s)\n", f.ID, f.Title, f.XAxis)
+	fmt.Fprintf(w, "%-12s", f.XAxis)
+	for _, s := range f.Serie {
+		fmt.Fprintf(w, "%18s", s.Name+" (s)")
+		fmt.Fprintf(w, "%18s", s.Name+" (work)")
+	}
+	fmt.Fprintln(w)
+	if len(f.Serie) == 0 {
+		return
+	}
+	for i := range f.Serie[0].Points {
+		fmt.Fprintf(w, "%-12s", f.Serie[0].Points[i].X)
+		for _, s := range f.Serie {
+			if i < len(s.Points) {
+				fmt.Fprintf(w, "%18.3f%18.0f", s.Points[i].Seconds, s.Points[i].Work)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Scale fixes the scaled-down workload sizes. The paper's sizes divided by
+// roughly 1000 (documented in DESIGN.md/EXPERIMENTS.md).
+type Scale struct {
+	PokecUsers int
+	GplusUsers int
+	SynSizes   [][2]int // (|V|, |E|) sweep for Figs 5(f) and 5(o)
+	Ns         []int    // worker sweep (the paper's 4..20)
+	SigmaPokec []int    // σ sweep for Fig 5(c) (scaled from 3k..7k)
+	SigmaGplus []int
+	RuleCounts []int // ||Σ|| sweep for Figs 5(j)(k)
+	Ds         []int // d sweep for Figs 5(l)(m)
+	Seed       int64
+}
+
+// DefaultScale returns the default laptop-scale parameters.
+func DefaultScale() Scale {
+	return Scale{
+		PokecUsers: 1500,
+		GplusUsers: 1500,
+		SynSizes:   [][2]int{{10000, 20000}, {20000, 40000}, {30000, 60000}, {40000, 80000}, {50000, 100000}},
+		Ns:         []int{4, 8, 12, 16, 20},
+		SigmaPokec: []int{30, 40, 50, 60, 70},
+		SigmaGplus: []int{7, 8, 9, 10, 11},
+		RuleCounts: []int{8, 16, 24, 32, 40, 48},
+		Ds:         []int{1, 2, 3},
+		Seed:       1,
+	}
+}
+
+// QuickScale returns a tiny configuration for smoke tests.
+func QuickScale() Scale {
+	return Scale{
+		PokecUsers: 250,
+		GplusUsers: 250,
+		SynSizes:   [][2]int{{1000, 2000}, {2000, 4000}},
+		Ns:         []int{2, 4},
+		SigmaPokec: []int{5, 10},
+		SigmaGplus: []int{3, 5},
+		RuleCounts: []int{4, 8},
+		Ds:         []int{1, 2},
+		Seed:       1,
+	}
+}
+
+// graphCache memoizes generated graphs so sweeps share workloads.
+var graphCache sync.Map // string -> cached
+
+type cached struct {
+	g    *graph.Graph
+	syms *graph.Symbols
+}
+
+// PokecGraph returns the memoized Pokec-like graph for the scale.
+func PokecGraph(users int, seed int64) (*graph.Graph, *graph.Symbols) {
+	key := fmt.Sprintf("pokec-%d-%d", users, seed)
+	if c, ok := graphCache.Load(key); ok {
+		cc := c.(cached)
+		return cc.g, cc.syms
+	}
+	syms := graph.NewSymbols()
+	g := gen.Pokec(syms, gen.DefaultPokec(users, seed))
+	graphCache.Store(key, cached{g, syms})
+	return g, syms
+}
+
+// GplusGraph returns the memoized Google+-like graph for the scale.
+func GplusGraph(users int, seed int64) (*graph.Graph, *graph.Symbols) {
+	key := fmt.Sprintf("gplus-%d-%d", users, seed)
+	if c, ok := graphCache.Load(key); ok {
+		cc := c.(cached)
+		return cc.g, cc.syms
+	}
+	syms := graph.NewSymbols()
+	g := gen.Gplus(syms, gen.DefaultGplus(users, seed))
+	graphCache.Store(key, cached{g, syms})
+	return g, syms
+}
+
+// SyntheticGraph returns the memoized synthetic graph of the given size.
+func SyntheticGraph(nv, ne int, seed int64) (*graph.Graph, *graph.Symbols) {
+	key := fmt.Sprintf("syn-%d-%d-%d", nv, ne, seed)
+	if c, ok := graphCache.Load(key); ok {
+		cc := c.(cached)
+		return cc.g, cc.syms
+	}
+	syms := graph.NewSymbols()
+	g := gen.Synthetic(syms, nv, ne, seed)
+	graphCache.Store(key, cached{g, syms})
+	return g, syms
+}
+
+// SyntheticPredicate picks a predicate with support on a synthetic graph:
+// the most frequent (xLabel, edgeLabel, yLabel) triple.
+func SyntheticPredicate(g *graph.Graph) core.Predicate {
+	counts := map[core.Predicate]int{}
+	for v := 0; v < g.NumNodes(); v++ {
+		from := graph.NodeID(v)
+		for _, e := range g.Out(from) {
+			p := core.Predicate{XLabel: g.Label(from), EdgeLabel: e.Label, YLabel: g.Label(e.To)}
+			counts[p]++
+		}
+	}
+	var best core.Predicate
+	bestN := -1
+	for p, n := range counts {
+		if n > bestN || (n == bestN && less(p, best)) {
+			best, bestN = p, n
+		}
+	}
+	return best
+}
+
+func less(a, b core.Predicate) bool {
+	if a.XLabel != b.XLabel {
+		return a.XLabel < b.XLabel
+	}
+	if a.EdgeLabel != b.EdgeLabel {
+		return a.EdgeLabel < b.EdgeLabel
+	}
+	return a.YLabel < b.YLabel
+}
+
+// timeDMine runs one miner and reports seconds plus the work proxy.
+func timeDMine(f func() *mine.Result) Point {
+	start := time.Now()
+	res := f()
+	return Point{Seconds: time.Since(start).Seconds(), Work: float64(res.MaxWorkerOp)}
+}
+
+// timeEIP runs one EIP algorithm and reports seconds plus the work proxy.
+func timeEIP(f func() (*eip.Result, error)) (Point, error) {
+	start := time.Now()
+	res, err := f()
+	if err != nil {
+		return Point{}, err
+	}
+	return Point{Seconds: time.Since(start).Seconds(), Work: float64(res.MaxWorkerOp)}, nil
+}
+
+// WriteCSV renders the figure as CSV rows (x, series, seconds, work) for
+// external plotting.
+func (f Figure) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "figure,x,series,seconds,work\n"); err != nil {
+		return err
+	}
+	for _, s := range f.Serie {
+		for _, p := range s.Points {
+			if _, err := fmt.Fprintf(w, "%s,%s,%s,%.6f,%.0f\n", f.ID, p.X, s.Name, p.Seconds, p.Work); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,172 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The harness smoke tests run every experiment at QuickScale, checking the
+// structural invariants the figures rely on: all series present, all points
+// measured, and the expected ordering between optimized and baseline
+// algorithms on the work proxy.
+
+func TestFigureFormat(t *testing.T) {
+	fig := Figure{ID: "x", Title: "t", XAxis: "n", Serie: []Series{
+		{Name: "A", Points: []Point{{X: "1", Seconds: 0.5, Work: 10}}},
+	}}
+	var buf bytes.Buffer
+	fig.Format(&buf)
+	out := buf.String()
+	for _, want := range []string{"Figure x", "A (s)", "0.500"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func checkFigure(t *testing.T, fig Figure, wantSeries, wantPoints int) {
+	t.Helper()
+	if len(fig.Serie) != wantSeries {
+		t.Fatalf("fig %s: %d series want %d", fig.ID, len(fig.Serie), wantSeries)
+	}
+	for _, s := range fig.Serie {
+		if len(s.Points) != wantPoints {
+			t.Errorf("fig %s series %s: %d points want %d", fig.ID, s.Name, len(s.Points), wantPoints)
+		}
+		for _, p := range s.Points {
+			if p.Seconds < 0 || p.Work < 0 {
+				t.Errorf("fig %s: negative measurement %+v", fig.ID, p)
+			}
+		}
+	}
+}
+
+func TestDMineFiguresQuick(t *testing.T) {
+	sc := QuickScale()
+	checkFigure(t, Fig5a(sc), 2, len(sc.Ns))
+	checkFigure(t, Fig5c(sc), 2, len(sc.SigmaPokec))
+	checkFigure(t, Fig5e(sc), 2, len(sc.Ns))
+	checkFigure(t, Fig5f(sc), 2, len(sc.SynSizes))
+}
+
+func TestDMineGplusFiguresQuick(t *testing.T) {
+	sc := QuickScale()
+	checkFigure(t, Fig5b(sc), 2, len(sc.Ns))
+	checkFigure(t, Fig5d(sc), 2, len(sc.SigmaGplus))
+	checkFigure(t, Fig5x(sc), 2, len(sc.Ds))
+}
+
+func TestEIPFiguresQuick(t *testing.T) {
+	sc := QuickScale()
+	for _, f := range []func(Scale) (Figure, error){Fig5h, Fig5j, Fig5n, Fig5o} {
+		fig, err := f(sc)
+		if err != nil {
+			t.Fatalf("fig %s: %v", fig.ID, err)
+		}
+		if len(fig.Serie) != 3 {
+			t.Errorf("fig %s: %d series want 3", fig.ID, len(fig.Serie))
+		}
+		// Match must not do more per-worker work than Matchc.
+		for i := range fig.Serie[0].Points {
+			if fig.Serie[0].Points[i].Work > fig.Serie[1].Points[i].Work {
+				t.Errorf("fig %s point %d: Match work %v > Matchc %v",
+					fig.ID, i, fig.Serie[0].Points[i].Work, fig.Serie[1].Points[i].Work)
+			}
+		}
+	}
+}
+
+func TestEIPGplusAndDFiguresQuick(t *testing.T) {
+	sc := QuickScale()
+	for _, f := range []func(Scale) (Figure, error){Fig5i, Fig5k, Fig5l, Fig5m} {
+		fig, err := f(sc)
+		if err != nil {
+			t.Fatalf("fig %s: %v", fig.ID, err)
+		}
+		if len(fig.Serie) != 3 {
+			t.Errorf("fig %s: %d series want 3", fig.ID, len(fig.Serie))
+		}
+	}
+}
+
+func TestPrecisionQuick(t *testing.T) {
+	sc := QuickScale()
+	table := Precision(sc, []int{5, 10})
+	if len(table.Metrics) != 3 {
+		t.Fatalf("metrics = %v", table.Metrics)
+	}
+	for mi, row := range table.Values {
+		if len(row) != 2 {
+			t.Fatalf("row %d has %d values", mi, len(row))
+		}
+		for _, v := range row {
+			if v < 0 || v > 1 {
+				t.Errorf("precision %v out of [0,1]", v)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	table.Format(&buf)
+	if !strings.Contains(buf.String(), "conf") {
+		t.Error("Format output missing metric names")
+	}
+}
+
+func TestCaseStudyQuick(t *testing.T) {
+	var buf bytes.Buffer
+	CaseStudy(&buf, QuickScale())
+	out := buf.String()
+	for _, want := range []string{"Pokec-like", "Google+-like", "GRAMI-like"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("case study output missing %q", want)
+		}
+	}
+}
+
+func TestGraphCaching(t *testing.T) {
+	a, _ := PokecGraph(100, 5)
+	b, _ := PokecGraph(100, 5)
+	if a != b {
+		t.Error("PokecGraph not memoized")
+	}
+	c, _ := PokecGraph(100, 6)
+	if a == c {
+		t.Error("different seeds shared a cache entry")
+	}
+	s1, _ := SyntheticGraph(50, 100, 1)
+	s2, _ := SyntheticGraph(50, 100, 1)
+	if s1 != s2 {
+		t.Error("SyntheticGraph not memoized")
+	}
+	g1, _ := GplusGraph(100, 5)
+	g2, _ := GplusGraph(100, 5)
+	if g1 != g2 {
+		t.Error("GplusGraph not memoized")
+	}
+}
+
+func TestSyntheticPredicateHasSupport(t *testing.T) {
+	g, _ := SyntheticGraph(500, 1000, 3)
+	pred := SyntheticPredicate(g)
+	if pred.XLabel == 0 || pred.EdgeLabel == 0 {
+		t.Fatal("degenerate predicate")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	fig := Figure{ID: "5a", XAxis: "n", Serie: []Series{
+		{Name: "DMine", Points: []Point{{X: "4", Seconds: 1.5, Work: 100}}},
+		{Name: "DMineno", Points: []Point{{X: "4", Seconds: 2.0, Work: 100}}},
+	}}
+	var buf bytes.Buffer
+	if err := fig.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"figure,x,series,seconds,work", "5a,4,DMine,1.500000,100", "5a,4,DMineno,2.000000,100"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CSV missing %q:\n%s", want, out)
+		}
+	}
+}

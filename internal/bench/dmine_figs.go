@@ -1,0 +1,147 @@
+package bench
+
+import (
+	"fmt"
+
+	"gpar/internal/core"
+	"gpar/internal/gen"
+	"gpar/internal/graph"
+	"gpar/internal/mine"
+)
+
+// dmineOpts is the common DMine configuration of Exp-1 (k = 10, d = 2),
+// with a per-round candidate cap that plays the role of the paper's "up to
+// 300 patterns to be verified".
+func dmineOpts(sigma, n, d int) mine.Options {
+	return mine.Options{
+		K:                     10,
+		Sigma:                 sigma,
+		D:                     d,
+		Lambda:                0.5,
+		N:                     n,
+		MaxEdges:              3,
+		MaxCandidatesPerRound: 60,
+	}.WithOptimizations()
+}
+
+// dmineSweep runs DMine and DMineNo over a parameter sweep.
+func dmineSweep(id, title, xAxis string, xs []string,
+	run func(i int, optimized bool) *mine.Result) Figure {
+	fig := Figure{ID: id, Title: title, XAxis: xAxis,
+		Serie: []Series{{Name: "DMine"}, {Name: "DMineno"}}}
+	for i, x := range xs {
+		p := timeDMine(func() *mine.Result { return run(i, true) })
+		p.X = x
+		fig.Serie[0].Points = append(fig.Serie[0].Points, p)
+		p = timeDMine(func() *mine.Result { return run(i, false) })
+		p.X = x
+		fig.Serie[1].Points = append(fig.Serie[1].Points, p)
+	}
+	return fig
+}
+
+func runDMine(g *graph.Graph, pred core.Predicate, opts mine.Options, optimized bool) *mine.Result {
+	if optimized {
+		return mine.DMine(g, pred, opts)
+	}
+	return mine.DMineNo(g, pred, opts)
+}
+
+// Fig5a: DMine varying n on the Pokec-like graph.
+func Fig5a(sc Scale) Figure {
+	g, syms := PokecGraph(sc.PokecUsers, sc.Seed)
+	pred := gen.PokecPredicates(syms)[0]
+	sigma := sc.SigmaPokec[len(sc.SigmaPokec)/2]
+	return dmineSweep("5a", "DMine: varying n (Pokec)", "n", intStrings(sc.Ns),
+		func(i int, optimized bool) *mine.Result {
+			return runDMine(g, pred, dmineOpts(sigma, sc.Ns[i], 2), optimized)
+		})
+}
+
+// Fig5b: DMine varying n on the Google+-like graph.
+func Fig5b(sc Scale) Figure {
+	g, syms := GplusGraph(sc.GplusUsers, sc.Seed)
+	pred := gen.GplusPredicates(syms)[0]
+	sigma := sc.SigmaGplus[len(sc.SigmaGplus)/2]
+	return dmineSweep("5b", "DMine: varying n (Google+)", "n", intStrings(sc.Ns),
+		func(i int, optimized bool) *mine.Result {
+			return runDMine(g, pred, dmineOpts(sigma, sc.Ns[i], 2), optimized)
+		})
+}
+
+// Fig5c: DMine varying σ on the Pokec-like graph (n = 4).
+func Fig5c(sc Scale) Figure {
+	g, syms := PokecGraph(sc.PokecUsers, sc.Seed)
+	pred := gen.PokecPredicates(syms)[0]
+	return dmineSweep("5c", "DMine: varying σ (Pokec)", "σ", intStrings(sc.SigmaPokec),
+		func(i int, optimized bool) *mine.Result {
+			return runDMine(g, pred, dmineOpts(sc.SigmaPokec[i], 4, 2), optimized)
+		})
+}
+
+// Fig5d: DMine varying σ on the Google+-like graph (n = 4).
+func Fig5d(sc Scale) Figure {
+	g, syms := GplusGraph(sc.GplusUsers, sc.Seed)
+	pred := gen.GplusPredicates(syms)[0]
+	return dmineSweep("5d", "DMine: varying σ (Google+)", "σ", intStrings(sc.SigmaGplus),
+		func(i int, optimized bool) *mine.Result {
+			return runDMine(g, pred, dmineOpts(sc.SigmaGplus[i], 4, 2), optimized)
+		})
+}
+
+// Fig5e: DMine varying n on the smallest synthetic graph.
+func Fig5e(sc Scale) Figure {
+	nv, ne := sc.SynSizes[0][0], sc.SynSizes[0][1]
+	g, _ := SyntheticGraph(nv, ne, sc.Seed)
+	pred := SyntheticPredicate(g)
+	sigma := synSigma(g, pred)
+	return dmineSweep("5e", "DMine: varying n (Synthetic)", "n", intStrings(sc.Ns),
+		func(i int, optimized bool) *mine.Result {
+			return runDMine(g, pred, dmineOpts(sigma, sc.Ns[i], 2), optimized)
+		})
+}
+
+// Fig5f: DMine varying |G| on synthetic graphs (n = 16).
+func Fig5f(sc Scale) Figure {
+	xs := make([]string, len(sc.SynSizes))
+	for i, s := range sc.SynSizes {
+		xs[i] = fmt.Sprintf("(%d,%d)", s[0], s[1])
+	}
+	return dmineSweep("5f", "DMine: varying |G| (Synthetic)", "|G|", xs,
+		func(i int, optimized bool) *mine.Result {
+			g, _ := SyntheticGraph(sc.SynSizes[i][0], sc.SynSizes[i][1], sc.Seed)
+			pred := SyntheticPredicate(g)
+			return runDMine(g, pred, dmineOpts(synSigma(g, pred), 16, 2), optimized)
+		})
+}
+
+// Fig5x: DMine varying d on a synthetic graph (the text-only result of
+// Exp-1: both algorithms take longer with larger d, DMine less so).
+func Fig5x(sc Scale) Figure {
+	nv, ne := sc.SynSizes[0][0], sc.SynSizes[0][1]
+	g, _ := SyntheticGraph(nv, ne, sc.Seed)
+	pred := SyntheticPredicate(g)
+	sigma := synSigma(g, pred)
+	return dmineSweep("5x", "DMine: varying d (Synthetic)", "d", intStrings(sc.Ds),
+		func(i int, optimized bool) *mine.Result {
+			return runDMine(g, pred, dmineOpts(sigma, 8, sc.Ds[i]), optimized)
+		})
+}
+
+// synSigma picks a σ proportional to the predicate's support so sweeps are
+// comparable across graph sizes (the paper uses σ = 100 at 10M nodes).
+func synSigma(g *graph.Graph, pred core.Predicate) int {
+	s := len(core.Pq(g, pred)) / 10
+	if s < 2 {
+		s = 2
+	}
+	return s
+}
+
+func intStrings(xs []int) []string {
+	out := make([]string, len(xs))
+	for i, x := range xs {
+		out[i] = fmt.Sprintf("%d", x)
+	}
+	return out
+}

@@ -1,0 +1,164 @@
+package bench
+
+import (
+	"fmt"
+
+	"gpar/internal/core"
+	"gpar/internal/eip"
+	"gpar/internal/gen"
+	"gpar/internal/graph"
+)
+
+// eipAlgos names the three EIP competitors of Exp-3 in comparison order.
+var eipAlgos = []string{"Match", "Matchc", "disVF2"}
+
+func runEIP(name string, g *graph.Graph, rules []*core.Rule, opts eip.Options) (*eip.Result, error) {
+	switch name {
+	case "Match":
+		return eip.Match(g, rules, opts)
+	case "Matchc":
+		return eip.Matchc(g, rules, opts)
+	default:
+		return eip.DisVF2(g, rules, opts)
+	}
+}
+
+// eipSweep runs the three algorithms over a parameter sweep.
+func eipSweep(id, title, xAxis string, xs []string,
+	setup func(i int) (*graph.Graph, []*core.Rule, eip.Options)) (Figure, error) {
+	fig := Figure{ID: id, Title: title, XAxis: xAxis}
+	for _, name := range eipAlgos {
+		fig.Serie = append(fig.Serie, Series{Name: name})
+	}
+	for i, x := range xs {
+		g, rules, opts := setup(i)
+		for si, name := range eipAlgos {
+			p, err := timeEIP(func() (*eip.Result, error) { return runEIP(name, g, rules, opts) })
+			if err != nil {
+				return fig, fmt.Errorf("%s at %s=%s: %w", name, xAxis, x, err)
+			}
+			p.X = x
+			fig.Serie[si].Points = append(fig.Serie[si].Points, p)
+		}
+	}
+	return fig, nil
+}
+
+// eipRules builds a memoized rule set Σ for a graph and predicate with the
+// Exp-3 shape |R| = (5,8) scaled to (4,5).
+func eipRules(g *graph.Graph, pred core.Predicate, count int, seed int64) []*core.Rule {
+	return gen.Rules(g, pred, gen.RuleGenParams{Count: count, VP: 4, EP: 5, Seed: seed})
+}
+
+// Fig5h: Match varying n (Pokec-like), ||Σ|| = 24, d bounded by rule shape.
+func Fig5h(sc Scale) (Figure, error) {
+	g, syms := PokecGraph(sc.PokecUsers, sc.Seed)
+	rules := eipRules(g, gen.PokecPredicates(syms)[0], 24, sc.Seed)
+	return eipSweep("5h", "Match: varying n (Pokec)", "n", intStrings(sc.Ns),
+		func(i int) (*graph.Graph, []*core.Rule, eip.Options) {
+			return g, rules, eip.Options{N: sc.Ns[i], Eta: 1.5}
+		})
+}
+
+// Fig5i: Match varying n (Google+-like).
+func Fig5i(sc Scale) (Figure, error) {
+	g, syms := GplusGraph(sc.GplusUsers, sc.Seed)
+	rules := eipRules(g, gen.GplusPredicates(syms)[0], 24, sc.Seed)
+	return eipSweep("5i", "Match: varying n (Google+)", "n", intStrings(sc.Ns),
+		func(i int) (*graph.Graph, []*core.Rule, eip.Options) {
+			return g, rules, eip.Options{N: sc.Ns[i], Eta: 1.5}
+		})
+}
+
+// Fig5j: Match varying ||Σ|| (Pokec-like), n = 8.
+func Fig5j(sc Scale) (Figure, error) {
+	g, syms := PokecGraph(sc.PokecUsers, sc.Seed)
+	all := eipRules(g, gen.PokecPredicates(syms)[0], maxInt(sc.RuleCounts), sc.Seed)
+	return eipSweep("5j", "Match: varying ||Σ|| (Pokec)", "||Σ||", intStrings(sc.RuleCounts),
+		func(i int) (*graph.Graph, []*core.Rule, eip.Options) {
+			n := sc.RuleCounts[i]
+			if n > len(all) {
+				n = len(all)
+			}
+			return g, all[:n], eip.Options{N: 8, Eta: 1.5}
+		})
+}
+
+// Fig5k: Match varying ||Σ|| (Google+-like), n = 8.
+func Fig5k(sc Scale) (Figure, error) {
+	g, syms := GplusGraph(sc.GplusUsers, sc.Seed)
+	all := eipRules(g, gen.GplusPredicates(syms)[0], maxInt(sc.RuleCounts), sc.Seed)
+	return eipSweep("5k", "Match: varying ||Σ|| (Google+)", "||Σ||", intStrings(sc.RuleCounts),
+		func(i int) (*graph.Graph, []*core.Rule, eip.Options) {
+			n := sc.RuleCounts[i]
+			if n > len(all) {
+				n = len(all)
+			}
+			return g, all[:n], eip.Options{N: 8, Eta: 1.5}
+		})
+}
+
+// Fig5l: Match varying d (Pokec-like): rules generated with growing radius.
+func Fig5l(sc Scale) (Figure, error) {
+	g, syms := PokecGraph(sc.PokecUsers, sc.Seed)
+	pred := gen.PokecPredicates(syms)[0]
+	return eipSweep("5l", "Match: varying d (Pokec)", "d", intStrings(sc.Ds),
+		func(i int) (*graph.Graph, []*core.Rule, eip.Options) {
+			d := sc.Ds[i]
+			rules := gen.Rules(g, pred, gen.RuleGenParams{
+				Count: 10, VP: 2 + d, EP: 3 + d, Seed: sc.Seed + int64(d),
+			})
+			return g, rules, eip.Options{N: 8, Eta: 1.5}
+		})
+}
+
+// Fig5m: Match varying d (Google+-like).
+func Fig5m(sc Scale) (Figure, error) {
+	g, syms := GplusGraph(sc.GplusUsers, sc.Seed)
+	pred := gen.GplusPredicates(syms)[0]
+	return eipSweep("5m", "Match: varying d (Google+)", "d", intStrings(sc.Ds),
+		func(i int) (*graph.Graph, []*core.Rule, eip.Options) {
+			d := sc.Ds[i]
+			rules := gen.Rules(g, pred, gen.RuleGenParams{
+				Count: 10, VP: 2 + d, EP: 3 + d, Seed: sc.Seed + int64(d),
+			})
+			return g, rules, eip.Options{N: 8, Eta: 1.5}
+		})
+}
+
+// Fig5n: Match varying n on the largest synthetic graph.
+func Fig5n(sc Scale) (Figure, error) {
+	size := sc.SynSizes[len(sc.SynSizes)-1]
+	g, _ := SyntheticGraph(size[0], size[1], sc.Seed)
+	pred := SyntheticPredicate(g)
+	rules := eipRules(g, pred, 24, sc.Seed)
+	return eipSweep("5n", "Match: varying n (Synthetic)", "n", intStrings(sc.Ns),
+		func(i int) (*graph.Graph, []*core.Rule, eip.Options) {
+			return g, rules, eip.Options{N: sc.Ns[i], Eta: 1.5}
+		})
+}
+
+// Fig5o: Match varying |G| on synthetic graphs, n = 4.
+func Fig5o(sc Scale) (Figure, error) {
+	xs := make([]string, len(sc.SynSizes))
+	for i, s := range sc.SynSizes {
+		xs[i] = fmt.Sprintf("(%d,%d)", s[0], s[1])
+	}
+	return eipSweep("5o", "Match: varying |G| (Synthetic)", "|G|", xs,
+		func(i int) (*graph.Graph, []*core.Rule, eip.Options) {
+			g, _ := SyntheticGraph(sc.SynSizes[i][0], sc.SynSizes[i][1], sc.Seed)
+			pred := SyntheticPredicate(g)
+			rules := eipRules(g, pred, 24, sc.Seed)
+			return g, rules, eip.Options{N: 4, Eta: 1.5}
+		})
+}
+
+func maxInt(xs []int) int {
+	m := 0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

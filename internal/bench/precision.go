@@ -1,0 +1,152 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"gpar/internal/core"
+	"gpar/internal/gen"
+	"gpar/internal/graph"
+	"gpar/internal/match"
+	"gpar/internal/mine"
+)
+
+// PrecisionTable is the Exp-2 cross-validation table: average prediction
+// precision of the top-N rules when ranked by each confidence metric.
+type PrecisionTable struct {
+	Tops    []int // the N values (the paper's 10/30/60)
+	Metrics []string
+	Values  [][]float64 // [metric][top]
+}
+
+// Format renders the table like the paper's.
+func (t PrecisionTable) Format(w io.Writer) {
+	fmt.Fprintf(w, "%-10s", "")
+	for _, n := range t.Tops {
+		fmt.Fprintf(w, "%10s", fmt.Sprintf("top %d", n))
+	}
+	fmt.Fprintln(w)
+	for mi, m := range t.Metrics {
+		fmt.Fprintf(w, "%-10s", m)
+		for ti := range t.Tops {
+			fmt.Fprintf(w, "%10.3f", t.Values[mi][ti])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Precision reproduces the Exp-2 study: split the Pokec-like graph into a
+// training fragment F1 and a validation fragment F2, mine rules on F1 with
+// λ = 0 for several predicates, rank Σ by conf / PCAconf / Iconf, and
+// measure prec(R) = supp(R,F2) / supp(Q,F2) for the top-N rules of each
+// ranking.
+func Precision(sc Scale, tops []int) PrecisionTable {
+	g, syms := PokecGraph(sc.PokecUsers, sc.Seed)
+	f1, f2 := splitGraph(g, syms)
+
+	preds := gen.PokecPredicates(syms)
+	if len(preds) > 5 {
+		preds = preds[:5]
+	}
+	type scored struct {
+		rule             *core.Rule
+		conf, pca, iconf float64
+	}
+	var pool []scored
+	for _, pred := range preds {
+		opts := mine.Options{
+			K: 10, Sigma: 3, D: 2, Lambda: 0, N: 4,
+			MaxEdges: 2, MaxCandidatesPerRound: 40,
+		}.WithOptimizations()
+		res := mine.DMine(f1, pred, opts)
+		for _, mm := range res.All {
+			if math.IsInf(mm.Conf, 0) || math.IsNaN(mm.Conf) {
+				continue
+			}
+			sc := scored{rule: mm.Rule, conf: mm.Conf, pca: mm.Stats.PCAConf()}
+			sc.iconf = core.IConf(f1, mm.Rule, match.Options{MaxMatches: 2000})
+			if math.IsInf(sc.iconf, 0) || math.IsNaN(sc.iconf) {
+				sc.iconf = 0
+			}
+			pool = append(pool, sc)
+		}
+	}
+
+	metrics := []string{"PCAconf", "Iconf", "conf"}
+	table := PrecisionTable{Tops: tops, Metrics: metrics}
+	rank := func(key func(scored) float64) []scored {
+		out := append([]scored(nil), pool...)
+		sort.SliceStable(out, func(i, j int) bool { return key(out[i]) > key(out[j]) })
+		return out
+	}
+	ranked := [][]scored{
+		rank(func(s scored) float64 { return s.pca }),
+		rank(func(s scored) float64 { return s.iconf }),
+		rank(func(s scored) float64 { return s.conf }),
+	}
+	precCache := map[*core.Rule]float64{}
+	for _, rs := range ranked {
+		var row []float64
+		for _, top := range tops {
+			n := top
+			if n > len(rs) {
+				n = len(rs)
+			}
+			sum, cnt := 0.0, 0
+			for _, s := range rs[:n] {
+				p, ok := precCache[s.rule]
+				if !ok {
+					p = prec(f2, s.rule)
+					precCache[s.rule] = p
+				}
+				if p >= 0 {
+					sum += p
+					cnt++
+				}
+			}
+			if cnt > 0 {
+				row = append(row, sum/float64(cnt))
+			} else {
+				row = append(row, 0)
+			}
+		}
+		table.Values = append(table.Values, row)
+	}
+	return table
+}
+
+// prec computes prec(R) = supp(R,F2)/supp(Q,F2), or -1 when Q has no
+// matches in the validation fragment.
+func prec(f2 *graph.Graph, r *core.Rule) float64 {
+	res := core.Eval(f2, r, match.Options{}, false)
+	if res.Stats.SuppQ == 0 {
+		return -1
+	}
+	return float64(res.Stats.SuppR) / float64(res.Stats.SuppQ)
+}
+
+// splitGraph partitions the users of a social graph into two halves; each
+// half keeps all non-user attribute nodes (they carry no q edges). This is
+// the paper's F1/F2 cross-validation split.
+func splitGraph(g *graph.Graph, syms *graph.Symbols) (*graph.Graph, *graph.Graph) {
+	user := syms.Lookup("user")
+	var h1, h2 []graph.NodeID
+	for v := 0; v < g.NumNodes(); v++ {
+		id := graph.NodeID(v)
+		if g.Label(id) != user {
+			h1 = append(h1, id)
+			h2 = append(h2, id)
+			continue
+		}
+		if v%2 == 0 {
+			h1 = append(h1, id)
+		} else {
+			h2 = append(h2, id)
+		}
+	}
+	f1, _, _ := g.InducedSubgraph(h1)
+	f2, _, _ := g.InducedSubgraph(h2)
+	return f1, f2
+}

@@ -1,0 +1,162 @@
+// Package bisim implements the bisimulation test used by algorithm DMine to
+// cheaply prefilter automorphism (pattern-isomorphism) checks — Lemma 4 of
+// "Association Rules with Graph Patterns" (PVLDB 2015): if pattern PR1 is
+// not bisimilar to PR2, then R1 is not an automorphism of R2. Only patterns
+// that pass the bisimulation test are handed to the exact isomorphism test.
+//
+// The implementation computes, for each pattern node, the limit coloring of
+// forward bisimulation by iterated signature refinement (in the style of the
+// fast partition-refinement algorithms of Dovier, Piazza and Policriti).
+// Because the coloring is canonical, it can be computed once per pattern and
+// cached — this is the "incrementally maintained" relation of Section 4.2:
+// adding a new pattern to a collection requires one summary computation, not
+// a re-run over all pairs.
+package bisim
+
+import (
+	"hash/fnv"
+	"sort"
+
+	"gpar/internal/pattern"
+)
+
+// refineDepth is the fixed number of refinement rounds; see Summarize.
+const refineDepth = 24
+
+// Summary is a canonical bisimulation fingerprint of one pattern: the sorted
+// set of limit node colors. Two patterns are bisimilar (in the sense of
+// Section 4.2: every node of one has a bisimilar partner in the other, and
+// edges can be mutually simulated) if and only if their Summaries are equal,
+// up to hash collisions, which only ever cause a wasted exact isomorphism
+// test, never a wrong answer.
+type Summary []uint64
+
+// Equal reports whether two summaries are identical.
+func (s Summary) Equal(t Summary) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for i := range s {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Summarize computes the bisimulation summary of p. Multiplicities are
+// expanded first; bisimulation ignores copy counts beyond one by definition
+// (bisimilar copies collapse into one color), so the expansion does not
+// change the answer but keeps the semantics aligned with matching.
+func Summarize(p *pattern.Pattern) Summary {
+	pe := p.Expand()
+	n := pe.NumNodes()
+	colors := make([]uint64, n)
+	for u := 0; u < n; u++ {
+		colors[u] = hash1(uint64(pe.Label(u)), markDesignated(pe, u))
+	}
+	// Out-adjacency with edge labels.
+	type half struct {
+		label uint64
+		to    int
+	}
+	out := make([][]half, n)
+	for _, e := range pe.Edges() {
+		out[e.From] = append(out[e.From], half{uint64(e.Label), e.To})
+	}
+	// Refine for a fixed number of rounds. The round count must be the same
+	// for every pattern: the color of a node after round r is its depth-r
+	// unfolding signature, and bisimilar nodes in different patterns have
+	// equal signatures only at equal depths. refineDepth bounds the
+	// distinguishing depth of any pair of mining-scale patterns; if a pair
+	// of larger non-bisimilar patterns were ever to collide, the only cost
+	// is one wasted exact isomorphism test (the filter stays sound).
+	next := make([]uint64, n)
+	for round := 0; round < refineDepth; round++ {
+		for u := 0; u < n; u++ {
+			sig := make([]uint64, 0, len(out[u]))
+			for _, h := range out[u] {
+				sig = append(sig, hash1(h.label, colors[h.to]))
+			}
+			sort.Slice(sig, func(i, j int) bool { return sig[i] < sig[j] })
+			c := colors[u]
+			var prev uint64
+			for i, s := range sig {
+				// Bisimulation has set semantics: k edges into one
+				// equivalence class count once, so duplicate successor
+				// signatures are folded a single time.
+				if i > 0 && s == prev {
+					continue
+				}
+				c = hash1(c, s)
+				prev = s
+			}
+			next[u] = c
+		}
+		colors, next = next, colors
+	}
+	set := make(map[uint64]bool, n)
+	for _, c := range colors {
+		set[c] = true
+	}
+	sum := make(Summary, 0, len(set))
+	for c := range set {
+		sum = append(sum, c)
+	}
+	sort.Slice(sum, func(i, j int) bool { return sum[i] < sum[j] })
+	return sum
+}
+
+// markDesignated folds the x/y designation into the initial color so that
+// rules differing only in which node is designated do not collapse.
+func markDesignated(p *pattern.Pattern, u int) uint64 {
+	switch {
+	case u == p.X:
+		return 1
+	case u == p.Y:
+		return 2
+	default:
+		return 0
+	}
+}
+
+// Bisimilar reports whether p and q pass the Lemma 4 prefilter. Callers that
+// test one pattern against many should use a Cache instead.
+func Bisimilar(p, q *pattern.Pattern) bool {
+	return Summarize(p).Equal(Summarize(q))
+}
+
+// Cache memoizes summaries by caller-chosen key, supporting the incremental
+// maintenance of the bisimulation relation as new GPARs are discovered.
+type Cache struct {
+	sums map[string]Summary
+}
+
+// NewCache returns an empty summary cache.
+func NewCache() *Cache {
+	return &Cache{sums: make(map[string]Summary)}
+}
+
+// Summary returns the cached summary for key, computing it from p on a miss.
+func (c *Cache) Summary(key string, p *pattern.Pattern) Summary {
+	if s, ok := c.sums[key]; ok {
+		return s
+	}
+	s := Summarize(p)
+	c.sums[key] = s
+	return s
+}
+
+// Len reports the number of cached summaries.
+func (c *Cache) Len() int { return len(c.sums) }
+
+func hash1(a, b uint64) uint64 {
+	h := fnv.New64a()
+	var buf [16]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(a >> (8 * i))
+		buf[8+i] = byte(b >> (8 * i))
+	}
+	h.Write(buf[:])
+	return h.Sum64()
+}

@@ -1,0 +1,170 @@
+package bisim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gpar/internal/graph"
+	"gpar/internal/pattern"
+)
+
+func twoNode(syms *graph.Symbols, la, lb, le string) *pattern.Pattern {
+	p := pattern.New(syms)
+	a := p.AddNode(la)
+	b := p.AddNode(lb)
+	p.AddEdge(a, b, le)
+	p.X = a
+	return p
+}
+
+func TestIdenticalPatternsBisimilar(t *testing.T) {
+	syms := graph.NewSymbols()
+	p := twoNode(syms, "a", "b", "e")
+	q := twoNode(syms, "a", "b", "e")
+	if !Bisimilar(p, q) {
+		t.Error("identical patterns not bisimilar")
+	}
+}
+
+func TestDifferentLabelsNotBisimilar(t *testing.T) {
+	syms := graph.NewSymbols()
+	p := twoNode(syms, "a", "b", "e")
+	q := twoNode(syms, "a", "c", "e")
+	r := twoNode(syms, "a", "b", "f")
+	if Bisimilar(p, q) {
+		t.Error("node-label difference not detected")
+	}
+	if Bisimilar(p, r) {
+		t.Error("edge-label difference not detected")
+	}
+}
+
+func TestDesignationMatters(t *testing.T) {
+	syms := graph.NewSymbols()
+	p := twoNode(syms, "a", "a", "e")
+	q := twoNode(syms, "a", "a", "e")
+	q.X = 1 // designate the other endpoint
+	if Bisimilar(p, q) {
+		t.Error("x designation difference not detected")
+	}
+}
+
+// TestBisimilarButNotIsomorphic exercises the one-way nature of Lemma 4: a
+// 2-cycle and a 4-cycle of identical labels are bisimilar but not
+// isomorphic, so the prefilter passes them and exact isomorphism rejects.
+func TestBisimilarButNotIsomorphic(t *testing.T) {
+	syms := graph.NewSymbols()
+	mkCycle := func(n int) *pattern.Pattern {
+		p := pattern.New(syms)
+		for i := 0; i < n; i++ {
+			p.AddNode("a")
+		}
+		for i := 0; i < n; i++ {
+			p.AddEdge(i, (i+1)%n, "e")
+		}
+		return p
+	}
+	c2, c4 := mkCycle(2), mkCycle(4)
+	if !Bisimilar(c2, c4) {
+		t.Error("uniform cycles should be bisimilar")
+	}
+	if c2.IsomorphicTo(c4) {
+		t.Error("different-size cycles reported isomorphic")
+	}
+}
+
+// TestLemma4Soundness: isomorphic patterns are always bisimilar — the
+// contrapositive of Lemma 4 that makes the prefilter safe.
+func TestLemma4Soundness(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		syms := graph.NewSymbols()
+		labels := []string{"a", "b", "c"}
+		n := 2 + rng.Intn(5)
+		p := pattern.New(syms)
+		for i := 0; i < n; i++ {
+			p.AddNode(labels[rng.Intn(3)])
+			if i > 0 {
+				p.AddEdge(rng.Intn(i), i, "e")
+			}
+		}
+		p.X = 0
+		// Build an isomorphic copy by permuting node order.
+		perm := rng.Perm(n)
+		inv := make([]int, n)
+		for ni, oi := range perm {
+			inv[oi] = ni
+		}
+		q := pattern.New(syms)
+		lab := make([]graph.Label, n)
+		for old := 0; old < n; old++ {
+			lab[inv[old]] = p.Label(old)
+		}
+		for _, l := range lab {
+			q.AddNodeL(l)
+		}
+		for _, e := range p.Edges() {
+			q.AddEdgeL(inv[e.From], inv[e.To], e.Label)
+		}
+		q.X = inv[p.X]
+		return Bisimilar(p, q)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummaryCache(t *testing.T) {
+	syms := graph.NewSymbols()
+	c := NewCache()
+	p := twoNode(syms, "a", "b", "e")
+	s1 := c.Summary("k1", p)
+	s2 := c.Summary("k1", p)
+	if &s1[0] != &s2[0] {
+		t.Error("cache did not return the memoized summary")
+	}
+	if c.Len() != 1 {
+		t.Errorf("cache Len = %d want 1", c.Len())
+	}
+	q := twoNode(syms, "a", "c", "e")
+	if c.Summary("k2", q).Equal(s1) {
+		t.Error("different patterns share a summary")
+	}
+	if c.Len() != 2 {
+		t.Errorf("cache Len = %d want 2", c.Len())
+	}
+}
+
+func TestSummaryEqualLengthMismatch(t *testing.T) {
+	a := Summary{1, 2}
+	b := Summary{1}
+	if a.Equal(b) || b.Equal(a) {
+		t.Error("length-mismatched summaries reported equal")
+	}
+	if !a.Equal(Summary{1, 2}) {
+		t.Error("equal summaries reported unequal")
+	}
+}
+
+func TestMultiplicityCollapsesInSummary(t *testing.T) {
+	// Bisimulation cannot distinguish k parallel copies; the prefilter must
+	// still pass such pairs to exact isomorphism, not reject them.
+	syms := graph.NewSymbols()
+	mk := func(k int) *pattern.Pattern {
+		p := pattern.New(syms)
+		x := p.AddNode("cust")
+		fr := p.AddNode("rest")
+		p.SetMult(fr, k)
+		p.AddEdge(x, fr, "like")
+		p.X = x
+		return p
+	}
+	p2, p3 := mk(2), mk(3)
+	if !Bisimilar(p2, p3) {
+		t.Error("copies of a bisimilar node should collapse")
+	}
+	if p2.IsomorphicTo(p3) {
+		t.Error("different multiplicities reported isomorphic")
+	}
+}

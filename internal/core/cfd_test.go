@@ -1,0 +1,84 @@
+package core_test
+
+import (
+	"testing"
+
+	. "gpar/internal/core"
+	"gpar/internal/graph"
+	"gpar/internal/match"
+	"gpar/internal/pattern"
+)
+
+// TestCFDEmbeddedRule reproduces Fig. 1(c) of the paper: GPARs subsume
+// conditional functional dependencies via value bindings. The rule states:
+// if the addresses of x and x' share country code "44" and the same zip,
+// and x' shops at a Tesco store y with that zip, then x may shop at y.
+func TestCFDEmbeddedRule(t *testing.T) {
+	syms := graph.NewSymbols()
+	g := graph.New(syms)
+
+	// Value-binding nodes: the country code constant and two zip values.
+	cc44 := g.AddNode(`"44"`)
+	zipA := g.AddNode("ZIP")
+	zipB := g.AddNode("ZIP")
+
+	mk := func() graph.NodeID { return g.AddNode("cust") }
+	x1, x2, x3 := mk(), mk(), mk()
+	tescoA := g.AddNode("Tesco")
+	tescoB := g.AddNode("Tesco")
+
+	for _, c := range []graph.NodeID{x1, x2, x3} {
+		g.AddEdge(c, cc44, "CC")
+	}
+	// x1 and x2 share zipA; x3 lives in zipB.
+	g.AddEdge(x1, zipA, "zip")
+	g.AddEdge(x2, zipA, "zip")
+	g.AddEdge(x3, zipB, "zip")
+	// Stores carry the zip of their location.
+	g.AddEdge(tescoA, zipA, "zip")
+	g.AddEdge(tescoB, zipB, "zip")
+	// x2 shops at the zipA Tesco; x3 shops at the zipB one.
+	g.AddEdge(x2, tescoA, "shop")
+	g.AddEdge(x3, tescoB, "shop")
+
+	// Pattern Q3: x, x' with CC "44" and a shared zip; x' shops at Tesco y
+	// in the same zip.
+	q := pattern.New(syms)
+	px := q.AddNode("cust")
+	px2 := q.AddNode("cust")
+	pcc := q.AddNode(`"44"`)
+	pzip := q.AddNode("ZIP")
+	py := q.AddNode("Tesco")
+	q.X, q.Y = px, py
+	q.AddEdge(px, pcc, "CC")
+	q.AddEdge(px2, pcc, "CC")
+	q.AddEdge(px, pzip, "zip")
+	q.AddEdge(px2, pzip, "zip")
+	q.AddEdge(py, pzip, "zip")
+	q.AddEdge(px2, py, "shop")
+
+	rule := &Rule{Q: q, Pred: Predicate{
+		XLabel:    syms.Intern("cust"),
+		EdgeLabel: syms.Intern("shop"),
+		YLabel:    syms.Intern("Tesco"),
+	}}
+	if err := rule.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Only x1 matches the antecedent (shares zipA with shopper x2); x3's
+	// zip has no second customer.
+	got := match.MatchSet(rule.Q, g, nil, match.Options{})
+	if len(got) != 1 || got[0] != x1 {
+		t.Errorf("Q3(x,G) = %v want [x1=%d]", got, x1)
+	}
+	// The consequent predicts x1 shops at the same-zip Tesco; since x1 has
+	// no shop edge yet, it is an "unknown" case (supp(R) = 0 but x1 is a
+	// potential customer, not a counterexample).
+	res := Eval(g, rule, match.Options{}, false)
+	if res.Stats.SuppR != 0 {
+		t.Errorf("supp(R) = %d want 0", res.Stats.SuppR)
+	}
+	if res.Stats.SuppQqb != 0 {
+		t.Errorf("supp(Qq̄) = %d want 0 (x1 has no shop edge: unknown, not negative)", res.Stats.SuppQqb)
+	}
+}

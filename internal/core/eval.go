@@ -1,0 +1,131 @@
+package core
+
+import (
+	"math"
+
+	"gpar/internal/graph"
+	"gpar/internal/match"
+)
+
+// Pq returns Pq(x,G): nodes labeled XLabel with at least one EdgeLabel edge
+// to a node labeled YLabel — the "positive" base of the LCWA (Section 3).
+func Pq(g *graph.Graph, pred Predicate) []graph.NodeID {
+	var out []graph.NodeID
+	for _, v := range g.NodesWithLabel(pred.XLabel) {
+		for _, e := range g.Out(v) {
+			if e.Label == pred.EdgeLabel && g.Label(e.To) == pred.YLabel {
+				out = append(out, v)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Pqbar returns the q̄ set: nodes labeled XLabel that have at least one edge
+// of type EdgeLabel but are not in Pq(x,G) — the "negative" cases of the
+// LCWA. Nodes with no EdgeLabel edge at all are "unknown" and appear in
+// neither set.
+func Pqbar(g *graph.Graph, pred Predicate) []graph.NodeID {
+	var out []graph.NodeID
+	for _, v := range g.NodesWithLabel(pred.XLabel) {
+		hasQ := false
+		hasMatch := false
+		for _, e := range g.Out(v) {
+			if e.Label != pred.EdgeLabel {
+				continue
+			}
+			hasQ = true
+			if g.Label(e.To) == pred.YLabel {
+				hasMatch = true
+				break
+			}
+		}
+		if hasQ && !hasMatch {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// EvalResult bundles the stats and the witness sets produced by Eval.
+type EvalResult struct {
+	Stats Stats
+	// RSet is PR(x,G): the potential customers identified by the rule.
+	RSet []graph.NodeID
+	// QSet is Q(x,G) restricted to the candidates Eval examined (Pq ∪ Pq̄
+	// plus, when full is requested, all x-labeled nodes).
+	QSet []graph.NodeID
+}
+
+// Eval computes the Section 3 statistics of rule r on the whole graph g
+// sequentially. It is the reference implementation the parallel algorithms
+// (DMine, Match) are tested against. opts configures the matcher.
+//
+// When fullQ is true, supp(Q,G) is computed over every x-labeled node;
+// otherwise Q is only matched on Pq ∪ Pq̄ (all that Conf, PCAConf and the
+// EIP need), and SuppQ covers just those candidates.
+func Eval(g *graph.Graph, r *Rule, opts match.Options, fullQ bool) EvalResult {
+	var res EvalResult
+	pq := Pq(g, r.Pred)
+	pqb := Pqbar(g, r.Pred)
+	res.Stats.SuppQ1 = len(pq)
+	res.Stats.SuppQbar = len(pqb)
+
+	pr := r.PR()
+	// PR requires an x ->q y edge, so only Pq members can match. An empty
+	// candidate slice must stay empty: MatchSet treats nil as "all nodes".
+	if len(pq) > 0 {
+		res.RSet = match.MatchSet(pr, g, pq, opts)
+	}
+	res.Stats.SuppR = len(res.RSet)
+
+	// supp(Qq̄): antecedent matches among the negative cases.
+	var qOnQbar []graph.NodeID
+	if len(pqb) > 0 {
+		qOnQbar = match.MatchSet(r.Q, g, pqb, opts)
+	}
+	res.Stats.SuppQqb = len(qOnQbar)
+
+	if fullQ {
+		res.QSet = match.MatchSet(r.Q, g, nil, opts)
+	} else {
+		// Every PR match is a Q match (PR ⊒ Q); only the remaining Pq
+		// members and the q̄ matches need checking.
+		inR := make(map[graph.NodeID]bool, len(res.RSet))
+		for _, v := range res.RSet {
+			inR[v] = true
+		}
+		res.QSet = append(res.QSet, res.RSet...)
+		for _, v := range pq {
+			if !inR[v] && match.HasMatchAt(r.Q, g, v, opts) {
+				res.QSet = append(res.QSet, v)
+			}
+		}
+		res.QSet = append(res.QSet, qOnQbar...)
+	}
+	res.Stats.SuppQ = len(res.QSet)
+	return res
+}
+
+// IConf computes the image-based confidence alternative of Section 6: the
+// Bayes Factor formula with every support replaced by the minimum
+// image-based support of Bringmann and Nijssen. opts.MaxMatches bounds the
+// underlying enumerations.
+func IConf(g *graph.Graph, r *Rule, opts match.Options) float64 {
+	pq := Pq(g, r.Pred)
+	pqb := Pqbar(g, r.Pred)
+	if len(pq) == 0 {
+		return math.NaN()
+	}
+	suppR := match.MinImageSupport(r.PR(), g, opts)
+	// Image-based supp(Qq̄): distinct q̄ nodes with a Q match.
+	var suppQqb int
+	if len(pqb) > 0 {
+		suppQqb = len(match.MatchSet(r.Q, g, pqb, opts))
+	}
+	if suppQqb == 0 {
+		return math.Inf(1)
+	}
+	return float64(suppR) * float64(len(pqb)) / (float64(suppQqb) * float64(len(pq)))
+}

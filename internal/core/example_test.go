@@ -1,0 +1,64 @@
+package core_test
+
+import (
+	"fmt"
+
+	"gpar/internal/core"
+	"gpar/internal/graph"
+	"gpar/internal/match"
+	"gpar/internal/pattern"
+)
+
+// ExampleEval evaluates the paper's Example 6/7 scenario: BF confidence
+// under the local closed world assumption ignores unknown cases.
+func ExampleEval() {
+	syms := graph.NewSymbols()
+	g := graph.New(syms)
+	ecuador := g.AddNode("Ecuador")
+	album := g.AddNode("Shakira album")
+	other := g.AddNode("MJ album")
+	v1 := g.AddNode("person")
+	v2 := g.AddNode("person")
+	v3 := g.AddNode("person")
+	for _, v := range []graph.NodeID{v1, v2, v3} {
+		g.AddEdge(v, ecuador, "live_in")
+	}
+	g.AddEdge(v1, album, "like") // positive
+	g.AddEdge(v2, other, "like") // negative under LCWA
+	// v3 has no like edge at all: unknown, not a counterexample.
+
+	q := pattern.New(syms)
+	x := q.AddNode("person")
+	c := q.AddNode("Ecuador")
+	q.AddEdge(x, c, "live_in")
+	q.X = x
+	rule := &core.Rule{Q: q, Pred: core.Predicate{
+		XLabel:    syms.Intern("person"),
+		EdgeLabel: syms.Intern("like"),
+		YLabel:    syms.Intern("Shakira album"),
+	}}
+
+	res := core.Eval(g, rule, match.Options{}, true)
+	fmt.Printf("BF conf = %v, conventional = %.2f\n",
+		res.Stats.Conf(), res.Stats.StdConf())
+	// Output: BF conf = 1, conventional = 0.33
+}
+
+// ExampleRule_PR shows how the consequent edge extends the antecedent.
+func ExampleRule_PR() {
+	syms := graph.NewSymbols()
+	q := pattern.New(syms)
+	x := q.AddNode("cust")
+	x2 := q.AddNode("cust")
+	q.AddEdge(x, x2, "friend")
+	q.X = x
+	rule := &core.Rule{Q: q, Pred: core.Predicate{
+		XLabel:    syms.Intern("cust"),
+		EdgeLabel: syms.Intern("visit"),
+		YLabel:    syms.Intern("restaurant"),
+	}}
+	pr := rule.PR()
+	fmt.Printf("Q: %d nodes %d edges; PR: %d nodes %d edges\n",
+		q.NumNodes(), q.NumEdges(), pr.NumNodes(), pr.NumEdges())
+	// Output: Q: 2 nodes 1 edges; PR: 3 nodes 2 edges
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"gpar/internal/graph"
+	"gpar/internal/pattern"
+)
+
+// Rule serialization format (line oriented, labels quoted):
+//
+//	rule
+//	pred <xlabel> <edgelabel> <ylabel>
+//	node <i> <label> <mult> [x|y|-]
+//	edge <from> <to> <label>
+//	end
+//
+// Multiple rules concatenate. Blank lines and # comments are ignored.
+
+// WriteRules serializes rules to w.
+func WriteRules(w io.Writer, rules []*Rule) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range rules {
+		syms := r.Q.Symbols()
+		fmt.Fprintf(bw, "rule\n")
+		fmt.Fprintf(bw, "pred %s %s %s\n",
+			strconv.Quote(syms.Name(r.Pred.XLabel)),
+			strconv.Quote(syms.Name(r.Pred.EdgeLabel)),
+			strconv.Quote(syms.Name(r.Pred.YLabel)))
+		for u := 0; u < r.Q.NumNodes(); u++ {
+			role := "-"
+			switch u {
+			case r.Q.X:
+				role = "x"
+			case r.Q.Y:
+				role = "y"
+			}
+			fmt.Fprintf(bw, "node %d %s %d %s\n", u, strconv.Quote(r.Q.LabelName(u)), r.Q.Mult(u), role)
+		}
+		for _, e := range r.Q.Edges() {
+			fmt.Fprintf(bw, "edge %d %d %s\n", e.From, e.To, strconv.Quote(syms.Name(e.Label)))
+		}
+		fmt.Fprintf(bw, "end\n")
+	}
+	return bw.Flush()
+}
+
+// ReadRules parses rules written by WriteRules, interning labels into syms.
+func ReadRules(r io.Reader, syms *graph.Symbols) ([]*Rule, error) {
+	if syms == nil {
+		syms = graph.NewSymbols()
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	var rules []*Rule
+	var cur *Rule
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields, err := splitQuoted(line)
+		if err != nil {
+			return nil, fmt.Errorf("core: line %d: %w", lineNo, err)
+		}
+		switch fields[0] {
+		case "rule":
+			if cur != nil {
+				return nil, fmt.Errorf("core: line %d: nested rule", lineNo)
+			}
+			cur = &Rule{Q: pattern.New(syms)}
+		case "pred":
+			if cur == nil || len(fields) != 4 {
+				return nil, fmt.Errorf("core: line %d: bad pred", lineNo)
+			}
+			cur.Pred = Predicate{
+				XLabel:    syms.Intern(fields[1]),
+				EdgeLabel: syms.Intern(fields[2]),
+				YLabel:    syms.Intern(fields[3]),
+			}
+		case "node":
+			if cur == nil || len(fields) != 5 {
+				return nil, fmt.Errorf("core: line %d: bad node", lineNo)
+			}
+			id, err1 := strconv.Atoi(fields[1])
+			mult, err2 := strconv.Atoi(fields[3])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("core: line %d: bad node numbers", lineNo)
+			}
+			got := cur.Q.AddNode(fields[2])
+			if got != id {
+				return nil, fmt.Errorf("core: line %d: node ids must be dense (got %d want %d)", lineNo, id, got)
+			}
+			if mult > 1 {
+				cur.Q.SetMult(got, mult)
+			}
+			switch fields[4] {
+			case "x":
+				cur.Q.X = got
+			case "y":
+				cur.Q.Y = got
+			case "-":
+			default:
+				return nil, fmt.Errorf("core: line %d: bad role %q", lineNo, fields[4])
+			}
+		case "edge":
+			if cur == nil || len(fields) != 4 {
+				return nil, fmt.Errorf("core: line %d: bad edge", lineNo)
+			}
+			from, err1 := strconv.Atoi(fields[1])
+			to, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil || from < 0 || to < 0 ||
+				from >= cur.Q.NumNodes() || to >= cur.Q.NumNodes() {
+				return nil, fmt.Errorf("core: line %d: bad edge endpoints", lineNo)
+			}
+			cur.Q.AddEdge(from, to, fields[3])
+		case "end":
+			if cur == nil {
+				return nil, fmt.Errorf("core: line %d: end without rule", lineNo)
+			}
+			if err := cur.Validate(); err != nil {
+				return nil, fmt.Errorf("core: line %d: %w", lineNo, err)
+			}
+			rules = append(rules, cur)
+			cur = nil
+		default:
+			return nil, fmt.Errorf("core: line %d: unknown record %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("core: unterminated rule")
+	}
+	return rules, nil
+}
+
+// splitQuoted splits a line into fields where quoted fields may contain
+// spaces.
+func splitQuoted(line string) ([]string, error) {
+	var out []string
+	i := 0
+	for i < len(line) {
+		for i < len(line) && line[i] == ' ' {
+			i++
+		}
+		if i >= len(line) {
+			break
+		}
+		if line[i] == '"' {
+			j := i + 1
+			for j < len(line) {
+				if line[j] == '\\' {
+					j += 2
+					continue
+				}
+				if line[j] == '"' {
+					break
+				}
+				j++
+			}
+			if j >= len(line) {
+				return nil, fmt.Errorf("unterminated quote")
+			}
+			s, err := strconv.Unquote(line[i : j+1])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, s)
+			i = j + 1
+		} else {
+			j := i
+			for j < len(line) && line[j] != ' ' {
+				j++
+			}
+			out = append(out, line[i:j])
+			i = j
+		}
+	}
+	return out, nil
+}

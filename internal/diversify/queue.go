@@ -1,0 +1,180 @@
+package diversify
+
+import (
+	"math"
+	"sort"
+)
+
+// Queue is the incremental top-k structure of procedure incDiv (Section
+// 4.2): a max priority queue of at most ⌈k/2⌉ pairwise-disjoint GPAR pairs,
+// each scored by F'. Instead of recomputing the diversification from
+// scratch each round (the DMineNo behaviour), the queue is improved
+// incrementally as new rules arrive.
+type Queue struct {
+	p     Params
+	pairs []qpair
+	used  map[string]bool
+}
+
+type qpair struct {
+	a, b Entry
+	f    float64
+}
+
+// NewQueue returns an empty incDiv queue with the given objective
+// parameters.
+func NewQueue(p Params) *Queue {
+	return &Queue{p: p, used: make(map[string]bool)}
+}
+
+// capPairs is ⌈k/2⌉.
+func (q *Queue) capPairs() int { return (q.p.K + 1) / 2 }
+
+// MinF returns F'm, the minimum F' over the queue's pairs (+Inf when the
+// queue is empty, -Inf when it is not yet full — any pair improves it).
+func (q *Queue) MinF() float64 {
+	if len(q.pairs) < q.capPairs() {
+		return math.Inf(-1)
+	}
+	minF := math.Inf(1)
+	for _, pr := range q.pairs {
+		if pr.f < minF {
+			minF = pr.f
+		}
+	}
+	return minF
+}
+
+// Contains reports whether the entry with the given ID sits in some pair.
+func (q *Queue) Contains(id string) bool { return q.used[id] }
+
+// Len reports the number of pairs currently held.
+func (q *Queue) Len() int { return len(q.pairs) }
+
+// Update incorporates the round's newly discovered rules deltaE, choosing
+// partners from sigma (all rules known so far, including deltaE). It
+// implements the two phases of incDiv: fill the queue with the best disjoint
+// pairs while below capacity, then replace minimum pairs whenever a new pair
+// (R, R') with R ∈ ∆E scores higher.
+func (q *Queue) Update(deltaE, sigma []Entry) {
+	all := append(append([]Entry(nil), deltaE...), sigma...)
+	pool := dedupe(all)
+
+	// Phase 1: fill while below capacity.
+	for len(q.pairs) < q.capPairs() {
+		a, b, f := q.bestFreePair(pool)
+		if a < 0 {
+			break
+		}
+		q.insert(pool[a], pool[b], f)
+	}
+	if len(q.pairs) < q.capPairs() {
+		return
+	}
+	// Phase 2: try to improve the minimum pair with each new rule.
+	for _, e := range deltaE {
+		if q.used[e.ID] {
+			continue
+		}
+		partner, f := q.bestPartner(e, pool)
+		if partner < 0 {
+			continue
+		}
+		minIx := q.minPairIx()
+		if f > q.pairs[minIx].f {
+			old := q.pairs[minIx]
+			delete(q.used, old.a.ID)
+			delete(q.used, old.b.ID)
+			q.pairs[minIx] = qpair{a: e, b: pool[partner], f: f}
+			q.used[e.ID] = true
+			q.used[pool[partner].ID] = true
+		}
+	}
+}
+
+// bestFreePair scans pool for the unused pair maximizing F'. Ties are
+// broken by ID order for determinism.
+func (q *Queue) bestFreePair(pool []Entry) (ai, bi int, f float64) {
+	ai, bi, f = -1, -1, math.Inf(-1)
+	for i := range pool {
+		if q.used[pool[i].ID] {
+			continue
+		}
+		for j := i + 1; j < len(pool); j++ {
+			if q.used[pool[j].ID] {
+				continue
+			}
+			if g := FPrime(pool[i], pool[j], q.p); g > f {
+				f, ai, bi = g, i, j
+			}
+		}
+	}
+	return ai, bi, f
+}
+
+// bestPartner finds the unused pool entry (≠ e) maximizing F'(e, ·).
+func (q *Queue) bestPartner(e Entry, pool []Entry) (int, float64) {
+	best, bf := -1, math.Inf(-1)
+	for i := range pool {
+		if pool[i].ID == e.ID || q.used[pool[i].ID] {
+			continue
+		}
+		if g := FPrime(e, pool[i], q.p); g > bf {
+			bf, best = g, i
+		}
+	}
+	return best, bf
+}
+
+func (q *Queue) minPairIx() int {
+	minIx := 0
+	for i := 1; i < len(q.pairs); i++ {
+		if q.pairs[i].f < q.pairs[minIx].f {
+			minIx = i
+		}
+	}
+	return minIx
+}
+
+func (q *Queue) insert(a, b Entry, f float64) {
+	q.pairs = append(q.pairs, qpair{a: a, b: b, f: f})
+	q.used[a.ID] = true
+	q.used[b.ID] = true
+}
+
+// Entries flattens the queue's pairs into Lk. For odd k (the queue holds
+// k+1 rules) the lowest-contribution rule is dropped, as in Greedy.
+func (q *Queue) Entries() []Entry {
+	var out []Entry
+	for _, pr := range q.pairs {
+		out = append(out, pr.a, pr.b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	if len(out) > q.p.K {
+		picked := make([]int, len(out))
+		for i := range picked {
+			picked[i] = i
+		}
+		worst, worstIx := math.Inf(1), -1
+		for i := range out {
+			if c := contribution(out, picked, i, q.p); c < worst {
+				worst, worstIx = c, i
+			}
+		}
+		out = append(out[:worstIx], out[worstIx+1:]...)
+	}
+	return out
+}
+
+// dedupe keeps the first occurrence of each ID, preserving order.
+func dedupe(es []Entry) []Entry {
+	seen := make(map[string]bool, len(es))
+	out := es[:0:0]
+	for _, e := range es {
+		if !seen[e.ID] {
+			seen[e.ID] = true
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package eip
+
+import (
+	"sort"
+	"sync"
+
+	"gpar/internal/core"
+	"gpar/internal/graph"
+	"gpar/internal/match"
+)
+
+// DisVF2 computes Σ(x,G,η) the naive way the paper benchmarks against: for
+// each GPAR, run two full-enumeration isomorphism sweeps over the whole
+// graph (one for PR, one for Q), with no per-candidate locality, no early
+// termination and no guidance. Rules are distributed over n workers.
+func DisVF2(g *graph.Graph, rules []*core.Rule, opts Options) (*Result, error) {
+	if err := validate(rules); err != nil {
+		return nil, err
+	}
+	opts = opts.Defaults()
+	pred := rules[0].Pred
+	// Workers share g; freeze it before they start so the matcher's lazy
+	// Freeze never races.
+	g.Freeze()
+
+	// Global LCWA classification (computed once; it is per-predicate).
+	pqSet := make(map[graph.NodeID]bool)
+	qbarSet := make(map[graph.NodeID]bool)
+	for _, v := range core.Pq(g, pred) {
+		pqSet[v] = true
+	}
+	for _, v := range core.Pqbar(g, pred) {
+		qbarSet[v] = true
+	}
+
+	type ruleRes struct {
+		qSet map[graph.NodeID]bool
+		rSet map[graph.NodeID]bool
+		ops  int64
+	}
+	results := make([]ruleRes, len(rules))
+	// Distribute rules round-robin over workers.
+	var wg sync.WaitGroup
+	workerOps := make([]int64, opts.N)
+	for w := 0; w < opts.N; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for ri := w; ri < len(rules); ri += opts.N {
+				r := rules[ri]
+				rr := ruleRes{
+					qSet: make(map[graph.NodeID]bool),
+					rSet: make(map[graph.NodeID]bool),
+				}
+				// Full enumeration of Q's matches: x images.
+				qx := r.Q.Expand().X
+				rr.ops += int64(match.Enumerate(r.Q, g, match.Options{}, func(asgn []graph.NodeID) bool {
+					rr.qSet[asgn[qx]] = true
+					return true
+				}))
+				pr := r.PR()
+				px := pr.Expand().X
+				rr.ops += int64(match.Enumerate(pr, g, match.Options{}, func(asgn []graph.NodeID) bool {
+					rr.rSet[asgn[px]] = true
+					return true
+				}))
+				results[ri] = rr
+				workerOps[w] += rr.ops
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	res := &Result{WorkerOps: workerOps}
+	for _, ops := range workerOps {
+		if ops > res.MaxWorkerOp {
+			res.MaxWorkerOp = ops
+		}
+	}
+	identified := make(map[graph.NodeID]bool)
+	for ri, r := range rules {
+		rr := results[ri]
+		out := RuleOutcome{Rule: r}
+		for v := range rr.qSet {
+			out.QSet = append(out.QSet, v)
+			if qbarSet[v] {
+				out.Stats.SuppQqb++
+			}
+		}
+		sort.Slice(out.QSet, func(i, j int) bool { return out.QSet[i] < out.QSet[j] })
+		out.Stats.SuppQ = len(out.QSet)
+		out.Stats.SuppR = len(rr.rSet)
+		out.Stats.SuppQ1 = len(pqSet)
+		out.Stats.SuppQbar = len(qbarSet)
+		out.Conf = out.Stats.Conf()
+		out.Applied = out.Conf >= opts.Eta
+		if out.Applied {
+			for _, v := range out.QSet {
+				identified[v] = true
+			}
+		}
+		res.PerRule = append(res.PerRule, out)
+	}
+	for v := range identified {
+		res.Identified = append(res.Identified, v)
+	}
+	sort.Slice(res.Identified, func(i, j int) bool { return res.Identified[i] < res.Identified[j] })
+	return res, nil
+}

@@ -1,0 +1,215 @@
+package eip
+
+import (
+	"math"
+	"testing"
+
+	"gpar/internal/core"
+	"gpar/internal/gen"
+	"gpar/internal/graph"
+	"gpar/internal/match"
+)
+
+func g1Rules(syms *graph.Symbols) []*core.Rule {
+	return []*core.Rule{gen.R1(syms), gen.R5(syms), gen.R6(syms), gen.R7(syms), gen.R8(syms)}
+}
+
+func equalIDs(a, b []graph.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestAllThreeAlgorithmsAgree: Match, Matchc and DisVF2 must produce the
+// identical Σ(x,G,η) and per-rule statistics — they differ only in cost.
+func TestAllThreeAlgorithmsAgree(t *testing.T) {
+	syms := graph.NewSymbols()
+	f := gen.G1(syms)
+	rules := g1Rules(syms)
+	for _, eta := range []float64{0.3, 0.5, 0.7, 1.5} {
+		opts := Options{N: 3, Eta: eta}
+		a, err := Match(f.G, rules, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Matchc(f.G, rules, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := DisVF2(f.G, rules, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalIDs(a.Identified, b.Identified) {
+			t.Errorf("η=%v: Match %v vs Matchc %v", eta, a.Identified, b.Identified)
+		}
+		if !equalIDs(a.Identified, c.Identified) {
+			t.Errorf("η=%v: Match %v vs DisVF2 %v", eta, a.Identified, c.Identified)
+		}
+		for i := range rules {
+			if a.PerRule[i].Stats != b.PerRule[i].Stats || a.PerRule[i].Stats != c.PerRule[i].Stats {
+				t.Errorf("η=%v rule %d stats disagree: %+v / %+v / %+v",
+					eta, i, a.PerRule[i].Stats, b.PerRule[i].Stats, c.PerRule[i].Stats)
+			}
+		}
+	}
+}
+
+// TestEIPPaperNumbers: with the Fig. 3 rules on G1, per-rule confidences
+// must equal Example 8's values and Σ(x,G,η) must respect η.
+func TestEIPPaperNumbers(t *testing.T) {
+	syms := graph.NewSymbols()
+	f := gen.G1(syms)
+	rules := g1Rules(syms)
+	res, err := Match(f.G, rules, Options{N: 2, Eta: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantConf := []float64{0.6, 0.8, 0.4, 0.6, 0.2}
+	for i, w := range wantConf {
+		if got := res.PerRule[i].Conf; math.Abs(got-w) > 1e-9 {
+			t.Errorf("rule %d conf = %v want %v", i, got, w)
+		}
+	}
+	// η=0.5 applies R1 (0.6), R5 (0.8), R7 (0.6); their potential
+	// customers are the union of Q-matches: Q1 gives cust1-3,5; Q5 gives
+	// cust1-4 plus cust5 (q̄) and cust6; Q7 gives cust1-3,5.
+	applied := 0
+	for _, pr := range res.PerRule {
+		if pr.Applied {
+			applied++
+		}
+	}
+	if applied != 3 {
+		t.Errorf("applied rules = %d want 3", applied)
+	}
+	if len(res.Identified) == 0 {
+		t.Fatal("no entities identified")
+	}
+	// cust5 matches Q1 and is a potential customer under η=0.5.
+	found := false
+	for _, v := range res.Identified {
+		if v == f.Cust[5] {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("cust5 missing from Σ(x,G,0.5): %v", res.Identified)
+	}
+	// η above every confidence identifies nobody.
+	res2, _ := Match(f.G, rules, Options{N: 2, Eta: 10})
+	if len(res2.Identified) != 0 {
+		t.Errorf("η=10 identified %v", res2.Identified)
+	}
+}
+
+// TestEIPQSetMatchesReference: the per-rule potential-customer sets agree
+// with the sequential evaluator's full-Q computation.
+func TestEIPQSetMatchesReference(t *testing.T) {
+	syms := graph.NewSymbols()
+	f := gen.G1(syms)
+	rules := g1Rules(syms)
+	res, err := Match(f.G, rules, Options{N: 3, Eta: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rules {
+		ref := core.Eval(f.G, r, match.Options{}, true)
+		if res.PerRule[i].Stats.SuppQ != ref.Stats.SuppQ {
+			t.Errorf("rule %d: SuppQ %d want %d", i, res.PerRule[i].Stats.SuppQ, ref.Stats.SuppQ)
+		}
+		if res.PerRule[i].Stats.SuppR != ref.Stats.SuppR {
+			t.Errorf("rule %d: SuppR %d want %d", i, res.PerRule[i].Stats.SuppR, ref.Stats.SuppR)
+		}
+	}
+}
+
+// TestWorkerCountInvariance: results do not depend on n.
+func TestWorkerCountInvariance(t *testing.T) {
+	syms := graph.NewSymbols()
+	f := gen.G1(syms)
+	rules := g1Rules(syms)
+	var prev *Result
+	for _, n := range []int{1, 2, 5} {
+		res, err := Match(f.G, rules, Options{N: n, Eta: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev != nil && !equalIDs(prev.Identified, res.Identified) {
+			t.Errorf("n=%d changed the answer: %v vs %v", n, res.Identified, prev.Identified)
+		}
+		prev = res
+		if len(res.WorkerOps) != n {
+			t.Errorf("n=%d: WorkerOps=%v", n, res.WorkerOps)
+		}
+	}
+}
+
+// TestMatchCheaperThanMatchc: early termination must never do more match
+// operations, and DisVF2 must do the most enumeration work.
+func TestCostOrdering(t *testing.T) {
+	syms := graph.NewSymbols()
+	f := gen.G1(syms)
+	rules := g1Rules(syms)
+	opts := Options{N: 1, Eta: 0.5}
+	a, _ := Match(f.G, rules, opts)
+	b, _ := Matchc(f.G, rules, opts)
+	if a.MaxWorkerOp > b.MaxWorkerOp {
+		t.Errorf("Match ops %d > Matchc ops %d", a.MaxWorkerOp, b.MaxWorkerOp)
+	}
+}
+
+// TestG2FakeAccounts: EIP identifies the fake-account suspects of Fig. 1(d)
+// on G2. conf(R4) is +Inf (logic rule), so any η applies it.
+func TestG2FakeAccounts(t *testing.T) {
+	syms := graph.NewSymbols()
+	f := gen.G2(syms)
+	rules := []*core.Rule{gen.R4(syms)}
+	res, err := Match(f.G, rules, Options{N: 2, Eta: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []graph.NodeID{f.Acct[1], f.Acct[2], f.Acct[3]}
+	if !equalIDs(res.Identified, want) {
+		t.Errorf("Σ = %v want %v", res.Identified, want)
+	}
+}
+
+// TestValidation: empty and mixed-predicate rule sets are rejected.
+func TestValidation(t *testing.T) {
+	syms := graph.NewSymbols()
+	f := gen.G1(syms)
+	if _, err := Match(f.G, nil, Options{N: 1, Eta: 1}); err == nil {
+		t.Error("empty Σ accepted")
+	}
+	mixed := []*core.Rule{gen.R5(syms), gen.R4(syms)}
+	if _, err := Match(f.G, mixed, Options{N: 1, Eta: 1}); err == nil {
+		t.Error("mixed predicates accepted")
+	}
+	if _, err := DisVF2(f.G, nil, Options{N: 1, Eta: 1}); err == nil {
+		t.Error("DisVF2 accepted empty Σ")
+	}
+}
+
+// TestTripleFilterSoundness: the triple prefilter never changes the answer
+// (covered by TestAllThreeAlgorithmsAgree) and ruleTriples is stable.
+func TestRuleTriples(t *testing.T) {
+	syms := graph.NewSymbols()
+	r1 := gen.R1(syms)
+	a := ruleTriples(r1)
+	b := ruleTriples(r1)
+	if len(a) == 0 {
+		t.Fatal("no triples for R1")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Error("ruleTriples not deterministic")
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package eip
+
+import (
+	"sort"
+
+	"gpar/internal/core"
+	"gpar/internal/graph"
+)
+
+// triple is one labeled edge shape (source label, edge label, target label).
+// Rule antecedents decompose into triples; a candidate whose d-neighborhood
+// lacks a required triple can be rejected for every rule needing it without
+// any isomorphism search. Because the summary is computed once per candidate
+// and consulted by all rules, it serves as the multi-query common-subpattern
+// optimization of Section 5.2 ("extract common sub-patterns of GPARs in Σ",
+// after [32]).
+type triple struct {
+	src, edge, dst graph.Label
+}
+
+// ruleTriples returns the distinct edge triples of a rule's pattern PR.
+func ruleTriples(r *core.Rule) []triple {
+	p := r.PR().Expand()
+	set := make(map[triple]bool)
+	for _, e := range p.Edges() {
+		set[triple{p.Label(e.From), e.Label, p.Label(e.To)}] = true
+	}
+	out := make([]triple, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].src != out[j].src {
+			return out[i].src < out[j].src
+		}
+		if out[i].edge != out[j].edge {
+			return out[i].edge < out[j].edge
+		}
+		return out[i].dst < out[j].dst
+	})
+	return out
+}
+
+// tripleIndex summarizes, per fragment, which edge triples exist anywhere in
+// the fragment graph. Fragments are built from the candidates'
+// d-neighborhoods, so "present in the fragment" over-approximates "present
+// in Gd(vx)" — a sound filter (it can only skip impossible matches).
+type tripleIndex struct {
+	present map[triple]bool
+}
+
+func newTripleIndex(g *graph.Graph) *tripleIndex {
+	ix := &tripleIndex{present: make(map[triple]bool)}
+	for v := 0; v < g.NumNodes(); v++ {
+		from := graph.NodeID(v)
+		for _, e := range g.Out(from) {
+			ix.present[triple{g.Label(from), e.Label, g.Label(e.To)}] = true
+		}
+	}
+	return ix
+}
+
+// covers reports whether every required triple exists in the fragment.
+func (ix *tripleIndex) covers(_ graph.NodeID, need []triple) bool {
+	for _, t := range need {
+		if !ix.present[t] {
+			return false
+		}
+	}
+	return true
+}

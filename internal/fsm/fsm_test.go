@@ -1,0 +1,85 @@
+package fsm
+
+import (
+	"testing"
+
+	"gpar/internal/gen"
+	"gpar/internal/graph"
+	"gpar/internal/match"
+)
+
+func TestMineOnG1(t *testing.T) {
+	syms := graph.NewSymbols()
+	f := gen.G1(syms)
+	cust := syms.Lookup(gen.LCust)
+	out := Mine(f.G, cust, Options{MinSupport: 3, MaxEdges: 2})
+	if len(out) == 0 {
+		t.Fatal("no frequent patterns on G1")
+	}
+	for _, fr := range out {
+		if fr.Support < 3 {
+			t.Errorf("pattern below min support: %d %s", fr.Support, fr.P)
+		}
+		// Verify the reported support.
+		got := len(match.MatchSet(fr.P, f.G, nil, match.Options{}))
+		if got != fr.Support {
+			t.Errorf("support mismatch: reported %d actual %d for %s", fr.Support, got, fr.P)
+		}
+	}
+	// Supports are sorted descending.
+	for i := 1; i < len(out); i++ {
+		if out[i].Support > out[i-1].Support {
+			t.Error("results not sorted by support")
+		}
+	}
+}
+
+func TestMineAntiMonotone(t *testing.T) {
+	// "x likes a French restaurant" has support 5 on G1; it must appear
+	// before (or with equal support as) any of its extensions.
+	syms := graph.NewSymbols()
+	f := gen.G1(syms)
+	cust := syms.Lookup(gen.LCust)
+	out := Mine(f.G, cust, Options{MinSupport: 5, MaxEdges: 2})
+	for _, fr := range out {
+		if fr.Support < 5 {
+			t.Errorf("min support violated: %d", fr.Support)
+		}
+	}
+}
+
+func TestMineMaxPatterns(t *testing.T) {
+	syms := graph.NewSymbols()
+	f := gen.G1(syms)
+	cust := syms.Lookup(gen.LCust)
+	out := Mine(f.G, cust, Options{MinSupport: 1, MaxEdges: 2, MaxPatterns: 3})
+	if len(out) != 3 {
+		t.Errorf("MaxPatterns: got %d want 3", len(out))
+	}
+}
+
+func TestMineBelowSupportRoots(t *testing.T) {
+	syms := graph.NewSymbols()
+	f := gen.G1(syms)
+	city := syms.Lookup(gen.LCity)
+	// Only 2 cities; min support 5 can never be met.
+	if out := Mine(f.G, city, Options{MinSupport: 5, MaxEdges: 2}); out != nil {
+		t.Errorf("mined %d patterns with unreachable support", len(out))
+	}
+}
+
+func TestMineDeterministic(t *testing.T) {
+	syms := graph.NewSymbols()
+	g := gen.Pokec(syms, gen.DefaultPokec(150, 3))
+	user := syms.Lookup("user")
+	a := Mine(g, user, Options{MinSupport: 20, MaxEdges: 2, MaxPatterns: 10})
+	b := Mine(g, user, Options{MinSupport: 20, MaxEdges: 2, MaxPatterns: 10})
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Support != b[i].Support || !a[i].P.IsomorphicTo(b[i].P) {
+			t.Errorf("pattern %d differs across runs", i)
+		}
+	}
+}

@@ -1,0 +1,309 @@
+// Package gen builds the data graphs and rule sets used by tests, examples
+// and the benchmark harness: the paper's running-example fixtures (graphs G1
+// and G2 of Fig. 2, rules R1 and R4–R8 of Figs. 1 and 3), synthetic graphs,
+// and Pokec-like / Google+-like social graphs standing in for the paper's
+// real-life datasets.
+package gen
+
+import (
+	"gpar/internal/core"
+	"gpar/internal/graph"
+	"gpar/internal/pattern"
+)
+
+// G1Fixture is the restaurant recommendation network G1 of Fig. 2, with
+// every node exposed by name so tests can assert the paper's exact numbers:
+// Q1(x,G1) = {cust1, cust2, cust3, cust5}, supp(R1,G1) = 3,
+// supp(q,G1) = 5, supp(q̄,G1) = 1, conf(R1,G1) = 0.6, conf(R5) = 0.8,
+// conf(R6) = 0.4, conf(R7) = 0.6, conf(R8) = 0.2.
+type G1Fixture struct {
+	G     *graph.Graph
+	Cust  [7]graph.NodeID // Cust[1..6]; index 0 unused
+	NY    graph.NodeID
+	LA    graph.NodeID
+	FrNY  [3]graph.NodeID // fr1..fr3, liked by cust1-cust3, in NY
+	FrLA  [3]graph.NodeID // fr4..fr6, liked by cust5, cust6, in LA
+	LeB   graph.NodeID    // Le Bernardin (NY), visited by cust1-cust3
+	Patin graph.NodeID    // Patina (LA), visited by cust4, cust6
+	Asian graph.NodeID    // Asian restaurant (LA)
+}
+
+// Labels used by G1 and its rules.
+const (
+	LCust   = "cust"
+	LCity   = "city"
+	LFrench = "French restaurant"
+	LAsian  = "Asian restaurant"
+	EFriend = "friend"
+	ELiveIn = "live_in"
+	ELike   = "like"
+	EIn     = "in"
+	EVisit  = "visit"
+)
+
+// G1 builds the restaurant graph. The construction realizes every number
+// the paper states about G1 (see G1Fixture).
+func G1(syms *graph.Symbols) *G1Fixture {
+	g := graph.New(syms)
+	f := &G1Fixture{G: g}
+	f.NY = g.AddNode(LCity)
+	f.LA = g.AddNode(LCity)
+	for i := 1; i <= 6; i++ {
+		f.Cust[i] = g.AddNode(LCust)
+	}
+	for i := range f.FrNY {
+		f.FrNY[i] = g.AddNode(LFrench)
+		g.AddEdge(f.FrNY[i], f.NY, EIn)
+	}
+	for i := range f.FrLA {
+		f.FrLA[i] = g.AddNode(LFrench)
+		g.AddEdge(f.FrLA[i], f.LA, EIn)
+	}
+	f.LeB = g.AddNode(LFrench)
+	g.AddEdge(f.LeB, f.NY, EIn)
+	f.Patin = g.AddNode(LFrench)
+	g.AddEdge(f.Patin, f.LA, EIn)
+	f.Asian = g.AddNode(LAsian)
+	g.AddEdge(f.Asian, f.LA, EIn)
+
+	friends := func(a, b graph.NodeID) {
+		g.AddEdge(a, b, EFriend)
+		g.AddEdge(b, a, EFriend)
+	}
+	friends(f.Cust[1], f.Cust[2])
+	friends(f.Cust[2], f.Cust[3])
+	friends(f.Cust[5], f.Cust[6])
+	friends(f.Cust[4], f.Cust[6])
+
+	// Residence. cust4 has no live_in edge (incomplete data), which keeps
+	// it out of the radius-2 rules R1, R7 and R8 as the paper requires.
+	g.AddEdge(f.Cust[1], f.NY, ELiveIn)
+	g.AddEdge(f.Cust[2], f.NY, ELiveIn)
+	g.AddEdge(f.Cust[3], f.NY, ELiveIn)
+	g.AddEdge(f.Cust[5], f.LA, ELiveIn)
+	g.AddEdge(f.Cust[6], f.LA, ELiveIn)
+
+	// Shared interests: cust1-cust3 like the 3 NY French restaurants;
+	// cust5 and cust6 like the 3 LA ones.
+	for _, fr := range f.FrNY {
+		g.AddEdge(f.Cust[1], fr, ELike)
+		g.AddEdge(f.Cust[2], fr, ELike)
+		g.AddEdge(f.Cust[3], fr, ELike)
+	}
+	for _, fr := range f.FrLA {
+		g.AddEdge(f.Cust[5], fr, ELike)
+		g.AddEdge(f.Cust[6], fr, ELike)
+	}
+	// Asian-restaurant interests drive rules R6 and R8.
+	g.AddEdge(f.Cust[4], f.Asian, ELike)
+	g.AddEdge(f.Cust[5], f.Asian, ELike)
+	g.AddEdge(f.Cust[6], f.Asian, ELike)
+
+	// Visits: supp(q,G1) = 5 (cust1-cust4, cust6); cust5 visits only the
+	// Asian restaurant, making it the single supp(q̄,G1) witness.
+	g.AddEdge(f.Cust[1], f.LeB, EVisit)
+	g.AddEdge(f.Cust[2], f.LeB, EVisit)
+	g.AddEdge(f.Cust[3], f.LeB, EVisit)
+	g.AddEdge(f.Cust[4], f.Patin, EVisit)
+	g.AddEdge(f.Cust[6], f.Patin, EVisit)
+	g.AddEdge(f.Cust[5], f.Asian, EVisit)
+	return f
+}
+
+// VisitPredicate is q(x, y) = visit(cust, French restaurant), the event all
+// of R1 and R5-R8 pertain to.
+func VisitPredicate(syms *graph.Symbols) core.Predicate {
+	return core.Predicate{
+		XLabel:    syms.Intern(LCust),
+		EdgeLabel: syms.Intern(EVisit),
+		YLabel:    syms.Intern(LFrench),
+	}
+}
+
+// R1 builds the GPAR of Fig. 1(a): friends in the same city sharing 3
+// French restaurants; x' visits new restaurant y in the city ⇒ x visits y.
+func R1(syms *graph.Symbols) *core.Rule {
+	p := pattern.New(syms)
+	x := p.AddNode(LCust)
+	x2 := p.AddNode(LCust)
+	city := p.AddNode(LCity)
+	fr3 := p.AddNode(LFrench)
+	p.SetMult(fr3, 3)
+	y := p.AddNode(LFrench)
+	p.X, p.Y = x, y
+	p.AddEdge(x, x2, EFriend)
+	p.AddEdge(x2, x, EFriend)
+	p.AddEdge(x, city, ELiveIn)
+	p.AddEdge(x2, city, ELiveIn)
+	p.AddEdge(x, fr3, ELike)
+	p.AddEdge(x2, fr3, ELike)
+	p.AddEdge(fr3, city, EIn)
+	p.AddEdge(y, city, EIn)
+	p.AddEdge(x2, y, EVisit)
+	return &core.Rule{Q: p, Pred: VisitPredicate(syms)}
+}
+
+// R5 builds the radius-1-seeded GPAR of Fig. 3: x friend x', x' likes two
+// French restaurants and visits y ⇒ x visits y. R5(x,G1) = cust1-cust4,
+// conf = 0.8.
+func R5(syms *graph.Symbols) *core.Rule {
+	p := pattern.New(syms)
+	x := p.AddNode(LCust)
+	x2 := p.AddNode(LCust)
+	fr2 := p.AddNode(LFrench)
+	p.SetMult(fr2, 2)
+	y := p.AddNode(LFrench)
+	p.X, p.Y = x, y
+	p.AddEdge(x, x2, EFriend)
+	p.AddEdge(x2, fr2, ELike)
+	p.AddEdge(x2, y, EVisit)
+	return &core.Rule{Q: p, Pred: VisitPredicate(syms)}
+}
+
+// R6 builds Fig. 3's R6: x friend x', x' likes an Asian restaurant and
+// visits French restaurant y ⇒ x visits y. R6(x,G1) = {cust4, cust6},
+// conf = 0.4.
+func R6(syms *graph.Symbols) *core.Rule {
+	p := pattern.New(syms)
+	x := p.AddNode(LCust)
+	x2 := p.AddNode(LCust)
+	as := p.AddNode(LAsian)
+	y := p.AddNode(LFrench)
+	p.X, p.Y = x, y
+	p.AddEdge(x, x2, EFriend)
+	p.AddEdge(x2, as, ELike)
+	p.AddEdge(x2, y, EVisit)
+	return &core.Rule{Q: p, Pred: VisitPredicate(syms)}
+}
+
+// R7 builds Fig. 3's R7: R5 plus residence and locality constraints.
+// R7(x,G1) = {cust1, cust2, cust3}, conf = 0.6.
+func R7(syms *graph.Symbols) *core.Rule {
+	p := pattern.New(syms)
+	x := p.AddNode(LCust)
+	x2 := p.AddNode(LCust)
+	city := p.AddNode(LCity)
+	fr2 := p.AddNode(LFrench)
+	p.SetMult(fr2, 2)
+	y := p.AddNode(LFrench)
+	p.X, p.Y = x, y
+	p.AddEdge(x, x2, EFriend)
+	p.AddEdge(x, city, ELiveIn)
+	p.AddEdge(x2, city, ELiveIn)
+	p.AddEdge(x2, fr2, ELike)
+	p.AddEdge(fr2, city, EIn)
+	p.AddEdge(y, city, EIn)
+	p.AddEdge(x2, y, EVisit)
+	return &core.Rule{Q: p, Pred: VisitPredicate(syms)}
+}
+
+// R8 builds Fig. 3's R8: x friend x' living in the same city, x' likes an
+// Asian restaurant, French restaurant y is in the city ⇒ x visits y.
+// R8(x,G1) = {cust6}, conf = 0.2.
+func R8(syms *graph.Symbols) *core.Rule {
+	p := pattern.New(syms)
+	x := p.AddNode(LCust)
+	x2 := p.AddNode(LCust)
+	city := p.AddNode(LCity)
+	as := p.AddNode(LAsian)
+	y := p.AddNode(LFrench)
+	p.X, p.Y = x, y
+	p.AddEdge(x, x2, EFriend)
+	p.AddEdge(x, city, ELiveIn)
+	p.AddEdge(x2, city, ELiveIn)
+	p.AddEdge(x2, as, ELike)
+	p.AddEdge(y, city, EIn)
+	return &core.Rule{Q: p, Pred: VisitPredicate(syms)}
+}
+
+// G2Fixture is the social-accounts graph G2 of Fig. 2 (fake-account
+// detection): supp(R4,G2) = supp(Q4,G2) = 3 with matches acct1-acct3.
+type G2Fixture struct {
+	G     *graph.Graph
+	Acct  [5]graph.NodeID // Acct[1..4]
+	Blog  [8]graph.NodeID // Blog[1..7]
+	K1    graph.NodeID    // keyword "claim a prize"
+	K2    graph.NodeID    // keyword "lottery rules"
+	Fake  graph.NodeID
+	Liked [2]graph.NodeID // the two blogs shared by acct1-acct3
+}
+
+// Labels used by G2 and rule R4.
+const (
+	LAcct     = "acct"
+	LBlog     = "blog"
+	LKeyword  = "keyword"
+	LFake     = "fake"
+	EPost     = "post"
+	ELikeBlog = "like"
+	EContains = "contains"
+	EIsA      = "is_a"
+)
+
+// G2 builds the accounts/blogs graph.
+func G2(syms *graph.Symbols) *G2Fixture {
+	g := graph.New(syms)
+	f := &G2Fixture{G: g}
+	f.Fake = g.AddNode(LFake)
+	for i := 1; i <= 4; i++ {
+		f.Acct[i] = g.AddNode(LAcct)
+	}
+	for i := 1; i <= 7; i++ {
+		f.Blog[i] = g.AddNode(LBlog)
+	}
+	f.K1 = g.AddNode(LKeyword)
+	f.K2 = g.AddNode(LKeyword)
+
+	// All four accounts are confirmed fake; acct4 is the seed.
+	for i := 1; i <= 4; i++ {
+		g.AddEdge(f.Acct[i], f.Fake, EIsA)
+	}
+	// Shared liked blogs p3, p4 (the P1..Pk of the rule, k = 2); acct4 has
+	// no like edges, which keeps it out of Q4(x,G2).
+	f.Liked = [2]graph.NodeID{f.Blog[3], f.Blog[4]}
+	for i := 1; i <= 3; i++ {
+		g.AddEdge(f.Acct[i], f.Blog[3], ELikeBlog)
+		g.AddEdge(f.Acct[i], f.Blog[4], ELikeBlog)
+	}
+	// Posts and their keywords.
+	g.AddEdge(f.Acct[1], f.Blog[1], EPost)
+	g.AddEdge(f.Acct[2], f.Blog[2], EPost)
+	g.AddEdge(f.Acct[3], f.Blog[5], EPost)
+	g.AddEdge(f.Acct[4], f.Blog[6], EPost)
+	g.AddEdge(f.Acct[2], f.Blog[7], EPost)
+	g.AddEdge(f.Blog[1], f.K1, EContains)
+	g.AddEdge(f.Blog[2], f.K1, EContains)
+	g.AddEdge(f.Blog[5], f.K2, EContains)
+	g.AddEdge(f.Blog[6], f.K1, EContains)
+	g.AddEdge(f.Blog[7], f.K2, EContains)
+	return f
+}
+
+// R4 builds the GPAR of Fig. 1(d) with k = 2: if x' is a fake account, x
+// and x' like the same two blogs, and each posts a blog containing the same
+// keyword, then x is a fake account. The consequent is is_a(x, fake) with
+// the value binding y = fake.
+func R4(syms *graph.Symbols) *core.Rule {
+	p := pattern.New(syms)
+	x := p.AddNode(LAcct)
+	x2 := p.AddNode(LAcct)
+	fake := p.AddNode(LFake)
+	shared := p.AddNode(LBlog)
+	p.SetMult(shared, 2)
+	y1 := p.AddNode(LBlog)
+	y2 := p.AddNode(LBlog)
+	kw := p.AddNode(LKeyword)
+	p.X, p.Y = x, fake
+	p.AddEdge(x2, fake, EIsA)
+	p.AddEdge(x, shared, ELikeBlog)
+	p.AddEdge(x2, shared, ELikeBlog)
+	p.AddEdge(x, y1, EPost)
+	p.AddEdge(x2, y2, EPost)
+	p.AddEdge(y1, kw, EContains)
+	p.AddEdge(y2, kw, EContains)
+	return &core.Rule{Q: p, Pred: core.Predicate{
+		XLabel:    syms.Intern(LAcct),
+		EdgeLabel: syms.Intern(EIsA),
+		YLabel:    syms.Intern(LFake),
+	}}
+}

@@ -1,0 +1,265 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gpar/internal/core"
+	"gpar/internal/graph"
+)
+
+// This file holds the stand-ins for the paper's two real-life datasets.
+// Pokec (1.63M nodes of 269 types, 30.6M edges of 11 types) and Google+
+// (4M entities of 5 types, 53.5M links of 5 types) are replaced by
+// generators that reproduce their label-alphabet shape, degree skew and —
+// crucially for mining — the *regularities* the paper's case study reports
+// (R9: friends' hobbies predict music taste; R10: friends' professional
+// books predict personal-development books; R11: employer+school predict
+// major). Sizes are parameters so experiments can sweep them.
+
+// Pokec-like label/edge vocabulary.
+var (
+	pokecMusic      = []string{"Disco", "Rock", "Pop", "Folk", "HipHop", "Jazz", "Metal", "Techno"}
+	pokecHobbies    = []string{"party", "listen to music", "sports", "reading", "travel", "gaming", "cooking", "movies"}
+	pokecBooks      = []string{"profession development", "personal development", "fiction", "history", "scifi", "biography"}
+	pokecCityCount  = 24
+	gplusSchools    = []string{"CMU", "MIT", "Stanford", "UW", "Berkeley", "Edinburgh", "Tsinghua", "ETH"}
+	gplusEmployers  = []string{"Microsoft", "Google", "Amazon", "IBM", "Oracle", "Apple", "Meta", "Intel"}
+	gplusMajors     = []string{"Computer Science", "EE", "Math", "Physics", "Biology", "Economics"}
+	gplusCityCount  = 16
+	followReciprocP = 0.35
+)
+
+// PokecParams controls the Pokec-like generator.
+type PokecParams struct {
+	Users int
+	// AvgFollows is the mean out-degree of the follow relation.
+	AvgFollows int
+	// Homophily is the probability that a user copies an interest from a
+	// followed user — the source of mineable association rules.
+	Homophily float64
+	Seed      int64
+}
+
+// DefaultPokec returns parameters scaled to the given user count.
+func DefaultPokec(users int, seed int64) PokecParams {
+	return PokecParams{Users: users, AvgFollows: 7, Homophily: 0.55, Seed: seed}
+}
+
+// Pokec builds a Pokec-like social graph: typed users with hobby, music and
+// book interests plus residence, and a scale-free follow relation with
+// homophily so that rules in the spirit of the paper's R9/R10 hold with
+// high confidence while counterexamples exist.
+func Pokec(syms *graph.Symbols, p PokecParams) *graph.Graph {
+	rng := rand.New(rand.NewSource(p.Seed))
+	g := graph.New(syms)
+
+	music := internAll(g, "music:", pokecMusic)
+	hobby := internAll(g, "hobby:", pokecHobbies)
+	book := internAll(g, "book:", pokecBooks)
+	var cities []graph.NodeID
+	for i := 0; i < pokecCityCount; i++ {
+		cities = append(cities, g.AddNode(fmt.Sprintf("city:%02d", i)))
+	}
+
+	users := make([]graph.NodeID, p.Users)
+	for i := range users {
+		users[i] = g.AddNode("user")
+	}
+	// Scale-free follows via preferential attachment.
+	pool := make([]int, 0, p.Users*p.AvgFollows)
+	for i, u := range users {
+		g.AddEdge(u, cities[rng.Intn(len(cities))], "live_in")
+		nf := 1 + rng.Intn(2*p.AvgFollows-1)
+		for f := 0; f < nf; f++ {
+			var ti int
+			if len(pool) > 0 && rng.Float64() < 0.7 {
+				ti = pool[rng.Intn(len(pool))]
+			} else {
+				ti = rng.Intn(p.Users)
+			}
+			if ti == i {
+				continue
+			}
+			if g.AddEdge(u, users[ti], "follow") {
+				pool = append(pool, i, ti)
+				if rng.Float64() < followReciprocP {
+					g.AddEdge(users[ti], u, "follow")
+				}
+			}
+		}
+	}
+	// Interests: a base draw plus homophily copying from followees.
+	for i, u := range users {
+		g.AddEdge(u, hobby[rng.Intn(len(hobby))], "hobby")
+		if rng.Float64() < 0.6 {
+			g.AddEdge(u, music[rng.Intn(len(music))], "like_music")
+		}
+		if rng.Float64() < 0.5 {
+			g.AddEdge(u, book[rng.Intn(len(book))], "like_book")
+		}
+		if rng.Float64() < p.Homophily {
+			// Copy one interest from a random followee, creating the
+			// friend-influence regularity of rules R9/R10.
+			outs := g.Out(u)
+			var followees []graph.NodeID
+			for _, e := range outs {
+				if g.LabelName(u) == "user" && g.LabelName(e.To) == "user" {
+					followees = append(followees, e.To)
+				}
+			}
+			if len(followees) > 0 {
+				src := followees[rng.Intn(len(followees))]
+				for _, e := range g.Out(src) {
+					ln := syms.Name(e.Label)
+					if ln == "like_music" || ln == "like_book" || ln == "hobby" {
+						g.AddEdgeL(u, e.To, e.Label)
+						break
+					}
+				}
+			}
+		}
+		_ = i
+	}
+	return g
+}
+
+// PokecPredicates returns the mining predicates used by the Pokec-like
+// experiments: like_music(user, music:Disco) in the spirit of R9, plus a
+// book predicate in the spirit of R10.
+func PokecPredicates(syms *graph.Symbols) []core.Predicate {
+	var out []core.Predicate
+	for _, m := range []string{"music:Disco", "music:Rock"} {
+		out = append(out, core.Predicate{
+			XLabel:    syms.Intern("user"),
+			EdgeLabel: syms.Intern("like_music"),
+			YLabel:    syms.Intern(m),
+		})
+	}
+	for _, b := range []string{"book:personal development", "book:fiction"} {
+		out = append(out, core.Predicate{
+			XLabel:    syms.Intern("user"),
+			EdgeLabel: syms.Intern("like_book"),
+			YLabel:    syms.Intern(b),
+		})
+	}
+	out = append(out, core.Predicate{
+		XLabel:    syms.Intern("user"),
+		EdgeLabel: syms.Intern("hobby"),
+		YLabel:    syms.Intern("hobby:party"),
+	})
+	return out
+}
+
+// GplusParams controls the Google+-like generator.
+type GplusParams struct {
+	Users     int
+	AvgFollow int
+	Homophily float64
+	Seed      int64
+}
+
+// DefaultGplus returns parameters scaled to the given user count.
+func DefaultGplus(users int, seed int64) GplusParams {
+	return GplusParams{Users: users, AvgFollow: 6, Homophily: 0.6, Seed: seed}
+}
+
+// Gplus builds a Google+-like social-attribute graph: 5 node types (user,
+// school, employer, major, city) and 5 edge types (follow, school,
+// employer, major, live_in), with alumni/colleague homophily so rules like
+// the paper's R11 hold.
+func Gplus(syms *graph.Symbols, p GplusParams) *graph.Graph {
+	rng := rand.New(rand.NewSource(p.Seed))
+	g := graph.New(syms)
+
+	schools := internAll(g, "school:", gplusSchools)
+	employers := internAll(g, "employer:", gplusEmployers)
+	majors := internAll(g, "major:", gplusMajors)
+	var cities []graph.NodeID
+	for i := 0; i < gplusCityCount; i++ {
+		cities = append(cities, g.AddNode(fmt.Sprintf("city:%02d", i)))
+	}
+
+	users := make([]graph.NodeID, p.Users)
+	for i := range users {
+		users[i] = g.AddNode("user")
+	}
+	// Assign attributes with school->major correlation (the R11 shape:
+	// CMU + Microsoft people tend to be CS majors).
+	si := make([]int, p.Users)
+	for i, u := range users {
+		si[i] = rng.Intn(len(schools))
+		g.AddEdge(u, schools[si[i]], "school")
+		g.AddEdge(u, employers[rng.Intn(len(employers))], "employer")
+		g.AddEdge(u, cities[rng.Intn(len(cities))], "live_in")
+		var mj graph.NodeID
+		if rng.Float64() < p.Homophily {
+			// Major correlates with school index.
+			mj = majors[si[i]%len(majors)]
+		} else {
+			mj = majors[rng.Intn(len(majors))]
+		}
+		if rng.Float64() < 0.8 {
+			g.AddEdge(u, mj, "major")
+		}
+	}
+	// Follows with alumni homophily.
+	pool := make([]int, 0, p.Users*p.AvgFollow)
+	for i, u := range users {
+		nf := 1 + rng.Intn(2*p.AvgFollow-1)
+		for f := 0; f < nf; f++ {
+			var ti int
+			switch {
+			case len(pool) > 0 && rng.Float64() < 0.5:
+				ti = pool[rng.Intn(len(pool))]
+			default:
+				ti = rng.Intn(p.Users)
+			}
+			if ti == i {
+				continue
+			}
+			// Prefer same-school targets (alumni homophily).
+			if si[ti] != si[i] && rng.Float64() < 0.5 {
+				continue
+			}
+			if g.AddEdge(u, users[ti], "follow") {
+				pool = append(pool, i, ti)
+			}
+		}
+	}
+	return g
+}
+
+// GplusPredicates returns the Google+-like mining predicates (the R11
+// shape: major(user, Computer Science), etc.).
+func GplusPredicates(syms *graph.Symbols) []core.Predicate {
+	var out []core.Predicate
+	for _, m := range []string{"major:Computer Science", "major:EE"} {
+		out = append(out, core.Predicate{
+			XLabel:    syms.Intern("user"),
+			EdgeLabel: syms.Intern("major"),
+			YLabel:    syms.Intern(m),
+		})
+	}
+	for _, e := range []string{"employer:Microsoft", "employer:Google"} {
+		out = append(out, core.Predicate{
+			XLabel:    syms.Intern("user"),
+			EdgeLabel: syms.Intern("employer"),
+			YLabel:    syms.Intern(e),
+		})
+	}
+	out = append(out, core.Predicate{
+		XLabel:    syms.Intern("user"),
+		EdgeLabel: syms.Intern("school"),
+		YLabel:    syms.Intern("school:CMU"),
+	})
+	return out
+}
+
+func internAll(g *graph.Graph, prefix string, names []string) []graph.NodeID {
+	out := make([]graph.NodeID, len(names))
+	for i, n := range names {
+		out[i] = g.AddNode(prefix + n)
+	}
+	return out
+}

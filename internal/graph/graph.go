@@ -1,0 +1,400 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node within one Graph. IDs are dense: 0..NumNodes()-1.
+type NodeID int32
+
+// Edge is one directed labeled edge as seen from one endpoint's adjacency
+// list: the other endpoint plus the edge label.
+type Edge struct {
+	To    NodeID
+	Label Label
+}
+
+// Graph is a directed multigraph with labeled nodes and labeled edges.
+// Multiple edges between the same pair of nodes are allowed as long as their
+// labels differ; AddEdge deduplicates exact (from, to, label) triples.
+//
+// A Graph is not safe for concurrent mutation; concurrent reads are safe.
+type Graph struct {
+	syms   *Symbols
+	labels []Label  // labels[v] is the node label of v
+	out    [][]Edge // out[v] lists edges v -> w
+	in     [][]Edge // in[v] lists edges w -> v as {To: w}
+	numE   int
+
+	byLabel map[Label][]NodeID // label index; rebuilt lazily
+	dirty   bool               // true when byLabel/sortedness is stale
+	sorted  bool               // adjacency sorted by (To, Label) for binary search
+}
+
+// New returns an empty graph using the given symbol table. If syms is nil a
+// fresh table is created.
+func New(syms *Symbols) *Graph {
+	if syms == nil {
+		syms = NewSymbols()
+	}
+	return &Graph{
+		syms:    syms,
+		byLabel: make(map[Label][]NodeID),
+	}
+}
+
+// Symbols returns the symbol table shared by this graph.
+func (g *Graph) Symbols() *Symbols { return g.syms }
+
+// NumNodes reports |V|.
+func (g *Graph) NumNodes() int { return len(g.labels) }
+
+// NumEdges reports |E|.
+func (g *Graph) NumEdges() int { return g.numE }
+
+// Size reports |G| = |V| + |E| as defined in Section 2.1 of the paper.
+func (g *Graph) Size() int { return g.NumNodes() + g.NumEdges() }
+
+// AddNode adds a node labeled name and returns its ID.
+func (g *Graph) AddNode(name string) NodeID {
+	return g.AddNodeL(g.syms.Intern(name))
+}
+
+// AddNodeL adds a node with an already-interned label.
+func (g *Graph) AddNodeL(l Label) NodeID {
+	v := NodeID(len(g.labels))
+	g.labels = append(g.labels, l)
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	g.dirty = true
+	return v
+}
+
+// AddEdge adds edge from -> to labeled name. It returns false if the exact
+// edge already exists (multigraph on labels, simple graph per label).
+func (g *Graph) AddEdge(from, to NodeID, name string) bool {
+	return g.AddEdgeL(from, to, g.syms.Intern(name))
+}
+
+// AddEdgeL adds an edge with an already-interned label.
+func (g *Graph) AddEdgeL(from, to NodeID, l Label) bool {
+	if g.hasEdge(from, to, l) {
+		return false
+	}
+	g.out[from] = append(g.out[from], Edge{To: to, Label: l})
+	g.in[to] = append(g.in[to], Edge{To: from, Label: l})
+	g.numE++
+	g.dirty = true
+	g.sorted = false
+	return true
+}
+
+func (g *Graph) hasEdge(from, to NodeID, l Label) bool {
+	if g.sorted {
+		return searchEdge(g.out[from], to, l)
+	}
+	for _, e := range g.out[from] {
+		if e.To == to && e.Label == l {
+			return true
+		}
+	}
+	return false
+}
+
+// searchEdge binary-searches a (To, Label)-sorted adjacency list.
+func searchEdge(adj []Edge, to NodeID, l Label) bool {
+	lo, hi := 0, len(adj)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		e := adj[mid]
+		if e.To < to || (e.To == to && e.Label < l) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(adj) && adj[lo].To == to && adj[lo].Label == l
+}
+
+// Freeze sorts every adjacency list by (To, Label) so HasEdge runs in
+// O(log degree) instead of O(degree) — the matcher's hottest operation on
+// hub nodes. Freeze is idempotent; any later mutation unfreezes the graph.
+// The matcher freezes data graphs automatically.
+func (g *Graph) Freeze() {
+	if g.sorted {
+		return
+	}
+	for v := range g.out {
+		sortAdj(g.out[v])
+		sortAdj(g.in[v])
+	}
+	g.sorted = true
+}
+
+// Frozen reports whether adjacency lists are currently sorted.
+func (g *Graph) Frozen() bool { return g.sorted }
+
+func sortAdj(adj []Edge) {
+	sort.Slice(adj, func(i, j int) bool {
+		if adj[i].To != adj[j].To {
+			return adj[i].To < adj[j].To
+		}
+		return adj[i].Label < adj[j].Label
+	})
+}
+
+// HasEdge reports whether edge from -> to with label l exists.
+func (g *Graph) HasEdge(from, to NodeID, l Label) bool {
+	if g.sorted {
+		return searchEdge(g.out[from], to, l)
+	}
+	// Scan the shorter adjacency list.
+	if len(g.out[from]) <= len(g.in[to]) {
+		return g.hasEdge(from, to, l)
+	}
+	for _, e := range g.in[to] {
+		if e.To == from && e.Label == l {
+			return true
+		}
+	}
+	return false
+}
+
+// EdgeLabels returns the labels of all edges from -> to, in insertion order.
+func (g *Graph) EdgeLabels(from, to NodeID) []Label {
+	var out []Label
+	for _, e := range g.out[from] {
+		if e.To == to {
+			out = append(out, e.Label)
+		}
+	}
+	return out
+}
+
+// Label returns the node label of v.
+func (g *Graph) Label(v NodeID) Label { return g.labels[v] }
+
+// LabelName returns the label string of v.
+func (g *Graph) LabelName(v NodeID) string { return g.syms.Name(g.labels[v]) }
+
+// Out returns the outgoing adjacency of v. The caller must not mutate it.
+func (g *Graph) Out(v NodeID) []Edge { return g.out[v] }
+
+// In returns the incoming adjacency of v ({To: source}). Read-only.
+func (g *Graph) In(v NodeID) []Edge { return g.in[v] }
+
+// OutDegree reports the number of outgoing edges of v.
+func (g *Graph) OutDegree(v NodeID) int { return len(g.out[v]) }
+
+// InDegree reports the number of incoming edges of v.
+func (g *Graph) InDegree(v NodeID) int { return len(g.in[v]) }
+
+// Degree reports the total (in+out) degree of v.
+func (g *Graph) Degree(v NodeID) int { return len(g.out[v]) + len(g.in[v]) }
+
+// HasOutLabel reports whether v has at least one outgoing edge labeled l.
+// This is the "has at least one edge of type q" test of the local closed
+// world assumption (Section 3).
+func (g *Graph) HasOutLabel(v NodeID, l Label) bool {
+	for _, e := range g.out[v] {
+		if e.Label == l {
+			return true
+		}
+	}
+	return false
+}
+
+// OutTo returns the targets of v's outgoing edges labeled l.
+func (g *Graph) OutTo(v NodeID, l Label) []NodeID {
+	var out []NodeID
+	for _, e := range g.out[v] {
+		if e.Label == l {
+			out = append(out, e.To)
+		}
+	}
+	return out
+}
+
+// rebuild refreshes the label index.
+func (g *Graph) rebuild() {
+	if !g.dirty {
+		return
+	}
+	g.byLabel = make(map[Label][]NodeID)
+	for v, l := range g.labels {
+		g.byLabel[l] = append(g.byLabel[l], NodeID(v))
+	}
+	g.dirty = false
+}
+
+// NodesWithLabel returns all nodes labeled l, in ID order. Read-only.
+func (g *Graph) NodesWithLabel(l Label) []NodeID {
+	g.rebuild()
+	return g.byLabel[l]
+}
+
+// CountLabel reports the number of nodes labeled l.
+func (g *Graph) CountLabel(l Label) int {
+	g.rebuild()
+	return len(g.byLabel[l])
+}
+
+// NodeLabels returns the distinct node labels present, sorted.
+func (g *Graph) NodeLabels() []Label {
+	g.rebuild()
+	out := make([]Label, 0, len(g.byLabel))
+	for l := range g.byLabel {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Neighborhood returns the set Nr(v) of all nodes within undirected radius r
+// of v, including v itself, in BFS order (Section 2.1, notation (3)).
+func (g *Graph) Neighborhood(v NodeID, r int) []NodeID {
+	if r < 0 {
+		return nil
+	}
+	visited := map[NodeID]bool{v: true}
+	frontier := []NodeID{v}
+	order := []NodeID{v}
+	for depth := 0; depth < r && len(frontier) > 0; depth++ {
+		var next []NodeID
+		for _, u := range frontier {
+			for _, e := range g.out[u] {
+				if !visited[e.To] {
+					visited[e.To] = true
+					next = append(next, e.To)
+					order = append(order, e.To)
+				}
+			}
+			for _, e := range g.in[u] {
+				if !visited[e.To] {
+					visited[e.To] = true
+					next = append(next, e.To)
+					order = append(order, e.To)
+				}
+			}
+		}
+		frontier = next
+	}
+	return order
+}
+
+// HasNodeAtDistance reports whether some node lies at exact undirected
+// distance r+1 from v. It is the "extendable" test of algorithm DMine:
+// whether a center node has edges at r+1 hops.
+func (g *Graph) HasNodeAtDistance(v NodeID, dist int) bool {
+	if dist == 0 {
+		return true
+	}
+	visited := map[NodeID]bool{v: true}
+	frontier := []NodeID{v}
+	for depth := 0; depth < dist && len(frontier) > 0; depth++ {
+		var next []NodeID
+		for _, u := range frontier {
+			for _, e := range g.out[u] {
+				if !visited[e.To] {
+					visited[e.To] = true
+					next = append(next, e.To)
+				}
+			}
+			for _, e := range g.in[u] {
+				if !visited[e.To] {
+					visited[e.To] = true
+					next = append(next, e.To)
+				}
+			}
+		}
+		frontier = next
+		if depth == dist-1 {
+			return len(frontier) > 0
+		}
+	}
+	return false
+}
+
+// InducedSubgraph returns the subgraph induced by nodes (Section 2.1): the
+// nodes plus every edge of g whose endpoints are both in nodes. It also
+// returns toLocal mapping original IDs to IDs in the new graph, and toGlobal
+// for the reverse direction. The new graph shares g's symbol table.
+func (g *Graph) InducedSubgraph(nodes []NodeID) (sub *Graph, toLocal map[NodeID]NodeID, toGlobal []NodeID) {
+	sub = New(g.syms)
+	toLocal = make(map[NodeID]NodeID, len(nodes))
+	toGlobal = make([]NodeID, 0, len(nodes))
+	for _, v := range nodes {
+		if _, dup := toLocal[v]; dup {
+			continue
+		}
+		lv := sub.AddNodeL(g.labels[v])
+		toLocal[v] = lv
+		toGlobal = append(toGlobal, v)
+	}
+	for _, v := range toGlobal {
+		lv := toLocal[v]
+		for _, e := range g.out[v] {
+			if lw, ok := toLocal[e.To]; ok {
+				sub.AddEdgeL(lv, lw, e.Label)
+			}
+		}
+	}
+	return sub, toLocal, toGlobal
+}
+
+// DNeighborhoodGraph returns Gd(v): the subgraph induced by Nd(v), plus the
+// local ID of v in it (Section 4.2).
+func (g *Graph) DNeighborhoodGraph(v NodeID, d int) (sub *Graph, center NodeID, toGlobal []NodeID) {
+	nodes := g.Neighborhood(v, d)
+	sub, toLocal, toGlobal := g.InducedSubgraph(nodes)
+	return sub, toLocal[v], toGlobal
+}
+
+// Descendants returns all nodes reachable from v by directed paths, not
+// including v unless it lies on a cycle through itself (Section 2.1,
+// notation (5)).
+func (g *Graph) Descendants(v NodeID) []NodeID {
+	visited := make(map[NodeID]bool)
+	stack := make([]NodeID, 0, len(g.out[v]))
+	for _, e := range g.out[v] {
+		stack = append(stack, e.To)
+	}
+	var out []NodeID
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if visited[u] {
+			continue
+		}
+		visited[u] = true
+		out = append(out, u)
+		for _, e := range g.out[u] {
+			if !visited[e.To] {
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Clone returns a deep copy sharing the symbol table.
+func (g *Graph) Clone() *Graph {
+	c := New(g.syms)
+	c.labels = append([]Label(nil), g.labels...)
+	c.out = make([][]Edge, len(g.out))
+	c.in = make([][]Edge, len(g.in))
+	for v := range g.out {
+		c.out[v] = append([]Edge(nil), g.out[v]...)
+		c.in[v] = append([]Edge(nil), g.in[v]...)
+	}
+	c.numE = g.numE
+	c.dirty = true
+	return c
+}
+
+// String implements fmt.Stringer.
+func (g *Graph) String() string {
+	return fmt.Sprintf("Graph(|V|=%d, |E|=%d)", g.NumNodes(), g.NumEdges())
+}

@@ -1,0 +1,427 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSymbolsIntern(t *testing.T) {
+	s := NewSymbols()
+	a := s.Intern("cust")
+	b := s.Intern("visit")
+	if a == b {
+		t.Fatalf("distinct names interned to same label %d", a)
+	}
+	if got := s.Intern("cust"); got != a {
+		t.Errorf("re-intern: got %d want %d", got, a)
+	}
+	if got := s.Name(a); got != "cust" {
+		t.Errorf("Name(%d) = %q want %q", a, got, "cust")
+	}
+	if got := s.Lookup("missing"); got != NoLabel {
+		t.Errorf("Lookup(missing) = %d want NoLabel", got)
+	}
+	if got := s.Name(NoLabel); got != "" {
+		t.Errorf("Name(NoLabel) = %q want empty", got)
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d want 2", s.Len())
+	}
+}
+
+func TestSymbolsSortedNames(t *testing.T) {
+	s := NewSymbols()
+	for _, n := range []string{"zebra", "apple", "mid"} {
+		s.Intern(n)
+	}
+	got := s.SortedNames()
+	want := []string{"apple", "mid", "zebra"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("SortedNames = %v want %v", got, want)
+	}
+}
+
+func TestAddNodeEdge(t *testing.T) {
+	g := New(nil)
+	a := g.AddNode("cust")
+	b := g.AddNode("restaurant")
+	if g.NumNodes() != 2 {
+		t.Fatalf("NumNodes = %d want 2", g.NumNodes())
+	}
+	if !g.AddEdge(a, b, "visit") {
+		t.Fatal("AddEdge returned false for new edge")
+	}
+	if g.AddEdge(a, b, "visit") {
+		t.Error("AddEdge returned true for duplicate edge")
+	}
+	if !g.AddEdge(a, b, "like") {
+		t.Error("AddEdge returned false for parallel edge with new label")
+	}
+	if g.NumEdges() != 2 {
+		t.Errorf("NumEdges = %d want 2", g.NumEdges())
+	}
+	if g.Size() != 4 {
+		t.Errorf("Size = %d want 4", g.Size())
+	}
+	visit := g.Symbols().Lookup("visit")
+	if !g.HasEdge(a, b, visit) {
+		t.Error("HasEdge(a,b,visit) = false")
+	}
+	if g.HasEdge(b, a, visit) {
+		t.Error("HasEdge(b,a,visit) = true; edges are directed")
+	}
+	labels := g.EdgeLabels(a, b)
+	if len(labels) != 2 {
+		t.Errorf("EdgeLabels = %v want 2 labels", labels)
+	}
+}
+
+func TestLabelIndex(t *testing.T) {
+	g := New(nil)
+	c1 := g.AddNode("cust")
+	g.AddNode("city")
+	c2 := g.AddNode("cust")
+	cust := g.Symbols().Lookup("cust")
+	got := g.NodesWithLabel(cust)
+	want := []NodeID{c1, c2}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("NodesWithLabel(cust) = %v want %v", got, want)
+	}
+	if g.CountLabel(cust) != 2 {
+		t.Errorf("CountLabel = %d want 2", g.CountLabel(cust))
+	}
+	// Index must refresh after mutation.
+	c3 := g.AddNode("cust")
+	if got := g.NodesWithLabel(cust); len(got) != 3 || got[2] != c3 {
+		t.Errorf("after AddNode, NodesWithLabel = %v", got)
+	}
+	if len(g.NodeLabels()) != 2 {
+		t.Errorf("NodeLabels = %v want 2 distinct", g.NodeLabels())
+	}
+}
+
+// path builds a directed path v0 -> v1 -> ... -> vn-1 with "e" edges.
+func path(n int) (*Graph, []NodeID) {
+	g := New(nil)
+	ids := make([]NodeID, n)
+	for i := range ids {
+		ids[i] = g.AddNode("v")
+	}
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(ids[i], ids[i+1], "e")
+	}
+	return g, ids
+}
+
+func TestNeighborhood(t *testing.T) {
+	g, ids := path(6)
+	for r := 0; r < 6; r++ {
+		got := g.Neighborhood(ids[0], r)
+		want := r + 1
+		if want > 6 {
+			want = 6
+		}
+		if len(got) != want {
+			t.Errorf("Neighborhood(v0, %d) has %d nodes, want %d", r, len(got), want)
+		}
+	}
+	// Neighborhood is undirected: from the middle both directions count.
+	got := g.Neighborhood(ids[3], 1)
+	if len(got) != 3 {
+		t.Errorf("Neighborhood(v3, 1) = %v want 3 nodes (v2, v3, v4)", got)
+	}
+	if g.Neighborhood(ids[0], -1) != nil {
+		t.Error("Neighborhood with negative radius should be nil")
+	}
+}
+
+func TestHasNodeAtDistance(t *testing.T) {
+	g, ids := path(4) // v0->v1->v2->v3
+	tests := []struct {
+		v    NodeID
+		dist int
+		want bool
+	}{
+		{ids[0], 0, true},
+		{ids[0], 1, true},
+		{ids[0], 3, true},
+		{ids[0], 4, false},
+		{ids[3], 3, true}, // undirected
+		{ids[1], 3, false},
+		{ids[1], 2, true},
+	}
+	for _, tt := range tests {
+		if got := g.HasNodeAtDistance(tt.v, tt.dist); got != tt.want {
+			t.Errorf("HasNodeAtDistance(%d, %d) = %v want %v", tt.v, tt.dist, got, tt.want)
+		}
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := New(nil)
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	c := g.AddNode("c")
+	g.AddEdge(a, b, "ab")
+	g.AddEdge(b, c, "bc")
+	g.AddEdge(a, c, "ac")
+
+	sub, toLocal, toGlobal := g.InducedSubgraph([]NodeID{a, b})
+	if sub.NumNodes() != 2 {
+		t.Fatalf("sub nodes = %d want 2", sub.NumNodes())
+	}
+	if sub.NumEdges() != 1 {
+		t.Fatalf("sub edges = %d want 1 (only a->b)", sub.NumEdges())
+	}
+	if sub.LabelName(toLocal[a]) != "a" || sub.LabelName(toLocal[b]) != "b" {
+		t.Error("subgraph node labels wrong")
+	}
+	if toGlobal[toLocal[a]] != a {
+		t.Error("toGlobal does not invert toLocal")
+	}
+	// Duplicate input nodes are deduplicated.
+	sub2, _, _ := g.InducedSubgraph([]NodeID{a, a, b})
+	if sub2.NumNodes() != 2 {
+		t.Errorf("dup nodes: NumNodes = %d want 2", sub2.NumNodes())
+	}
+}
+
+func TestDNeighborhoodGraph(t *testing.T) {
+	g, ids := path(5)
+	sub, center, toGlobal := g.DNeighborhoodGraph(ids[2], 1)
+	if sub.NumNodes() != 3 {
+		t.Fatalf("Gd nodes = %d want 3", sub.NumNodes())
+	}
+	if toGlobal[center] != ids[2] {
+		t.Error("center does not map back to original node")
+	}
+	if sub.NumEdges() != 2 {
+		t.Errorf("Gd edges = %d want 2", sub.NumEdges())
+	}
+}
+
+func TestDescendants(t *testing.T) {
+	g := New(nil)
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	c := g.AddNode("c")
+	d := g.AddNode("d")
+	g.AddEdge(a, b, "e")
+	g.AddEdge(b, c, "e")
+	g.AddEdge(d, a, "e")
+	got := g.Descendants(a)
+	want := []NodeID{b, c}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Descendants(a) = %v want %v", got, want)
+	}
+	if len(g.Descendants(c)) != 0 {
+		t.Errorf("Descendants(sink) = %v want empty", g.Descendants(c))
+	}
+	// Cycle: a node on a cycle is its own descendant.
+	g.AddEdge(c, a, "e")
+	got = g.Descendants(a)
+	if len(got) != 3 {
+		t.Errorf("Descendants(a) with cycle = %v want {a,b,c}", got)
+	}
+}
+
+func TestHasOutLabelAndOutTo(t *testing.T) {
+	g := New(nil)
+	a := g.AddNode("cust")
+	r1 := g.AddNode("rest")
+	r2 := g.AddNode("rest")
+	g.AddEdge(a, r1, "visit")
+	g.AddEdge(a, r2, "visit")
+	g.AddEdge(a, r1, "like")
+	visit := g.Symbols().Lookup("visit")
+	like := g.Symbols().Lookup("like")
+	if !g.HasOutLabel(a, visit) || !g.HasOutLabel(a, like) {
+		t.Error("HasOutLabel missed existing labels")
+	}
+	if g.HasOutLabel(r1, visit) {
+		t.Error("HasOutLabel found label on wrong node")
+	}
+	got := g.OutTo(a, visit)
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	if !reflect.DeepEqual(got, []NodeID{r1, r2}) {
+		t.Errorf("OutTo = %v want [%d %d]", got, r1, r2)
+	}
+}
+
+func TestClone(t *testing.T) {
+	g, ids := path(3)
+	c := g.Clone()
+	if c.NumNodes() != g.NumNodes() || c.NumEdges() != g.NumEdges() {
+		t.Fatal("clone size mismatch")
+	}
+	c.AddEdge(ids[2], ids[0], "back")
+	if g.NumEdges() == c.NumEdges() {
+		t.Error("mutating clone affected original")
+	}
+}
+
+func TestRoundTripIO(t *testing.T) {
+	g := New(nil)
+	a := g.AddNode("cust one") // label with a space
+	b := g.AddNode(`quote"label`)
+	g.AddEdge(a, b, "visit")
+	g.AddEdge(b, a, "friend of")
+
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	got, err := Read(&buf, nil)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got.NumNodes() != g.NumNodes() || got.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip size: got (%d,%d) want (%d,%d)",
+			got.NumNodes(), got.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	if got.LabelName(0) != "cust one" || got.LabelName(1) != `quote"label` {
+		t.Error("round trip labels corrupted")
+	}
+	visit := got.Symbols().Lookup("visit")
+	if !got.HasEdge(0, 1, visit) {
+		t.Error("round trip lost edge")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"n 5 \"a\"",          // non-dense id
+		"e 0 1 \"x\"",        // edge before nodes
+		"bogus line",         // unknown record
+		"n 0 notquoted",      // unquoted label
+		"graph one two",      // bad header
+		"n 0 \"a\"\ne 0 9 x", // endpoint out of range
+	}
+	for _, c := range cases {
+		if _, err := Read(bytes.NewBufferString(c), nil); err == nil {
+			t.Errorf("Read(%q) succeeded, want error", c)
+		}
+	}
+	// Header mismatch.
+	if _, err := Read(bytes.NewBufferString("graph 2 0\nn 0 \"a\"\n"), nil); err == nil {
+		t.Error("Read with wrong node count succeeded")
+	}
+	// Comments and blank lines are fine.
+	if _, err := Read(bytes.NewBufferString("# comment\n\nn 0 \"a\"\n"), nil); err != nil {
+		t.Errorf("Read with comment: %v", err)
+	}
+}
+
+// randomGraph builds a reproducible random graph for property tests.
+func randomGraph(rng *rand.Rand, n, e int) *Graph {
+	g := New(nil)
+	labels := []string{"a", "b", "c", "d"}
+	for i := 0; i < n; i++ {
+		g.AddNode(labels[rng.Intn(len(labels))])
+	}
+	for i := 0; i < e; i++ {
+		from := NodeID(rng.Intn(n))
+		to := NodeID(rng.Intn(n))
+		g.AddEdge(from, to, labels[rng.Intn(len(labels))])
+	}
+	return g
+}
+
+func TestQuickNeighborhoodMonotone(t *testing.T) {
+	// Property: Nr(v) ⊆ Nr+1(v), and |Nr| is non-decreasing in r.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 20, 40)
+		v := NodeID(rng.Intn(20))
+		prev := map[NodeID]bool{}
+		for r := 0; r <= 4; r++ {
+			cur := map[NodeID]bool{}
+			for _, u := range g.Neighborhood(v, r) {
+				cur[u] = true
+			}
+			for u := range prev {
+				if !cur[u] {
+					return false
+				}
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIORoundTrip(t *testing.T) {
+	// Property: serialize/deserialize preserves node labels and all edges.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 15, 30)
+		var buf bytes.Buffer
+		if _, err := g.WriteTo(&buf); err != nil {
+			return false
+		}
+		h, err := Read(&buf, nil)
+		if err != nil {
+			return false
+		}
+		if h.NumNodes() != g.NumNodes() || h.NumEdges() != g.NumEdges() {
+			return false
+		}
+		for v := 0; v < g.NumNodes(); v++ {
+			if g.LabelName(NodeID(v)) != h.LabelName(NodeID(v)) {
+				return false
+			}
+			for _, e := range g.Out(NodeID(v)) {
+				if !h.HasEdge(NodeID(v), e.To, h.Symbols().Lookup(g.Symbols().Name(e.Label))) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickInducedSubgraphEdges(t *testing.T) {
+	// Property: the induced subgraph has exactly the edges with both
+	// endpoints inside the node set.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 20, 50)
+		var nodes []NodeID
+		inSet := map[NodeID]bool{}
+		for v := 0; v < g.NumNodes(); v++ {
+			if rng.Intn(2) == 0 {
+				nodes = append(nodes, NodeID(v))
+				inSet[NodeID(v)] = true
+			}
+		}
+		sub, toLocal, _ := g.InducedSubgraph(nodes)
+		want := 0
+		for v := 0; v < g.NumNodes(); v++ {
+			if !inSet[NodeID(v)] {
+				continue
+			}
+			for _, e := range g.Out(NodeID(v)) {
+				if inSet[e.To] {
+					want++
+					if !sub.HasEdge(toLocal[NodeID(v)], toLocal[e.To], e.Label) {
+						return false
+					}
+				}
+			}
+		}
+		return sub.NumEdges() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,397 @@
+// Package match implements subgraph isomorphism for graph patterns against
+// labeled data graphs, in the semantics of Section 2.1 of "Association Rules
+// with Graph Patterns" (PVLDB 2015): a match of pattern Q in graph G is an
+// injective mapping h from Q's (expanded) nodes to nodes of G that preserves
+// node labels and maps every pattern edge onto a data edge with the same
+// label.
+//
+// Three modes are provided, mirroring the paper's three algorithms:
+//
+//   - Enumerate: full match enumeration, the behaviour of the disVF2
+//     baseline (Section 6);
+//   - HasMatchAt: anchored existence check with early termination, the key
+//     optimization of algorithm Match (Section 5.2);
+//   - guided search: candidate ordering by k-hop sketch scores, the second
+//     optimization of algorithm Match.
+package match
+
+import (
+	"sort"
+
+	"gpar/internal/graph"
+	"gpar/internal/pattern"
+	"gpar/internal/sketch"
+)
+
+// Options tunes a matching run. The zero value is a plain unguided matcher.
+type Options struct {
+	// Guided enables sketch-based candidate ordering and feasibility
+	// pruning. Requires Sketches.
+	Guided bool
+	// Sketches is the data-graph sketch index used when Guided is set.
+	Sketches *sketch.Index
+	// MaxMatches caps enumeration (0 = unlimited). Existence checks ignore
+	// it.
+	MaxMatches int
+}
+
+// matcher holds one search's state.
+type matcher struct {
+	p    *pattern.Pattern // expanded pattern
+	g    *graph.Graph
+	opts Options
+
+	order   []int // pattern nodes in visit order
+	pedges  []pattern.Edge
+	padj    [][]phalf // pattern adjacency: per node, incident edges
+	pdeg    []int
+	asgn    []graph.NodeID // asgn[u] = data node, or -1
+	used    map[graph.NodeID]bool
+	needSk  []sketch.Sketch // per pattern node, pattern sketch (guided only)
+	visitIx []int           // position of each pattern node in order, -1 if later
+}
+
+// phalf is one incident pattern edge seen from a node.
+type phalf struct {
+	other    int
+	label    graph.Label
+	outgoing bool // true when the edge leaves this node
+}
+
+const unassigned = graph.NodeID(-1)
+
+func newMatcher(p *pattern.Pattern, g *graph.Graph, opts Options) *matcher {
+	g.Freeze() // O(log degree) HasEdge in the consistency check
+	pe := p.Expand()
+	m := &matcher{p: pe, g: g, opts: opts}
+	n := pe.NumNodes()
+	m.pedges = pe.Edges()
+	m.padj = make([][]phalf, n)
+	m.pdeg = make([]int, n)
+	for _, e := range m.pedges {
+		m.padj[e.From] = append(m.padj[e.From], phalf{other: e.To, label: e.Label, outgoing: true})
+		m.padj[e.To] = append(m.padj[e.To], phalf{other: e.From, label: e.Label, outgoing: false})
+		m.pdeg[e.From]++
+		m.pdeg[e.To]++
+	}
+	m.asgn = make([]graph.NodeID, n)
+	for i := range m.asgn {
+		m.asgn[i] = unassigned
+	}
+	m.used = make(map[graph.NodeID]bool, n)
+	if opts.Guided && opts.Sketches != nil {
+		k := opts.Sketches.K()
+		m.needSk = make([]sketch.Sketch, n)
+		for u := 0; u < n; u++ {
+			m.needSk[u] = sketch.OfPattern(pe, u, k)
+		}
+	}
+	return m
+}
+
+// buildOrder fixes the visit order: BFS from root (usually x) through its
+// component, then BFS from the first unvisited node of each remaining
+// component. Anchored components first makes candidate sets small.
+func (m *matcher) buildOrder(root int) {
+	n := m.p.NumNodes()
+	seen := make([]bool, n)
+	m.order = m.order[:0]
+	bfs := func(start int) {
+		queue := []int{start}
+		seen[start] = true
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			m.order = append(m.order, u)
+			for _, h := range m.padj[u] {
+				if !seen[h.other] {
+					seen[h.other] = true
+					queue = append(queue, h.other)
+				}
+			}
+		}
+	}
+	if root >= 0 && root < n {
+		bfs(root)
+	}
+	for u := 0; u < n; u++ {
+		if !seen[u] {
+			bfs(u)
+		}
+	}
+	m.visitIx = make([]int, n)
+	for i, u := range m.order {
+		m.visitIx[u] = i
+	}
+}
+
+// feasible applies label, degree and (optionally) sketch pruning.
+func (m *matcher) feasible(u int, v graph.NodeID) bool {
+	if m.g.Label(v) != m.p.Label(u) {
+		return false
+	}
+	if m.g.Degree(v) < m.pdeg[u] {
+		return false
+	}
+	if m.needSk != nil {
+		if _, ok := sketch.Score(m.opts.Sketches.Sketch(v), m.needSk[u]); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// consistent verifies all pattern edges between u and already-assigned nodes.
+func (m *matcher) consistent(u int, v graph.NodeID) bool {
+	for _, h := range m.padj[u] {
+		w := m.asgn[h.other]
+		if w == unassigned {
+			continue
+		}
+		if h.outgoing {
+			if !m.g.HasEdge(v, w, h.label) {
+				return false
+			}
+		} else {
+			if !m.g.HasEdge(w, v, h.label) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// candidates returns the data-node candidates for pattern node u, using a
+// mapped neighbor's adjacency when available and the label index otherwise.
+// When guided, candidates are ordered by descending sketch score.
+func (m *matcher) candidates(u int) []graph.NodeID {
+	var cands []graph.NodeID
+	// Find the mapped neighbor with the smallest adjacency to expand from.
+	best := -1
+	bestLen := int(^uint(0) >> 1)
+	var bestHalf phalf
+	for _, h := range m.padj[u] {
+		w := m.asgn[h.other]
+		if w == unassigned {
+			continue
+		}
+		var l int
+		if h.outgoing {
+			l = m.g.InDegree(w) // edge u->other means candidates point at w
+		} else {
+			l = m.g.OutDegree(w)
+		}
+		if l < bestLen {
+			bestLen = l
+			best = h.other
+			bestHalf = h
+		}
+	}
+	if best >= 0 {
+		w := m.asgn[best]
+		if bestHalf.outgoing {
+			// pattern edge u -> best: data candidates v with v -> w.
+			for _, e := range m.g.In(w) {
+				if e.Label == bestHalf.label {
+					cands = append(cands, e.To)
+				}
+			}
+		} else {
+			for _, e := range m.g.Out(w) {
+				if e.Label == bestHalf.label {
+					cands = append(cands, e.To)
+				}
+			}
+		}
+	} else {
+		cands = m.g.NodesWithLabel(m.p.Label(u))
+	}
+	if m.opts.Guided && m.needSk != nil && len(cands) > 1 {
+		type scored struct {
+			v graph.NodeID
+			s int
+		}
+		ss := make([]scored, 0, len(cands))
+		for _, v := range cands {
+			s, ok := sketch.Score(m.opts.Sketches.Sketch(v), m.needSk[u])
+			if !ok {
+				continue
+			}
+			ss = append(ss, scored{v, s})
+		}
+		sort.Slice(ss, func(i, j int) bool {
+			if ss[i].s != ss[j].s {
+				return ss[i].s > ss[j].s
+			}
+			return ss[i].v < ss[j].v
+		})
+		cands = cands[:0]
+		for _, sc := range ss {
+			cands = append(cands, sc.v)
+		}
+	}
+	return cands
+}
+
+// search assigns order[idx..]; fn receives each complete assignment and
+// returns false to stop the whole search. search reports whether the search
+// was stopped early.
+func (m *matcher) search(idx int, fn func(asgn []graph.NodeID) bool) bool {
+	if idx == len(m.order) {
+		return !fn(m.asgn)
+	}
+	u := m.order[idx]
+	for _, v := range m.candidates(u) {
+		if m.used[v] || !m.feasible(u, v) || !m.consistent(u, v) {
+			continue
+		}
+		m.asgn[u] = v
+		m.used[v] = true
+		stopped := m.search(idx+1, fn)
+		m.asgn[u] = unassigned
+		delete(m.used, v)
+		if stopped {
+			return true
+		}
+	}
+	return false
+}
+
+// HasMatchAt reports whether p has a match h with h(p.X) = v in g. This is
+// the early-terminating membership test of algorithm Match: it stops at the
+// first complete embedding.
+func HasMatchAt(p *pattern.Pattern, g *graph.Graph, v graph.NodeID, opts Options) bool {
+	m := newMatcher(p, g, opts)
+	x := m.p.X
+	if x == pattern.NoNode {
+		x = 0
+	}
+	if x >= m.p.NumNodes() {
+		return false
+	}
+	if !m.feasible(x, v) {
+		return false
+	}
+	m.buildOrder(x)
+	m.asgn[x] = v
+	m.used[v] = true
+	found := false
+	m.search(1, func([]graph.NodeID) bool {
+		found = true
+		return false
+	})
+	return found
+}
+
+// MatchSet returns Q(x,G) restricted to the candidate set: the distinct data
+// nodes v in cands such that some match maps the designated x to v. If cands
+// is nil, all nodes with x's label are tried. The result preserves candidate
+// order.
+func MatchSet(p *pattern.Pattern, g *graph.Graph, cands []graph.NodeID, opts Options) []graph.NodeID {
+	pe := p.Expand()
+	if pe.X == pattern.NoNode {
+		return nil
+	}
+	if cands == nil {
+		cands = g.NodesWithLabel(pe.Label(pe.X))
+	}
+	var out []graph.NodeID
+	for _, v := range cands {
+		if HasMatchAt(p, g, v, opts) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Enumerate invokes fn for every complete match of p in g (all embeddings,
+// not only distinct x images), the full-enumeration behaviour of the disVF2
+// baseline. The slice passed to fn is reused between calls; fn must copy it
+// to retain it. fn returns false to stop. Enumerate returns the number of
+// matches visited. opts.MaxMatches caps the enumeration.
+func Enumerate(p *pattern.Pattern, g *graph.Graph, opts Options, fn func(asgn []graph.NodeID) bool) int {
+	m := newMatcher(p, g, opts)
+	if m.p.NumNodes() == 0 {
+		return 0
+	}
+	root := m.p.X
+	if root == pattern.NoNode {
+		root = 0
+	}
+	m.buildOrder(root)
+	count := 0
+	m.search(0, func(asgn []graph.NodeID) bool {
+		count++
+		if fn != nil && !fn(asgn) {
+			return false
+		}
+		return opts.MaxMatches == 0 || count < opts.MaxMatches
+	})
+	return count
+}
+
+// ImageSets returns, for every (expanded) pattern node, the set of distinct
+// data nodes it maps to over all matches. It underlies the minimum
+// image-based support of Bringmann and Nijssen that the paper evaluates as
+// the "Iconf" alternative (Sections 3 and 6). opts.MaxMatches bounds the
+// enumeration cost.
+func ImageSets(p *pattern.Pattern, g *graph.Graph, opts Options) []map[graph.NodeID]bool {
+	pe := p.Expand()
+	sets := make([]map[graph.NodeID]bool, pe.NumNodes())
+	for i := range sets {
+		sets[i] = make(map[graph.NodeID]bool)
+	}
+	Enumerate(p, g, opts, func(asgn []graph.NodeID) bool {
+		for u, v := range asgn {
+			sets[u][v] = true
+		}
+		return true
+	})
+	return sets
+}
+
+// MinImageSupport returns the minimum image-based support of p in g: the
+// minimum over pattern nodes of the number of distinct images.
+func MinImageSupport(p *pattern.Pattern, g *graph.Graph, opts Options) int {
+	sets := ImageSets(p, g, opts)
+	if len(sets) == 0 {
+		return 0
+	}
+	minN := -1
+	for _, s := range sets {
+		if minN < 0 || len(s) < minN {
+			minN = len(s)
+		}
+	}
+	return minN
+}
+
+// EnumerateAnchored enumerates the matches h of p in g with h(p.X) = v,
+// invoking fn for each (same contract as Enumerate). It returns the number
+// of matches visited. It powers the extension-discovery step of algorithm
+// DMine, which must see whole embeddings rather than just existence.
+func EnumerateAnchored(p *pattern.Pattern, g *graph.Graph, v graph.NodeID, opts Options, fn func(asgn []graph.NodeID) bool) int {
+	m := newMatcher(p, g, opts)
+	if m.p.NumNodes() == 0 {
+		return 0
+	}
+	x := m.p.X
+	if x == pattern.NoNode {
+		x = 0
+	}
+	if !m.feasible(x, v) {
+		return 0
+	}
+	m.buildOrder(x)
+	m.asgn[x] = v
+	m.used[v] = true
+	count := 0
+	m.search(1, func(asgn []graph.NodeID) bool {
+		count++
+		if fn != nil && !fn(asgn) {
+			return false
+		}
+		return opts.MaxMatches == 0 || count < opts.MaxMatches
+	})
+	return count
+}

@@ -1,0 +1,80 @@
+package match_test
+
+import (
+	"testing"
+
+	"gpar/internal/gen"
+	"gpar/internal/graph"
+	. "gpar/internal/match"
+	"gpar/internal/sketch"
+)
+
+// Micro-benchmarks for the matcher's three modes on the paper's G1 fixture
+// and on a mid-sized social graph.
+
+func BenchmarkHasMatchAtG1(b *testing.B) {
+	syms := graph.NewSymbols()
+	f := gen.G1(syms)
+	pr := gen.R1(syms).PR()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		HasMatchAt(pr, f.G, f.Cust[1], Options{})
+	}
+}
+
+func BenchmarkMatchSetPokec(b *testing.B) {
+	syms := graph.NewSymbols()
+	g := gen.Pokec(syms, gen.DefaultPokec(400, 1))
+	rules := gen.Rules(g, gen.PokecPredicates(syms)[0],
+		gen.RuleGenParams{Count: 1, VP: 4, EP: 5, Seed: 1})
+	if len(rules) == 0 {
+		b.Skip("no rule generated")
+	}
+	pr := rules[0].PR()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatchSet(pr, g, nil, Options{})
+	}
+}
+
+func BenchmarkMatchSetPokecGuided(b *testing.B) {
+	syms := graph.NewSymbols()
+	g := gen.Pokec(syms, gen.DefaultPokec(400, 1))
+	rules := gen.Rules(g, gen.PokecPredicates(syms)[0],
+		gen.RuleGenParams{Count: 1, VP: 4, EP: 5, Seed: 1})
+	if len(rules) == 0 {
+		b.Skip("no rule generated")
+	}
+	pr := rules[0].PR()
+	ix := sketch.NewIndex(g, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatchSet(pr, g, nil, Options{Guided: true, Sketches: ix})
+	}
+}
+
+func BenchmarkEnumerateVsExistence(b *testing.B) {
+	syms := graph.NewSymbols()
+	g := gen.Pokec(syms, gen.DefaultPokec(400, 1))
+	rules := gen.Rules(g, gen.PokecPredicates(syms)[0],
+		gen.RuleGenParams{Count: 1, VP: 3, EP: 3, Seed: 2})
+	if len(rules) == 0 {
+		b.Skip("no rule generated")
+	}
+	q := rules[0].Q
+	cands := g.NodesWithLabel(syms.Lookup("user"))[:50]
+	b.Run("existence", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, v := range cands {
+				HasMatchAt(q, g, v, Options{})
+			}
+		}
+	})
+	b.Run("full-enumeration", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, v := range cands {
+				EnumerateAnchored(q, g, v, Options{}, nil)
+			}
+		}
+	})
+}

@@ -1,0 +1,117 @@
+package match_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gpar/internal/graph"
+	. "gpar/internal/match"
+	"gpar/internal/pattern"
+)
+
+// bruteForceCount enumerates every injective assignment of pattern nodes to
+// data nodes and counts the label/edge-preserving ones — an O(n^k) oracle
+// for the matcher on tiny inputs.
+func bruteForceCount(p *pattern.Pattern, g *graph.Graph) int {
+	pe := p.Expand()
+	k := pe.NumNodes()
+	if k == 0 {
+		return 0
+	}
+	asgn := make([]graph.NodeID, k)
+	used := make(map[graph.NodeID]bool)
+	count := 0
+	var rec func(u int)
+	rec = func(u int) {
+		if u == k {
+			for _, e := range pe.Edges() {
+				if !g.HasEdge(asgn[e.From], asgn[e.To], e.Label) {
+					return
+				}
+			}
+			count++
+			return
+		}
+		for v := 0; v < g.NumNodes(); v++ {
+			dv := graph.NodeID(v)
+			if used[dv] || g.Label(dv) != pe.Label(u) {
+				continue
+			}
+			asgn[u] = dv
+			used[dv] = true
+			rec(u + 1)
+			delete(used, dv)
+		}
+	}
+	rec(0)
+	return count
+}
+
+// TestQuickEnumerateAgainstOracle: the backtracking matcher finds exactly
+// the embeddings the brute-force oracle finds, on random tiny instances.
+func TestQuickEnumerateAgainstOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.New(nil)
+		labels := []string{"a", "b"}
+		n := 4 + rng.Intn(4)
+		for i := 0; i < n; i++ {
+			g.AddNode(labels[rng.Intn(2)])
+		}
+		for i := 0; i < 2*n; i++ {
+			g.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)),
+				[]string{"e", "f"}[rng.Intn(2)])
+		}
+		p := pattern.New(g.Symbols())
+		pn := 2 + rng.Intn(2)
+		for i := 0; i < pn; i++ {
+			p.AddNode(labels[rng.Intn(2)])
+			if i > 0 {
+				from, to := rng.Intn(i), i
+				if rng.Intn(2) == 0 {
+					from, to = to, from
+				}
+				p.AddEdge(from, to, []string{"e", "f"}[rng.Intn(2)])
+			}
+		}
+		p.X = 0
+		want := bruteForceCount(p, g)
+		got := Enumerate(p, g, Options{}, nil)
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickAnchoredAgainstOracle: EnumerateAnchored(v) counts the oracle's
+// embeddings with h(x) = v.
+func TestQuickAnchoredAgainstOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.New(nil)
+		labels := []string{"a", "b"}
+		n := 4 + rng.Intn(4)
+		for i := 0; i < n; i++ {
+			g.AddNode(labels[rng.Intn(2)])
+		}
+		for i := 0; i < 2*n; i++ {
+			g.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)), "e")
+		}
+		p := pattern.New(g.Symbols())
+		p.AddNode("a")
+		p.AddNode(labels[rng.Intn(2)])
+		p.AddEdge(0, 1, "e")
+		p.X = 0
+
+		total := 0
+		for v := 0; v < n; v++ {
+			total += EnumerateAnchored(p, g, graph.NodeID(v), Options{}, nil)
+		}
+		return total == bruteForceCount(p, g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,103 @@
+package match
+
+import (
+	"gpar/internal/graph"
+	"gpar/internal/pattern"
+)
+
+// This file implements graph simulation, the alternative matching semantics
+// the paper's conclusion names as future work ("extend GPARs ... by allowing
+// other matching semantics such as graph simulation"). A simulation relates
+// each pattern node to a set of data nodes rather than insisting on an
+// injective embedding; it is computable in polynomial time and always at
+// least as permissive as subgraph isomorphism.
+
+// SimulationSets returns, for every (expanded) pattern node, the set of data
+// nodes in the maximum graph simulation of p in g: the largest relation
+// S ⊆ Vp × V such that (u,v) ∈ S implies f(u) = L(v) and, for every pattern
+// edge (u,u') (resp. (u”,u)), v has an out-edge (resp. in-edge) with the
+// same label to some v' with (u',v') ∈ S. Using both directions is "dual
+// simulation", the variant that best approximates subgraph isomorphism.
+func SimulationSets(p *pattern.Pattern, g *graph.Graph) []map[graph.NodeID]bool {
+	pe := p.Expand()
+	n := pe.NumNodes()
+	sets := make([]map[graph.NodeID]bool, n)
+	for u := 0; u < n; u++ {
+		sets[u] = make(map[graph.NodeID]bool)
+		for _, v := range g.NodesWithLabel(pe.Label(u)) {
+			sets[u][v] = true
+		}
+	}
+	type pedge struct {
+		from, to int
+		label    graph.Label
+	}
+	edges := make([]pedge, 0, pe.NumEdges())
+	for _, e := range pe.Edges() {
+		edges = append(edges, pedge{e.From, e.To, e.Label})
+	}
+	// Fixpoint refinement: repeatedly drop (u,v) pairs that cannot satisfy
+	// some incident pattern edge.
+	for changed := true; changed; {
+		changed = false
+		for _, e := range edges {
+			// Forward: every v in sets[from] needs an out-edge to sets[to].
+			for v := range sets[e.from] {
+				ok := false
+				for _, de := range g.Out(v) {
+					if de.Label == e.label && sets[e.to][de.To] {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					delete(sets[e.from], v)
+					changed = true
+				}
+			}
+			// Backward (dual): every v in sets[to] needs a matching in-edge.
+			for v := range sets[e.to] {
+				ok := false
+				for _, de := range g.In(v) {
+					if de.Label == e.label && sets[e.from][de.To] {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					delete(sets[e.to], v)
+					changed = true
+				}
+			}
+		}
+		// Empty set for any pattern node kills the whole simulation.
+		for u := 0; u < n; u++ {
+			if len(sets[u]) == 0 {
+				for w := 0; w < n; w++ {
+					sets[w] = map[graph.NodeID]bool{}
+				}
+				return sets
+			}
+		}
+	}
+	return sets
+}
+
+// SimulationSet returns the simulation matches of the designated node x —
+// the simulation analogue of MatchSet. Every isomorphism match is also a
+// simulation match (simulation is coarser), so this over-approximates
+// Q(x,G) in polynomial time.
+func SimulationSet(p *pattern.Pattern, g *graph.Graph) []graph.NodeID {
+	pe := p.Expand()
+	if pe.X == pattern.NoNode {
+		return nil
+	}
+	sets := SimulationSets(p, g)
+	out := make([]graph.NodeID, 0, len(sets[pe.X]))
+	for _, v := range g.NodesWithLabel(pe.Label(pe.X)) {
+		if sets[pe.X][v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

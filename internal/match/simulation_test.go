@@ -1,0 +1,165 @@
+package match_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gpar/internal/gen"
+	"gpar/internal/graph"
+	. "gpar/internal/match"
+	"gpar/internal/pattern"
+)
+
+func TestSimulationOnG1(t *testing.T) {
+	syms := graph.NewSymbols()
+	f := gen.G1(syms)
+	r1 := gen.R1(syms)
+	simSet := SimulationSet(r1.Q, f.G)
+	isoSet := MatchSet(r1.Q, f.G, nil, Options{})
+	inSim := map[graph.NodeID]bool{}
+	for _, v := range simSet {
+		inSim[v] = true
+	}
+	for _, v := range isoSet {
+		if !inSim[v] {
+			t.Errorf("iso match %d missing from simulation set", v)
+		}
+	}
+}
+
+func TestSimulationCoarserThanIsomorphism(t *testing.T) {
+	// Simulation cannot count copies: a pattern demanding two distinct
+	// children is simulated by a node with one child.
+	g := graph.New(nil)
+	hub := g.AddNode("h")
+	leaf := g.AddNode("l")
+	g.AddEdge(hub, leaf, "e")
+
+	p := pattern.New(g.Symbols())
+	u := p.AddNode("h")
+	v1 := p.AddNode("l")
+	v2 := p.AddNode("l")
+	p.AddEdge(u, v1, "e")
+	p.AddEdge(u, v2, "e")
+	p.X = u
+
+	if HasMatchAt(p, g, hub, Options{}) {
+		t.Fatal("isomorphism should fail (needs two leaves)")
+	}
+	sim := SimulationSet(p, g)
+	if len(sim) != 1 || sim[0] != hub {
+		t.Errorf("simulation set = %v want [hub]", sim)
+	}
+}
+
+func TestSimulationRespectsEdgeLabelsAndDirection(t *testing.T) {
+	g := graph.New(nil)
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	g.AddEdge(a, b, "x")
+
+	p := pattern.New(g.Symbols())
+	u := p.AddNode("a")
+	w := p.AddNode("b")
+	p.AddEdge(u, w, "y")
+	p.X = u
+	if got := SimulationSet(p, g); len(got) != 0 {
+		t.Errorf("label-mismatched simulation matched %v", got)
+	}
+	q := pattern.New(g.Symbols())
+	u2 := q.AddNode("a")
+	w2 := q.AddNode("b")
+	q.AddEdge(w2, u2, "x")
+	q.X = u2
+	if got := SimulationSet(q, g); len(got) != 0 {
+		t.Errorf("direction-reversed simulation matched %v", got)
+	}
+}
+
+func TestSimulationCycleUnrolling(t *testing.T) {
+	// The classic simulation example: a pattern 2-cycle is simulated by any
+	// data cycle of the same labels (here a 3-cycle), while isomorphism of
+	// the 2-cycle pattern fails.
+	g := graph.New(nil)
+	n1 := g.AddNode("a")
+	n2 := g.AddNode("a")
+	n3 := g.AddNode("a")
+	g.AddEdge(n1, n2, "e")
+	g.AddEdge(n2, n3, "e")
+	g.AddEdge(n3, n1, "e")
+
+	p := pattern.New(g.Symbols())
+	u := p.AddNode("a")
+	v := p.AddNode("a")
+	p.AddEdge(u, v, "e")
+	p.AddEdge(v, u, "e")
+	p.X = u
+
+	if len(MatchSet(p, g, nil, Options{})) != 0 {
+		t.Fatal("no 2-cycle exists, isomorphism must fail")
+	}
+	sim := SimulationSet(p, g)
+	if len(sim) != 3 {
+		t.Errorf("simulation should relate all three cycle nodes, got %v", sim)
+	}
+}
+
+func TestSimulationEmptyKillsAll(t *testing.T) {
+	// If one pattern node has no candidates, every set empties.
+	g := graph.New(nil)
+	g.AddNode("a")
+	p := pattern.New(g.Symbols())
+	x := p.AddNode("a")
+	y := p.AddNode("zzz") // label absent from g
+	p.AddEdge(x, y, "e")
+	p.X = x
+	sets := SimulationSets(p, g)
+	for u, s := range sets {
+		if len(s) != 0 {
+			t.Errorf("pattern node %d kept candidates %v", u, s)
+		}
+	}
+	if got := SimulationSet(p, g); len(got) != 0 {
+		t.Errorf("SimulationSet = %v want empty", got)
+	}
+}
+
+// TestQuickSimulationSupersetOfIso: on random graphs, the simulation set of
+// x always contains the isomorphism match set.
+func TestQuickSimulationSupersetOfIso(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.New(nil)
+		labels := []string{"a", "b", "c"}
+		n := 10 + rng.Intn(10)
+		for i := 0; i < n; i++ {
+			g.AddNode(labels[rng.Intn(3)])
+		}
+		for i := 0; i < 3*n; i++ {
+			g.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)), "e")
+		}
+		p := pattern.New(g.Symbols())
+		x := p.AddNode("a")
+		y := p.AddNode(labels[rng.Intn(3)])
+		z := p.AddNode(labels[rng.Intn(3)])
+		p.AddEdge(x, y, "e")
+		p.AddEdge(y, z, "e")
+		p.X = x
+
+		iso := MatchSet(p, g, nil, Options{})
+		sim := map[graph.NodeID]bool{}
+		for _, v := range SimulationSet(p, g) {
+			sim[v] = true
+		}
+		for _, v := range iso {
+			if !sim[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

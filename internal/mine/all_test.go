@@ -1,0 +1,69 @@
+package mine
+
+import (
+	"math"
+	"testing"
+
+	"gpar/internal/gen"
+	"gpar/internal/graph"
+)
+
+// TestResultAll: the full candidate set Σ is exposed sorted by descending
+// confidence, is a superset of the top-k, and contains no trivial rules.
+func TestResultAll(t *testing.T) {
+	syms := graph.NewSymbols()
+	f := gen.G1(syms)
+	res := DMine(f.G, gen.VisitPredicate(syms), baseOpts())
+	if len(res.All) < len(res.TopK) {
+		t.Fatalf("|All| = %d < |TopK| = %d", len(res.All), len(res.TopK))
+	}
+	if len(res.All) != res.Kept {
+		t.Errorf("|All| = %d but Kept = %d", len(res.All), res.Kept)
+	}
+	for i := 1; i < len(res.All); i++ {
+		if res.All[i].Conf > res.All[i-1].Conf+1e-12 {
+			t.Fatal("All not sorted by descending confidence")
+		}
+	}
+	topKeys := map[string]bool{}
+	for _, mm := range res.TopK {
+		topKeys[mm.Key()] = true
+	}
+	found := 0
+	for _, mm := range res.All {
+		if topKeys[mm.Key()] {
+			found++
+		}
+		if math.IsNaN(mm.Conf) {
+			t.Errorf("NaN confidence in Σ: %s", mm.Rule)
+		}
+		if trivial, why := mm.Stats.Trivial(); trivial {
+			t.Errorf("trivial rule kept in Σ (%s): %s", why, mm.Rule)
+		}
+	}
+	if found != len(res.TopK) {
+		t.Errorf("only %d of %d top-k rules present in All", found, len(res.TopK))
+	}
+}
+
+// TestWorkerOpsAccounting: ops are recorded for every worker and their max
+// matches MaxWorkerOp.
+func TestWorkerOpsAccounting(t *testing.T) {
+	syms := graph.NewSymbols()
+	f := gen.G1(syms)
+	opts := baseOpts()
+	opts.N = 4
+	res := DMine(f.G, gen.VisitPredicate(syms), opts)
+	if len(res.WorkerOps) != 4 {
+		t.Fatalf("WorkerOps = %v", res.WorkerOps)
+	}
+	var max int64
+	for _, o := range res.WorkerOps {
+		if o > max {
+			max = o
+		}
+	}
+	if max != res.MaxWorkerOp {
+		t.Errorf("MaxWorkerOp = %d want %d", res.MaxWorkerOp, max)
+	}
+}

@@ -1,0 +1,343 @@
+package mine
+
+import (
+	"fmt"
+	"sort"
+
+	"gpar/internal/core"
+	"gpar/internal/diversify"
+	"gpar/internal/graph"
+)
+
+// group accumulates the cross-worker evidence of one candidate rule.
+type group struct {
+	rule   *core.Rule
+	q      map[graph.NodeID]bool // Q(x,·) over owned frontier centers
+	r      map[graph.NodeID]bool // PR(x,·)
+	qqb    map[graph.NodeID]bool // Q(x,·) ∩ q̄
+	usupp  map[graph.NodeID]bool // extendable PR matches (Usupp)
+	flag   bool
+	bucket string // bisimulation bucket (or "" when the prefilter is off)
+}
+
+// assemble is the coordinator's barrier-synchronization phase (lines 4-7 of
+// Fig. 4): merge the fragment messages, group automorphic GPARs (with the
+// Lemma 4 bisimulation prefilter when enabled), compute graph-wide supports
+// and confidence, filter by σ and triviality, and register survivors in Σ.
+func (m *miner) assemble(msgs []message) []*Mined {
+	// Step 1: merge messages by (parent, extension) — those are the same
+	// rule produced at different workers, so sets union directly.
+	groups := make(map[string]*group)
+	var order []string
+	for i := range msgs {
+		msg := &msgs[i]
+		gk := msg.parentKey + "|" + msg.ext.Key()
+		gr := groups[gk]
+		if gr == nil {
+			gr = &group{
+				rule:  msg.rule,
+				q:     make(map[graph.NodeID]bool),
+				r:     make(map[graph.NodeID]bool),
+				qqb:   make(map[graph.NodeID]bool),
+				usupp: make(map[graph.NodeID]bool),
+			}
+			groups[gk] = gr
+			order = append(order, gk)
+		}
+		for _, v := range msg.qCenters {
+			gr.q[v] = true
+		}
+		for _, v := range msg.rSet {
+			gr.r[v] = true
+		}
+		for _, v := range msg.qqbCenters {
+			gr.qqb[v] = true
+		}
+		for _, v := range msg.usuppCenters {
+			gr.usupp[v] = true
+		}
+		gr.flag = gr.flag || msg.flag
+	}
+	m.res.Generated += len(order)
+
+	// Step 2: group automorphic GPARs across generation paths and against
+	// rules already in Σ, bucketing by bisimulation summary first (Lemma 4).
+	type rep struct {
+		gk string // group key of the representative ("" when it lives in Σ)
+	}
+	buckets := make(map[string][]rep) // this round's representatives
+	var uniq []string
+	for _, gk := range order {
+		gr := groups[gk]
+		gr.bucket = m.bucketKey(gr.rule)
+		dup := false
+		// Against this round's reps.
+		cands := buckets[gr.bucket]
+		if !m.opts.BisimFilter {
+			cands = buckets[""]
+		}
+		m.res.BisimSkips += m.bisimSkipped(len(uniq), len(cands))
+		for _, rp := range cands {
+			other := groups[rp.gk]
+			m.res.IsoChecks++
+			if gr.rule.Q.IsomorphicTo(other.rule.Q) {
+				// Same rule: merge evidence into the representative.
+				for v := range gr.q {
+					other.q[v] = true
+				}
+				for v := range gr.r {
+					other.r[v] = true
+				}
+				for v := range gr.qqb {
+					other.qqb[v] = true
+				}
+				for v := range gr.usupp {
+					other.usupp[v] = true
+				}
+				other.flag = other.flag || gr.flag
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		// Against Σ (rules discovered in earlier rounds).
+		if m.inSigma(gr) {
+			continue
+		}
+		buckets[gr.bucket] = append(buckets[gr.bucket], rep{gk: gk})
+		uniq = append(uniq, gk)
+	}
+
+	// Step 3: graph-wide stats, σ and triviality filters.
+	var deltaE []*Mined
+	for _, gk := range uniq {
+		gr := groups[gk]
+		stats := core.Stats{
+			SuppR:    len(gr.r),
+			SuppQ:    len(gr.q),
+			SuppQqb:  len(gr.qqb),
+			SuppQ1:   m.suppQ1,
+			SuppQbar: m.suppQbr,
+		}
+		if stats.SuppR < m.opts.Sigma {
+			continue
+		}
+		if trivial, _ := stats.Trivial(); trivial {
+			// "if an extension leads to supp(Qq̄) = 0, Sc removes R" (§4.2).
+			continue
+		}
+		m.keySeq++
+		key := fmt.Sprintf("R%05d", m.keySeq)
+		mined := &Mined{
+			Rule:  gr.rule,
+			Stats: stats,
+			Conf:  stats.Conf(),
+			Set:   setToSorted(gr.r),
+			key:   key,
+		}
+		// Uconf+(R) = Σ Usupp_i(R,Fi) · supp(q̄,G) / supp(q,G) (Lemma 3).
+		m.uconf[key] = float64(len(gr.usupp)) * float64(m.suppQbr) / float64(m.suppQ1)
+		if !gr.flag {
+			m.uconf[key] = 0
+		}
+		mined.extendable = gr.flag
+		mined.qCenters = setToSorted(gr.q)
+		deltaE = append(deltaE, mined)
+		m.registerBucket(gr.bucket, mined)
+	}
+
+	// Step 4: optional per-round cap, keeping the highest-support rules.
+	if limit := m.opts.MaxCandidatesPerRound; limit > 0 && len(deltaE) > limit {
+		sort.SliceStable(deltaE, func(i, j int) bool {
+			if deltaE[i].Stats.SuppR != deltaE[j].Stats.SuppR {
+				return deltaE[i].Stats.SuppR > deltaE[j].Stats.SuppR
+			}
+			return deltaE[i].key < deltaE[j].key
+		})
+		deltaE = deltaE[:limit]
+	}
+
+	for _, mined := range deltaE {
+		m.sigma[mined.key] = mined
+	}
+	return deltaE
+}
+
+// bisimSkipped accounts for the pairwise comparisons the prefilter avoided.
+func (m *miner) bisimSkipped(totalReps, bucketReps int) int {
+	if !m.opts.BisimFilter {
+		return 0
+	}
+	if totalReps > bucketReps {
+		return totalReps - bucketReps
+	}
+	return 0
+}
+
+// inSigma reports whether the candidate duplicates a rule already in Σ
+// (discovered in an earlier round via a different growth path).
+func (m *miner) inSigma(gr *group) bool {
+	keys := m.sigmaBuckets[gr.bucket]
+	if !m.opts.BisimFilter {
+		keys = m.allSigmaKeys()
+	}
+	for _, k := range keys {
+		old, ok := m.sigma[k]
+		if !ok {
+			continue // pruned by the reduction rules
+		}
+		m.res.IsoChecks++
+		if gr.rule.Q.IsomorphicTo(old.Rule.Q) {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *miner) allSigmaKeys() []string {
+	keys := make([]string, 0, len(m.sigma))
+	for k := range m.sigma {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// bucketKey computes the Lemma 4 bucket for a rule's pattern PR.
+func (m *miner) bucketKey(r *core.Rule) string {
+	if !m.opts.BisimFilter {
+		return ""
+	}
+	sum := m.bisims.Summary(r.Q.Signature(), r.PR())
+	return fmt.Sprintf("%x", sum)
+}
+
+// registerBucket records a new Σ member in the bucket index.
+func (m *miner) registerBucket(bucket string, mined *Mined) {
+	if m.sigmaBuckets == nil {
+		m.sigmaBuckets = make(map[string][]string)
+	}
+	m.sigmaBuckets[bucket] = append(m.sigmaBuckets[bucket], mined.key)
+}
+
+// diversifyAndFilter is lines 8-11 of Fig. 4: update the top-k structure,
+// apply the Lemma 3 reduction rules, pick the rules to extend next round,
+// and hand each worker its refreshed center frontier.
+func (m *miner) diversifyAndFilter(deltaE []*Mined, round int) []*Mined {
+	if m.opts.Incremental {
+		m.queue.Update(entriesOf(deltaE), m.allEntries())
+	} else {
+		// DMineNo recomputes the diversification from scratch every round.
+		_ = diversify.Greedy(m.allEntries(), m.params)
+	}
+
+	extendable := make(map[string]bool, len(deltaE))
+	for _, mined := range deltaE {
+		extendable[mined.key] = mined.extendable
+	}
+	if m.opts.Reduction && m.opts.Incremental {
+		m.applyReductionRules(deltaE, extendable)
+	}
+
+	var frontier []*Mined
+	for _, mined := range deltaE {
+		if !extendable[mined.key] {
+			continue
+		}
+		frontier = append(frontier, mined)
+	}
+	// Hand the frontier's Q-match centers back to the workers.
+	m.parallel(func(w *worker) {
+		for _, mined := range frontier {
+			var locals []graph.NodeID
+			for _, gv := range mined.qCenters {
+				if lv, ok := w.frag.Local(gv); ok && w.ownsCenter(lv) {
+					locals = append(locals, lv)
+				}
+			}
+			w.centersFor[mined.key] = locals
+		}
+	})
+	return frontier
+}
+
+// applyReductionRules repeatedly applies the two rules of Lemma 3 until no
+// more GPARs can be removed from Σ or stopped from extension.
+func (m *miner) applyReductionRules(deltaE []*Mined, extendable map[string]bool) {
+	fm := m.queue.MinF()
+	confW, divW := reductionWeights(m.params)
+	for {
+		changed := false
+		maxU := 0.0
+		for _, mined := range deltaE {
+			if extendable[mined.key] && m.uconf[mined.key] > maxU {
+				maxU = m.uconf[mined.key]
+			}
+		}
+		maxConf := 0.0
+		for _, mm := range m.sigma {
+			if mm.Conf > maxConf {
+				maxConf = mm.Conf
+			}
+		}
+		// Rule 1: Σ members that can never enter Lk.
+		for _, k := range m.allSigmaKeys() {
+			mm := m.sigma[k]
+			if m.queue.Contains(k) {
+				continue
+			}
+			if confW*(mm.Conf+maxU)+divW <= fm {
+				delete(m.sigma, k)
+				m.res.Pruned++
+				changed = true
+			}
+		}
+		// Rule 2: ∆E members whose extensions can never enter Lk.
+		for _, mined := range deltaE {
+			if !extendable[mined.key] {
+				continue
+			}
+			if confW*(m.uconf[mined.key]+maxConf)+divW <= fm {
+				extendable[mined.key] = false
+				m.res.Pruned++
+				changed = true
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// reductionWeights returns (1-λ)/(N(k-1)) and 2λ/(k-1) with the same guards
+// as the diversify package.
+func reductionWeights(p diversify.Params) (confW, divW float64) {
+	n := p.N
+	if n <= 0 {
+		n = 1
+	}
+	km1 := float64(p.K - 1)
+	if km1 <= 0 {
+		km1 = 1
+	}
+	return (1 - p.Lambda) / (n * km1), 2 * p.Lambda / km1
+}
+
+func entriesOf(deltaE []*Mined) []diversify.Entry {
+	out := make([]diversify.Entry, 0, len(deltaE))
+	for _, mm := range deltaE {
+		out = append(out, diversify.Entry{ID: mm.key, Conf: mm.Conf, Set: mm.Set})
+	}
+	return out
+}
+
+func setToSorted(s map[graph.NodeID]bool) []graph.NodeID {
+	out := make([]graph.NodeID, 0, len(s))
+	for v := range s {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,202 @@
+package mine
+
+import (
+	"sort"
+
+	"gpar/internal/core"
+	"gpar/internal/graph"
+	"gpar/internal/match"
+	"gpar/internal/pattern"
+)
+
+// generate is the parallel GPAR-generation superstep (procedure localMine of
+// Fig. 4): every worker extends each frontier rule by one edge discovered in
+// the data around its owned centers, verifies local supports, and emits one
+// message per candidate extension.
+func (m *miner) generate(frontier []*Mined) []message {
+	results := make([][]message, len(m.workers))
+	m.parallel(func(w *worker) {
+		results[w.id] = w.localMine(m, frontier)
+	})
+	var msgs []message
+	for _, r := range results {
+		msgs = append(msgs, r...)
+	}
+	// Deterministic processing order at the coordinator.
+	sort.Slice(msgs, func(i, j int) bool {
+		if msgs[i].parentKey != msgs[j].parentKey {
+			return msgs[i].parentKey < msgs[j].parentKey
+		}
+		ki, kj := msgs[i].ext.Key(), msgs[j].ext.Key()
+		if ki != kj {
+			return ki < kj
+		}
+		return msgs[i].worker < msgs[j].worker
+	})
+	return msgs
+}
+
+// extAcc accumulates one candidate extension's local evidence at a worker.
+type extAcc struct {
+	ext     pattern.Extension
+	centers []graph.NodeID // local owned centers supporting the extended Q
+	seen    map[graph.NodeID]bool
+}
+
+// localMine extends every frontier rule at this worker and verifies local
+// support. The returned messages use global node IDs.
+func (w *worker) localMine(m *miner, frontier []*Mined) []message {
+	var out []message
+	opts := match.Options{}
+	for _, parent := range frontier {
+		centers := w.centersFor[parent.key]
+		if len(centers) == 0 {
+			continue
+		}
+		accs := w.discoverExtensions(m, parent, centers, opts)
+		// Deterministic order of candidate emission.
+		keys := make([]string, 0, len(accs))
+		for k := range accs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			acc := accs[k]
+			child := parent.Rule.Clone()
+			child.Q = parent.Rule.Q.Apply(acc.ext)
+			if child.Q == nil {
+				continue
+			}
+			if !m.admissible(child) {
+				continue
+			}
+			msg := message{
+				worker:    w.id,
+				parentKey: parent.key,
+				ext:       acc.ext,
+				rule:      child,
+			}
+			childPR := child.PR()
+			radius := child.Q.RadiusAt(child.Q.X)
+			sort.Slice(acc.centers, func(i, j int) bool { return acc.centers[i] < acc.centers[j] })
+			for _, c := range acc.centers {
+				msg.qCenters = append(msg.qCenters, w.frag.Global(c))
+				if w.pqbar[c] {
+					msg.qqbCenters = append(msg.qqbCenters, w.frag.Global(c))
+				}
+				if w.pq[c] {
+					w.ops++
+					if match.HasMatchAt(childPR, w.frag.G, c, opts) {
+						msg.rSet = append(msg.rSet, w.frag.Global(c))
+						// Usupp_i: PR matches that still have room to grow.
+						if w.hasNodeAtDistance(c, radius+1) {
+							msg.usuppCenters = append(msg.usuppCenters, w.frag.Global(c))
+						}
+					}
+				}
+			}
+			msg.flag = len(msg.qCenters) > 0
+			out = append(out, msg)
+		}
+	}
+	return out
+}
+
+// discoverExtensions enumerates, for each owned center still matching the
+// parent antecedent, the single-edge extensions realized by actual data
+// edges around its embeddings ("expand Q by including a new edge", Section
+// 4.2). Injectivity and the radius bound are respected; the supporting
+// centers of each extension are collected exactly (up to EmbedCap embeddings
+// per center).
+func (w *worker) discoverExtensions(m *miner, parent *Mined, centers []graph.NodeID, opts match.Options) map[string]*extAcc {
+	q := parent.Rule.Q
+	distX := q.DistancesFrom(q.X)
+	accs := make(map[string]*extAcc)
+	add := func(ext pattern.Extension, vx graph.NodeID) {
+		key := ext.Key()
+		acc := accs[key]
+		if acc == nil {
+			acc = &extAcc{ext: ext, seen: make(map[graph.NodeID]bool)}
+			accs[key] = acc
+		}
+		if !acc.seen[vx] {
+			acc.seen[vx] = true
+			acc.centers = append(acc.centers, vx)
+		}
+	}
+	embedOpts := opts
+	embedOpts.MaxMatches = m.opts.EmbedCap
+	for _, vx := range centers {
+		w.ops++
+		w.enumerateAnchored(q, vx, embedOpts, func(asgn []graph.NodeID) {
+			inv := make(map[graph.NodeID]int, len(asgn))
+			for u, dv := range asgn {
+				inv[dv] = u
+			}
+			for u, dv := range asgn {
+				// The new node would sit at distance distX[u]+1 from x;
+				// enforce the antecedent radius bound r(Q, x) <= d.
+				canGrow := distX[u] >= 0 && distX[u]+1 <= m.opts.D
+				for _, e := range w.frag.G.Out(dv) {
+					if u2, ok := inv[e.To]; ok {
+						if !q.HasEdge(u, u2, e.Label) {
+							add(pattern.Extension{Src: u, Outgoing: true, EdgeLabel: e.Label, Close: u2}, vx)
+						}
+						continue
+					}
+					if !canGrow {
+						continue
+					}
+					l := w.frag.G.Label(e.To)
+					add(pattern.Extension{Src: u, Outgoing: true, EdgeLabel: e.Label, NewLabel: l, Close: pattern.NoNode}, vx)
+					if q.Y == pattern.NoNode && l == m.pred.YLabel {
+						add(pattern.Extension{Src: u, Outgoing: true, EdgeLabel: e.Label, NewLabel: l, Close: pattern.NoNode, AsY: true}, vx)
+					}
+				}
+				for _, e := range w.frag.G.In(dv) {
+					if u2, ok := inv[e.To]; ok {
+						if !q.HasEdge(u2, u, e.Label) {
+							add(pattern.Extension{Src: u, Outgoing: false, EdgeLabel: e.Label, Close: u2}, vx)
+						}
+						continue
+					}
+					if !canGrow {
+						continue
+					}
+					l := w.frag.G.Label(e.To)
+					add(pattern.Extension{Src: u, Outgoing: false, EdgeLabel: e.Label, NewLabel: l, Close: pattern.NoNode}, vx)
+					if q.Y == pattern.NoNode && l == m.pred.YLabel {
+						add(pattern.Extension{Src: u, Outgoing: false, EdgeLabel: e.Label, NewLabel: l, Close: pattern.NoNode, AsY: true}, vx)
+					}
+				}
+			}
+		})
+	}
+	return accs
+}
+
+// enumerateAnchored enumerates embeddings of q anchored at vx (h(x) = vx),
+// invoking fn for each. The empty seed pattern (single node x, no edges)
+// yields exactly one embedding.
+func (w *worker) enumerateAnchored(q *pattern.Pattern, vx graph.NodeID, opts match.Options, fn func(asgn []graph.NodeID)) {
+	count := 0
+	match.EnumerateAnchored(q, w.frag.G, vx, opts, func(asgn []graph.NodeID) bool {
+		fn(asgn)
+		count++
+		w.ops++
+		return opts.MaxMatches == 0 || count < opts.MaxMatches
+	})
+}
+
+// admissible applies the structural constraints a candidate must meet
+// before being sent to the coordinator: the radius bound r(PR,x) ≤ d and
+// "q(x,y) does not appear in Q".
+func (m *miner) admissible(r *core.Rule) bool {
+	q := r.Q
+	if q.Y != pattern.NoNode && q.HasEdge(q.X, q.Y, m.pred.EdgeLabel) {
+		return false
+	}
+	pr := r.PR()
+	rad := pr.RadiusAt(pr.X)
+	return rad >= 0 && rad <= m.opts.D
+}

@@ -1,0 +1,319 @@
+package mine
+
+import (
+	"math"
+	"testing"
+
+	"gpar/internal/core"
+	"gpar/internal/gen"
+	"gpar/internal/graph"
+	"gpar/internal/match"
+	"gpar/internal/pattern"
+)
+
+func baseOpts() Options {
+	return Options{
+		K:        4,
+		Sigma:    1,
+		D:        2,
+		Lambda:   0.5,
+		N:        3,
+		MaxEdges: 3,
+	}.WithOptimizations()
+}
+
+// TestDMineFindsRulesOnG1 mines the paper's restaurant graph and checks the
+// structural guarantees of the DMP problem statement: every reported rule is
+// nontrivial, has supp ≥ σ, r(PR,x) ≤ d, and its reported statistics agree
+// with the sequential reference evaluation.
+func TestDMineFindsRulesOnG1(t *testing.T) {
+	syms := graph.NewSymbols()
+	f := gen.G1(syms)
+	pred := gen.VisitPredicate(syms)
+	res := DMine(f.G, pred, baseOpts())
+	if len(res.TopK) == 0 {
+		t.Fatal("DMine found no rules on G1")
+	}
+	if len(res.TopK) > 4 {
+		t.Fatalf("TopK larger than k: %d", len(res.TopK))
+	}
+	for _, mm := range res.TopK {
+		if !mm.Rule.Nontrivial() {
+			t.Errorf("trivial rule reported: %s", mm.Rule)
+		}
+		if mm.Stats.SuppR < 1 {
+			t.Errorf("rule below σ: %s supp=%d", mm.Rule, mm.Stats.SuppR)
+		}
+		if r := mm.Rule.Radius(); r > 2 {
+			t.Errorf("radius bound violated: %d for %s", r, mm.Rule)
+		}
+		// Re-evaluate sequentially and compare.
+		ref := core.Eval(f.G, mm.Rule, match.Options{}, false)
+		if ref.Stats.SuppR != mm.Stats.SuppR {
+			t.Errorf("%s: mined supp(R)=%d reference=%d", mm.Rule, mm.Stats.SuppR, ref.Stats.SuppR)
+		}
+		if ref.Stats.SuppQqb != mm.Stats.SuppQqb {
+			t.Errorf("%s: mined supp(Qq̄)=%d reference=%d", mm.Rule, mm.Stats.SuppQqb, ref.Stats.SuppQqb)
+		}
+		if got, want := mm.Conf, ref.Stats.Conf(); math.Abs(got-want) > 1e-9 {
+			t.Errorf("%s: mined conf=%v reference=%v", mm.Rule, got, want)
+		}
+	}
+	if res.Rounds == 0 || res.Generated == 0 {
+		t.Error("no rounds or candidates recorded")
+	}
+	if len(res.WorkerOps) != 3 {
+		t.Errorf("WorkerOps = %v want 3 workers", res.WorkerOps)
+	}
+}
+
+// TestDMineDiscoversHighConfidenceFriendRule: on G1, the rule "x friend x',
+// x' visits y" predicts visits with BF confidence 1.0 (all five q-matches
+// satisfy it, and the one q̄ node matches its antecedent). With λ = 0 the
+// objective is pure confidence, so the top-k must contain a conf-1.0 rule.
+func TestDMineDiscoversHighConfidenceFriendRule(t *testing.T) {
+	syms := graph.NewSymbols()
+	f := gen.G1(syms)
+	pred := gen.VisitPredicate(syms)
+	opts := baseOpts()
+	opts.K = 2
+	opts.Lambda = 0
+	res := DMine(f.G, pred, opts)
+	best := 0.0
+	for _, mm := range res.TopK {
+		if mm.Conf > best {
+			best = mm.Conf
+		}
+	}
+	if best < 1.0-1e-9 {
+		t.Errorf("best confidence %v; expected a conf-1.0 rule in top-k", best)
+	}
+}
+
+// TestDMineDeterministic: identical inputs yield identical outputs.
+func TestDMineDeterministic(t *testing.T) {
+	syms := graph.NewSymbols()
+	f := gen.G1(syms)
+	pred := gen.VisitPredicate(syms)
+	r1 := DMine(f.G, pred, baseOpts())
+	r2 := DMine(f.G, pred, baseOpts())
+	if r1.F != r2.F || len(r1.TopK) != len(r2.TopK) {
+		t.Fatalf("nondeterministic: F %v vs %v, k %d vs %d", r1.F, r2.F, len(r1.TopK), len(r2.TopK))
+	}
+	for i := range r1.TopK {
+		if !r1.TopK[i].Rule.Q.IsomorphicTo(r2.TopK[i].Rule.Q) {
+			t.Errorf("rule %d differs across runs", i)
+		}
+	}
+}
+
+// TestDMineNoAgreesOnQuality: the unoptimized baseline must reach an
+// objective value in the same approximation band (both are 2-approximations
+// of the same optimum), and DMine must do no more isomorphism checks.
+func TestDMineNoAgreesOnQuality(t *testing.T) {
+	syms := graph.NewSymbols()
+	f := gen.G1(syms)
+	pred := gen.VisitPredicate(syms)
+	opt := DMine(f.G, pred, baseOpts())
+	no := DMineNo(f.G, pred, baseOpts())
+	if no.F <= 0 || opt.F <= 0 {
+		t.Fatalf("objectives: DMine %v DMineNo %v", opt.F, no.F)
+	}
+	if opt.F < no.F/2-1e-9 || no.F < opt.F/2-1e-9 {
+		t.Errorf("objectives outside mutual 2-approx band: %v vs %v", opt.F, no.F)
+	}
+	if opt.BisimSkips == 0 {
+		t.Error("bisim prefilter never fired on DMine")
+	}
+	if no.BisimSkips != 0 {
+		t.Error("DMineNo should not use the prefilter")
+	}
+}
+
+// TestDMineSigmaFilters: raising σ above the graph's best support yields no
+// rules; σ is applied to supp(R,G).
+func TestDMineSigmaFilters(t *testing.T) {
+	syms := graph.NewSymbols()
+	f := gen.G1(syms)
+	pred := gen.VisitPredicate(syms)
+	opts := baseOpts()
+	opts.Sigma = 100
+	res := DMine(f.G, pred, opts)
+	if len(res.TopK) != 0 {
+		t.Errorf("σ=100 should filter everything, got %d rules", len(res.TopK))
+	}
+	// σ = 5 keeps only rules with full-support: the friend/visit rule has
+	// supp 5.
+	opts.Sigma = 5
+	res = DMine(f.G, pred, opts)
+	for _, mm := range res.TopK {
+		if mm.Stats.SuppR < 5 {
+			t.Errorf("rule below σ=5: supp=%d", mm.Stats.SuppR)
+		}
+	}
+}
+
+// TestDMineTrivialPredicate: a predicate with no support in G returns an
+// empty result (trivial case 1 of Section 3).
+func TestDMineTrivialPredicate(t *testing.T) {
+	syms := graph.NewSymbols()
+	f := gen.G1(syms)
+	pred := core.Predicate{
+		XLabel:    syms.Intern(gen.LCust),
+		EdgeLabel: syms.Intern("never"),
+		YLabel:    syms.Intern(gen.LFrench),
+	}
+	res := DMine(f.G, pred, baseOpts())
+	if len(res.TopK) != 0 {
+		t.Errorf("trivial predicate mined %d rules", len(res.TopK))
+	}
+}
+
+// TestDMineRadiusBound: with d=1 every mined rule has radius ≤ 1.
+func TestDMineRadiusBound(t *testing.T) {
+	syms := graph.NewSymbols()
+	f := gen.G1(syms)
+	pred := gen.VisitPredicate(syms)
+	opts := baseOpts()
+	opts.D = 1
+	res := DMine(f.G, pred, opts)
+	for _, mm := range res.TopK {
+		if r := mm.Rule.Radius(); r > 1 {
+			t.Errorf("d=1 violated: radius %d for %s", r, mm.Rule)
+		}
+	}
+}
+
+// TestDMineWorkerCounts: more workers means the max per-worker load drops
+// or stays equal (the O(t/n) shape on a work-count proxy).
+func TestDMineWorkerLoadSplits(t *testing.T) {
+	syms := graph.NewSymbols()
+	f := gen.G1(syms)
+	pred := gen.VisitPredicate(syms)
+	opts := baseOpts()
+	opts.N = 1
+	one := DMine(f.G, pred, opts)
+	opts.N = 3
+	three := DMine(f.G, pred, opts)
+	if three.MaxWorkerOp > one.MaxWorkerOp {
+		t.Errorf("max worker load grew with more workers: %d -> %d",
+			one.MaxWorkerOp, three.MaxWorkerOp)
+	}
+	// Results must agree regardless of n.
+	if math.Abs(one.F-three.F) > 1e-9 {
+		t.Errorf("F differs across worker counts: %v vs %v", one.F, three.F)
+	}
+}
+
+// TestDMineEcuador reproduces the Example 6/7 scenario end to end: mining
+// like(person, Shakira album) must discover the "lives in Ecuador" rule
+// with BF confidence 1 under the LCWA.
+func TestDMineEcuador(t *testing.T) {
+	syms := graph.NewSymbols()
+	g := graph.New(syms)
+	ec := g.AddNode("Ecuador")
+	shak := g.AddNode("Shakira album")
+	mj := g.AddNode("MJ album")
+	v1 := g.AddNode("person")
+	v2 := g.AddNode("person")
+	v3 := g.AddNode("person")
+	for _, v := range []graph.NodeID{v1, v2, v3} {
+		g.AddEdge(v, ec, "live_in")
+	}
+	g.AddEdge(v1, shak, "like")
+	g.AddEdge(v2, mj, "like")
+
+	pred := core.Predicate{
+		XLabel:    syms.Intern("person"),
+		EdgeLabel: syms.Intern("like"),
+		YLabel:    syms.Intern("Shakira album"),
+	}
+	opts := baseOpts()
+	opts.K = 2
+	res := DMine(g, pred, opts)
+	if len(res.TopK) == 0 {
+		t.Fatal("no rules found")
+	}
+	found := false
+	for _, mm := range res.TopK {
+		for _, e := range mm.Rule.Q.Edges() {
+			if mm.Rule.Q.Symbols().Name(e.Label) == "live_in" && mm.Conf == 1.0 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("expected a conf-1 live_in rule; got %v", describe(res))
+	}
+}
+
+func describe(res *Result) []string {
+	var out []string
+	for _, mm := range res.TopK {
+		out = append(out, mm.Rule.String())
+	}
+	return out
+}
+
+// TestSeedFrontierHandling: a graph with zero candidates for x still
+// terminates cleanly.
+func TestDMineNoCandidates(t *testing.T) {
+	syms := graph.NewSymbols()
+	g := graph.New(syms)
+	g.AddNode("city")
+	pred := core.Predicate{
+		XLabel:    syms.Intern("cust"),
+		EdgeLabel: syms.Intern("visit"),
+		YLabel:    syms.Intern("rest"),
+	}
+	res := DMine(g, pred, baseOpts())
+	if len(res.TopK) != 0 {
+		t.Error("rules mined from an empty candidate set")
+	}
+}
+
+// TestMaxCandidatesPerRound: the cap keeps the highest-support candidates.
+func TestMaxCandidatesPerRound(t *testing.T) {
+	syms := graph.NewSymbols()
+	f := gen.G1(syms)
+	pred := gen.VisitPredicate(syms)
+	opts := baseOpts()
+	opts.MaxCandidatesPerRound = 2
+	res := DMine(f.G, pred, opts)
+	if res.Kept > 2*opts.MaxEdges {
+		t.Errorf("cap not applied: kept %d", res.Kept)
+	}
+}
+
+// TestMinedAccessors covers Key and the seed pattern plumbing.
+func TestMinedAccessors(t *testing.T) {
+	syms := graph.NewSymbols()
+	f := gen.G1(syms)
+	res := DMine(f.G, gen.VisitPredicate(syms), baseOpts())
+	if len(res.TopK) == 0 {
+		t.Skip("no rules")
+	}
+	if res.TopK[0].Key() == "" {
+		t.Error("empty rule key")
+	}
+}
+
+// TestAdmissibleRejectsConsequentInQ: growth must never produce an
+// antecedent containing q(x,y) itself.
+func TestAdmissibleRejectsConsequentInQ(t *testing.T) {
+	syms := graph.NewSymbols()
+	pred := core.Predicate{
+		XLabel:    syms.Intern("cust"),
+		EdgeLabel: syms.Intern("visit"),
+		YLabel:    syms.Intern("rest"),
+	}
+	m := newMiner(graph.New(syms), pred, baseOpts())
+	q := pattern.New(syms)
+	x := q.AddNode("cust")
+	y := q.AddNode("rest")
+	q.AddEdge(x, y, "visit")
+	q.X, q.Y = x, y
+	if m.admissible(&core.Rule{Q: q, Pred: pred}) {
+		t.Error("rule with q(x,y) in Q admitted")
+	}
+}

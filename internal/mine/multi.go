@@ -1,0 +1,96 @@
+package mine
+
+import (
+	"sort"
+
+	"gpar/internal/core"
+	"gpar/internal/graph"
+)
+
+// This file implements the two adaptations of the §4.2 Remark: mining for a
+// set of predicates, and mining with no predicate given at all (collect the
+// most frequent edge predicates first).
+
+// MultiResult maps each predicate to its mining result.
+type MultiResult struct {
+	Pred   core.Predicate
+	Result *Result
+}
+
+// DMineMulti groups the given predicates and iteratively mines GPARs for
+// each distinct q(x,y), as the paper's remark prescribes. Duplicate
+// predicates are collapsed; results preserve the input order of their first
+// occurrence.
+func DMineMulti(g *graph.Graph, preds []core.Predicate, opts Options) []MultiResult {
+	seen := make(map[core.Predicate]bool, len(preds))
+	var out []MultiResult
+	for _, p := range preds {
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		out = append(out, MultiResult{Pred: p, Result: DMine(g, p, opts)})
+	}
+	return out
+}
+
+// FrequentPredicates collects the topN most frequent edge predicates of g —
+// single-edge patterns (xLabel, edgeLabel, yLabel) ranked by the number of
+// distinct source nodes, the seed-selection strategy of the paper's second
+// remark ("when no specific q(x,y) is given ... most frequent edges").
+// An optional edge-label filter restricts to one relation (pass NoLabel for
+// all).
+func FrequentPredicates(g *graph.Graph, topN int, edgeLabel graph.Label) []core.Predicate {
+	type key = core.Predicate
+	srcs := make(map[key]map[graph.NodeID]bool)
+	for v := 0; v < g.NumNodes(); v++ {
+		from := graph.NodeID(v)
+		for _, e := range g.Out(from) {
+			if edgeLabel != graph.NoLabel && e.Label != edgeLabel {
+				continue
+			}
+			k := key{XLabel: g.Label(from), EdgeLabel: e.Label, YLabel: g.Label(e.To)}
+			s := srcs[k]
+			if s == nil {
+				s = make(map[graph.NodeID]bool)
+				srcs[k] = s
+			}
+			s[from] = true
+		}
+	}
+	type ranked struct {
+		p core.Predicate
+		n int
+	}
+	rs := make([]ranked, 0, len(srcs))
+	for p, s := range srcs {
+		rs = append(rs, ranked{p, len(s)})
+	}
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].n != rs[j].n {
+			return rs[i].n > rs[j].n
+		}
+		a, b := rs[i].p, rs[j].p
+		if a.XLabel != b.XLabel {
+			return a.XLabel < b.XLabel
+		}
+		if a.EdgeLabel != b.EdgeLabel {
+			return a.EdgeLabel < b.EdgeLabel
+		}
+		return a.YLabel < b.YLabel
+	})
+	if topN > 0 && len(rs) > topN {
+		rs = rs[:topN]
+	}
+	out := make([]core.Predicate, len(rs))
+	for i, r := range rs {
+		out[i] = r.p
+	}
+	return out
+}
+
+// DMineAuto mines without a user-given predicate: it collects the topN most
+// frequent edge predicates and mines GPARs for each.
+func DMineAuto(g *graph.Graph, topN int, opts Options) []MultiResult {
+	return DMineMulti(g, FrequentPredicates(g, topN, graph.NoLabel), opts)
+}

@@ -1,0 +1,83 @@
+package pattern
+
+import (
+	"strconv"
+
+	"gpar/internal/graph"
+)
+
+// Extension describes one way to grow a pattern by a single new edge, the
+// unit of levelwise expansion in algorithm DMine (Section 4.2): "it expands
+// Q by including at least one new edge that is at hop r from vx".
+//
+// The new edge touches existing node Src. If Close == NoNode the other
+// endpoint is a fresh node labeled NewLabel; otherwise the edge closes onto
+// the existing node Close.
+type Extension struct {
+	Src       int         // existing pattern node
+	Outgoing  bool        // true: Src -> target; false: target -> Src
+	EdgeLabel graph.Label // label of the new edge
+	NewLabel  graph.Label // label of the fresh node (when Close == NoNode)
+	Close     int         // existing node to close onto, or NoNode
+	AsY       bool        // designate the fresh node as y (requires p.Y == NoNode)
+}
+
+// Key returns a dedup key unique per extension shape.
+func (e Extension) Key() string {
+	buf := make([]byte, 0, 32)
+	buf = strconv.AppendInt(buf, int64(e.Src), 10)
+	buf = append(buf, '|')
+	if e.Outgoing {
+		buf = append(buf, 'o')
+	} else {
+		buf = append(buf, 'i')
+	}
+	buf = strconv.AppendInt(buf, int64(e.EdgeLabel), 10)
+	buf = append(buf, '|')
+	buf = strconv.AppendInt(buf, int64(e.NewLabel), 10)
+	buf = append(buf, '|')
+	buf = strconv.AppendInt(buf, int64(e.Close), 10)
+	if e.AsY {
+		buf = append(buf, 'y')
+	}
+	return string(buf)
+}
+
+// Apply returns a copy of p grown by the extension. It returns nil when the
+// extension is inapplicable (closing edge already present, AsY on a pattern
+// that already has y, or indexes out of range).
+func (p *Pattern) Apply(ext Extension) *Pattern {
+	if ext.Src < 0 || ext.Src >= p.NumNodes() {
+		return nil
+	}
+	out := p.Clone()
+	var target int
+	if ext.Close != NoNode {
+		if ext.Close < 0 || ext.Close >= p.NumNodes() || ext.AsY {
+			return nil
+		}
+		target = ext.Close
+		from, to := ext.Src, target
+		if !ext.Outgoing {
+			from, to = target, ext.Src
+		}
+		if out.HasEdge(from, to, ext.EdgeLabel) {
+			return nil
+		}
+		out.AddEdgeL(from, to, ext.EdgeLabel)
+		return out
+	}
+	if ext.AsY && p.Y != NoNode {
+		return nil
+	}
+	target = out.AddNodeL(ext.NewLabel)
+	if ext.AsY {
+		out.Y = target
+	}
+	if ext.Outgoing {
+		out.AddEdgeL(ext.Src, target, ext.EdgeLabel)
+	} else {
+		out.AddEdgeL(target, ext.Src, ext.EdgeLabel)
+	}
+	return out
+}

@@ -1,0 +1,206 @@
+// Package sketch implements the k-hop neighborhood sketches K(v) of
+// Section 5.2 of "Association Rules with Graph Patterns" (PVLDB 2015): for
+// each node v, a list {(1, D1), ..., (k, Dk)} where Di is the distribution
+// of node labels and their frequencies around v. Algorithm Match uses the
+// sketches for guided search: a data node v' can only match pattern node u'
+// if v's sketch dominates u's at every hop, and candidates are ranked by
+// the total frequency slack f(u', v') = Σi (Di - D'i).
+//
+// Di here counts distinct nodes within distance <= i (cumulative), not at
+// exactly hop i: under subgraph isomorphism, pattern distances can only
+// shrink in the data (d_G(h(u), h(v)) <= d_Q(u, v)), so per-exact-hop
+// dominance is not a necessary condition while cumulative dominance is.
+package sketch
+
+import (
+	"sync"
+
+	"gpar/internal/graph"
+	"gpar/internal/pattern"
+)
+
+// Sketch is a k-hop label-frequency sketch: Sketch[i] is the distribution of
+// distinct nodes within undirected distance i+1, excluding the node itself.
+type Sketch []map[graph.Label]int
+
+// Dominates reports whether every cumulative label frequency in need is
+// available in s at the same depth: the necessary condition "v' does not
+// match u' if for some i, Di - D'i < 0".
+func (s Sketch) Dominates(need Sketch) bool {
+	for i := range need {
+		var have map[graph.Label]int
+		if i < len(s) {
+			have = s[i]
+		}
+		for l, want := range need[i] {
+			if have[l] < want {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Score returns f(u', v') = Σi Σlabels (Di(v') - D'i(u')), the total
+// frequency slack over the labels the pattern requires, and whether the
+// candidate is feasible at all. Larger scores rank earlier in guided search
+// ("the larger the difference is, the more likely v' matches u'").
+func Score(data, need Sketch) (score int, feasible bool) {
+	for i := range need {
+		for l, want := range need[i] {
+			var have int
+			if i < len(data) {
+				have = data[i][l]
+			}
+			if have < want {
+				return 0, false
+			}
+			score += have - want
+		}
+	}
+	return score, true
+}
+
+// Of computes the k-hop sketch of node v in g.
+func Of(g *graph.Graph, v graph.NodeID, k int) Sketch {
+	sk := make(Sketch, k)
+	visited := map[graph.NodeID]bool{v: true}
+	frontier := []graph.NodeID{v}
+	for hop := 0; hop < k && len(frontier) > 0; hop++ {
+		dist := make(map[graph.Label]int)
+		if hop > 0 {
+			for l, c := range sk[hop-1] {
+				dist[l] = c
+			}
+		}
+		var next []graph.NodeID
+		for _, u := range frontier {
+			for _, e := range g.Out(u) {
+				if !visited[e.To] {
+					visited[e.To] = true
+					next = append(next, e.To)
+					dist[g.Label(e.To)]++
+				}
+			}
+			for _, e := range g.In(u) {
+				if !visited[e.To] {
+					visited[e.To] = true
+					next = append(next, e.To)
+					dist[g.Label(e.To)]++
+				}
+			}
+		}
+		sk[hop] = dist
+		frontier = next
+	}
+	fillCumulative(sk)
+	return sk
+}
+
+// fillCumulative copies the last materialized level into any levels the BFS
+// never reached (frontier exhausted early).
+func fillCumulative(sk Sketch) {
+	for i := range sk {
+		if sk[i] == nil {
+			if i == 0 {
+				sk[i] = map[graph.Label]int{}
+			} else {
+				sk[i] = sk[i-1]
+			}
+		}
+	}
+}
+
+// OfPattern computes the k-hop sketch of pattern node u (after multiplicity
+// expansion), giving the minimum neighborhood a matching data node must
+// offer.
+func OfPattern(p *pattern.Pattern, u, k int) Sketch {
+	pe := p.Expand()
+	if pe != p {
+		// Node indexes may shift during expansion only for nodes after an
+		// expanded one; recompute u as the same designated node when
+		// possible, otherwise map by identity which holds for nodes before
+		// any multiplicity > 1. Callers pass designated nodes in practice.
+		switch u {
+		case p.X:
+			u = pe.X
+		case p.Y:
+			u = pe.Y
+		}
+	}
+	sk := make(Sketch, k)
+	n := pe.NumNodes()
+	adj := make([][]int, n)
+	for _, e := range pe.Edges() {
+		adj[e.From] = append(adj[e.From], e.To)
+		if e.From != e.To {
+			adj[e.To] = append(adj[e.To], e.From)
+		}
+	}
+	visited := make([]bool, n)
+	visited[u] = true
+	frontier := []int{u}
+	for hop := 0; hop < k && len(frontier) > 0; hop++ {
+		dist := make(map[graph.Label]int)
+		if hop > 0 {
+			for l, c := range sk[hop-1] {
+				dist[l] = c
+			}
+		}
+		var next []int
+		for _, w := range frontier {
+			for _, t := range adj[w] {
+				if !visited[t] {
+					visited[t] = true
+					next = append(next, t)
+					dist[pe.Label(t)]++
+				}
+			}
+		}
+		sk[hop] = dist
+		frontier = next
+	}
+	fillCumulative(sk)
+	return sk
+}
+
+// Index lazily computes and caches data-node sketches for one graph. It is
+// safe for concurrent use.
+type Index struct {
+	g *graph.Graph
+	k int
+
+	mu    sync.Mutex
+	cache map[graph.NodeID]Sketch
+}
+
+// NewIndex returns a sketch index of depth k over g.
+func NewIndex(g *graph.Graph, k int) *Index {
+	return &Index{g: g, k: k, cache: make(map[graph.NodeID]Sketch)}
+}
+
+// K reports the sketch depth.
+func (ix *Index) K() int { return ix.k }
+
+// Sketch returns the (cached) sketch of v.
+func (ix *Index) Sketch(v graph.NodeID) Sketch {
+	ix.mu.Lock()
+	s, ok := ix.cache[v]
+	ix.mu.Unlock()
+	if ok {
+		return s
+	}
+	s = Of(ix.g, v, ix.k)
+	ix.mu.Lock()
+	ix.cache[v] = s
+	ix.mu.Unlock()
+	return s
+}
+
+// CachedCount reports how many sketches have been materialized (for tests
+// and instrumentation).
+func (ix *Index) CachedCount() int {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return len(ix.cache)
+}

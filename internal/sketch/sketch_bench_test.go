@@ -1,0 +1,49 @@
+package sketch
+
+import (
+	"testing"
+
+	"gpar/internal/graph"
+)
+
+func socialGraph(n int) *graph.Graph {
+	g := graph.New(nil)
+	for i := 0; i < n; i++ {
+		g.AddNode([]string{"user", "item"}[i%2])
+	}
+	for i := 0; i < n; i++ {
+		g.AddEdge(graph.NodeID(i), graph.NodeID((i*7+1)%n), "e")
+		g.AddEdge(graph.NodeID(i), graph.NodeID((i*13+5)%n), "f")
+	}
+	return g
+}
+
+func BenchmarkSketchOf(b *testing.B) {
+	g := socialGraph(2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Of(g, graph.NodeID(i%g.NumNodes()), 2)
+	}
+}
+
+func BenchmarkIndexWarm(b *testing.B) {
+	g := socialGraph(2000)
+	ix := NewIndex(g, 2)
+	for v := 0; v < g.NumNodes(); v++ {
+		ix.Sketch(graph.NodeID(v))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Sketch(graph.NodeID(i % g.NumNodes()))
+	}
+}
+
+func BenchmarkScore(b *testing.B) {
+	g := socialGraph(2000)
+	data := Of(g, 0, 2)
+	need := Sketch{{g.Symbols().Lookup("item"): 1}, {g.Symbols().Lookup("user"): 2}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Score(data, need)
+	}
+}

@@ -1,0 +1,205 @@
+package sketch
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gpar/internal/graph"
+	"gpar/internal/pattern"
+)
+
+func star(nLeaves int) (*graph.Graph, graph.NodeID) {
+	g := graph.New(nil)
+	hub := g.AddNode("h")
+	for i := 0; i < nLeaves; i++ {
+		leaf := g.AddNode("l")
+		g.AddEdge(hub, leaf, "e")
+	}
+	return g, hub
+}
+
+func TestOfStar(t *testing.T) {
+	g, hub := star(4)
+	sk := Of(g, hub, 2)
+	l := g.Symbols().Lookup("l")
+	if sk[0][l] != 4 {
+		t.Errorf("hop1 l-count = %d want 4", sk[0][l])
+	}
+	// Cumulative: hop2 includes hop1.
+	if sk[1][l] != 4 {
+		t.Errorf("hop2 cumulative l-count = %d want 4", sk[1][l])
+	}
+	// Leaf sees the hub at hop 1 and siblings at hop 2.
+	leafSk := Of(g, 1, 2)
+	h := g.Symbols().Lookup("h")
+	if leafSk[0][h] != 1 || leafSk[0][l] != 0 {
+		t.Errorf("leaf hop1 = %v", leafSk[0])
+	}
+	if leafSk[1][l] != 3 {
+		t.Errorf("leaf hop2 cumulative l = %d want 3 siblings", leafSk[1][l])
+	}
+}
+
+func TestOfUndirected(t *testing.T) {
+	// Incoming edges count for the neighborhood too.
+	g := graph.New(nil)
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	g.AddEdge(b, a, "e")
+	sk := Of(g, a, 1)
+	if sk[0][g.Symbols().Lookup("b")] != 1 {
+		t.Error("incoming neighbor missing from sketch")
+	}
+}
+
+func TestDominatesAndScore(t *testing.T) {
+	g, hub := star(4)
+	l := g.Symbols().Lookup("l")
+	data := Of(g, hub, 2)
+	need := Sketch{{l: 2}, {l: 2}}
+	if !data.Dominates(need) {
+		t.Error("4 leaves should dominate a need of 2")
+	}
+	s, ok := Score(data, need)
+	if !ok {
+		t.Fatal("Score infeasible on dominating sketch")
+	}
+	if s != (4-2)+(4-2) {
+		t.Errorf("Score = %d want 4", s)
+	}
+	needTooMuch := Sketch{{l: 5}}
+	if data.Dominates(needTooMuch) {
+		t.Error("dominance over-approved")
+	}
+	if _, ok := Score(data, needTooMuch); ok {
+		t.Error("Score feasible despite deficit")
+	}
+	// Need deeper than data sketch with nonzero requirement fails.
+	deep := Sketch{{l: 1}, {l: 1}, {l: 1}}
+	short := Sketch{{l: 1}}
+	if short.Dominates(deep) {
+		t.Error("short sketch dominated deeper requirement")
+	}
+}
+
+func TestOfPattern(t *testing.T) {
+	syms := graph.NewSymbols()
+	p := pattern.New(syms)
+	x := p.AddNode("cust")
+	fr := p.AddNode("rest")
+	p.SetMult(fr, 3)
+	p.AddEdge(x, fr, "like")
+	p.X = x
+	sk := OfPattern(p, x, 2)
+	rest := syms.Lookup("rest")
+	if sk[0][rest] != 3 {
+		t.Errorf("pattern hop1 rest = %d want 3 (multiplicity expanded)", sk[0][rest])
+	}
+	if sk[1][rest] != 3 {
+		t.Errorf("pattern hop2 cumulative rest = %d want 3", sk[1][rest])
+	}
+}
+
+func TestIndexCaching(t *testing.T) {
+	g, hub := star(3)
+	ix := NewIndex(g, 2)
+	if ix.K() != 2 {
+		t.Errorf("K = %d", ix.K())
+	}
+	_ = ix.Sketch(hub)
+	_ = ix.Sketch(hub)
+	if ix.CachedCount() != 1 {
+		t.Errorf("CachedCount = %d want 1", ix.CachedCount())
+	}
+	_ = ix.Sketch(1)
+	if ix.CachedCount() != 2 {
+		t.Errorf("CachedCount = %d want 2", ix.CachedCount())
+	}
+}
+
+func TestIndexConcurrentAccess(t *testing.T) {
+	g, _ := star(50)
+	ix := NewIndex(g, 2)
+	done := make(chan bool)
+	for w := 0; w < 4; w++ {
+		go func() {
+			for v := 0; v < g.NumNodes(); v++ {
+				ix.Sketch(graph.NodeID(v))
+			}
+			done <- true
+		}()
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	if ix.CachedCount() != g.NumNodes() {
+		t.Errorf("CachedCount = %d want %d", ix.CachedCount(), g.NumNodes())
+	}
+}
+
+// TestQuickCumulative: sketches are cumulative (monotone per label across
+// hops) and hop-i counts never exceed the total node count.
+func TestQuickCumulative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.New(nil)
+		labels := []string{"a", "b", "c"}
+		n := 8 + rng.Intn(12)
+		for i := 0; i < n; i++ {
+			g.AddNode(labels[rng.Intn(3)])
+		}
+		for i := 0; i < 2*n; i++ {
+			g.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)), "e")
+		}
+		v := graph.NodeID(rng.Intn(n))
+		sk := Of(g, v, 3)
+		for i := 1; i < len(sk); i++ {
+			for l, c := range sk[i-1] {
+				if sk[i][l] < c {
+					return false
+				}
+			}
+		}
+		total := 0
+		for _, c := range sk[len(sk)-1] {
+			total += c
+		}
+		return total <= n-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDominanceNecessary: if pattern p has a match at v, then v's data
+// sketch dominates x's pattern sketch — the property guided search relies
+// on for pruning. (Verified indirectly through match elsewhere; here we
+// check Score feasibility implies Dominates and vice versa.)
+func TestQuickScoreDominatesAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func() Sketch {
+			s := make(Sketch, 2)
+			for i := range s {
+				s[i] = map[graph.Label]int{}
+				for l := graph.Label(1); l <= 3; l++ {
+					s[i][l] = rng.Intn(4)
+				}
+			}
+			// ensure cumulative
+			for l := graph.Label(1); l <= 3; l++ {
+				if s[1][l] < s[0][l] {
+					s[1][l] = s[0][l]
+				}
+			}
+			return s
+		}
+		a, b := mk(), mk()
+		_, ok := Score(a, b)
+		return ok == a.Dominates(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
