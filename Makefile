@@ -1,0 +1,27 @@
+GO ?= go
+BIN := bin
+
+.PHONY: all build vet test race serve clean
+
+all: vet build test
+
+build:
+	$(GO) build -o $(BIN)/ ./cmd/...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) build ./... && $(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/serve/ ./internal/partition/ ./internal/match/
+
+# Start the serving daemon on a generated Pokec-like graph, mining a
+# starter rule set for the Disco predicate (see DESIGN.md quickstart).
+serve: build
+	./$(BIN)/gpard -addr :8080 -gen pokec -users 2000 -seed 1 \
+	    -pred "user,like_music,music:Disco" -mine -k 8 -sigma 20
+
+clean:
+	rm -rf $(BIN)

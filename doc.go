@@ -10,6 +10,12 @@
 //
 // The implementation lives under internal/ (see DESIGN.md for the system
 // inventory); runnable entry points are the commands under cmd/ and the
-// programs under examples/. The root package exists to carry module-level
-// documentation and the figure-by-figure benchmarks in bench_test.go.
+// programs under examples/. Beyond the paper's batch algorithms, the
+// internal/serve subsystem and the gpard daemon (cmd/gpard) turn the
+// reproduction into a mine-once/match-many serving system: a resident
+// graph + rule-set snapshot with atomic hot-swap, a per-rule match-set
+// cache, single-flight request batching and a bounded matching worker
+// pool behind a JSON HTTP API. The root package exists to carry
+// module-level documentation and the figure-by-figure benchmarks in
+// bench_test.go.
 package gpar

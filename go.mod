@@ -1,0 +1,3 @@
+module gpar
+
+go 1.24

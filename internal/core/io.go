@@ -2,6 +2,8 @@ package core
 
 import (
 	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"io"
 	"strconv"
@@ -20,6 +22,21 @@ import (
 //	end
 //
 // Multiple rules concatenate. Blank lines and # comments are ignored.
+
+// Key returns a stable identity for the rule: a digest of its canonical
+// serialization (WriteRules of just this rule). Two structurally identical
+// rules over the same label names share a key across processes, which makes
+// it usable as a cache key (internal/serve keys its match-set cache by rule
+// Key + graph generation). Isomorphic-but-reordered rules get distinct keys;
+// that is conservative for caching. Key renders label names, so it must not
+// race with Symbols.Intern on the shared table.
+func (r *Rule) Key() string {
+	var b strings.Builder
+	// strings.Builder never fails; WriteRules only returns writer errors.
+	_ = WriteRules(&b, []*Rule{r})
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:12])
+}
 
 // WriteRules serializes rules to w.
 func WriteRules(w io.Writer, rules []*Rule) error {

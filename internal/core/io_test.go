@@ -78,3 +78,27 @@ func TestReadRulesValidates(t *testing.T) {
 		t.Error("mismatched x label accepted")
 	}
 }
+
+func TestRuleKeyStability(t *testing.T) {
+	// Identical rules share a key across symbol tables; the key survives a
+	// serialization round trip (internal/serve caches by it).
+	a := gen.R1(graph.NewSymbols())
+	b := gen.R1(graph.NewSymbols())
+	if a.Key() != b.Key() {
+		t.Errorf("identical rules: keys %s vs %s", a.Key(), b.Key())
+	}
+	var buf bytes.Buffer
+	if err := WriteRules(&buf, []*Rule{a}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRules(&buf, graph.NewSymbols())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Key() != a.Key() {
+		t.Errorf("round trip changed key: %s vs %s", got[0].Key(), a.Key())
+	}
+	if c := gen.R5(graph.NewSymbols()); c.Key() == a.Key() {
+		t.Errorf("distinct rules share key %s", a.Key())
+	}
+}

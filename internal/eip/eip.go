@@ -87,9 +87,11 @@ func validate(rules []*core.Rule) error {
 	return nil
 }
 
-// maxRadius returns the partitioning radius: the largest r(Q,x) or r(PR,x)
-// over Σ, so every per-candidate check is local to its fragment.
-func maxRadius(rules []*core.Rule) int {
+// MaxRadius returns the partitioning radius for a rule set: the largest
+// r(Q,x) or r(PR,x) over Σ (minimum 1), so every per-candidate check is
+// local to its fragment. Shared with the serving snapshot build
+// (internal/serve).
+func MaxRadius(rules []*core.Rule) int {
 	d := 1
 	for _, r := range rules {
 		if rq := r.Q.RadiusAt(r.Q.X); rq > d {
@@ -100,6 +102,37 @@ func maxRadius(rules []*core.Rule) int {
 		}
 	}
 	return d
+}
+
+// ClassifyCenters splits candidate centers into the three LCWA classes of
+// Section 3 with respect to pred: pq (an outgoing pred edge to a
+// YLabel-labeled node exists), pqbar (pred edges exist, none to YLabel —
+// the q̄ set), and other (no pred edge at all, the unknown cases). It is
+// shared by the batch algorithms here and the serving snapshot build
+// (internal/serve).
+func ClassifyCenters(g *graph.Graph, centers []graph.NodeID, pred core.Predicate) (pq, pqbar, other []graph.NodeID) {
+	for _, c := range centers {
+		hasQ, hasMatch := false, false
+		for _, e := range g.Out(c) {
+			if e.Label != pred.EdgeLabel {
+				continue
+			}
+			hasQ = true
+			if g.Label(e.To) == pred.YLabel {
+				hasMatch = true
+				break
+			}
+		}
+		switch {
+		case hasMatch:
+			pq = append(pq, c)
+		case hasQ:
+			pqbar = append(pqbar, c)
+		default:
+			other = append(other, c)
+		}
+	}
+	return pq, pqbar, other
 }
 
 // mode selects the per-candidate strategy.
@@ -139,7 +172,7 @@ func run(g *graph.Graph, rules []*core.Rule, opts Options, md mode) (*Result, er
 		return nil, err
 	}
 	pred := rules[0].Pred
-	d := maxRadius(rules)
+	d := MaxRadius(rules)
 	cands := g.NodesWithLabel(pred.XLabel)
 	frags := partition.Partition(g, cands, opts.N, d)
 	for _, f := range frags {
@@ -169,27 +202,7 @@ func processFragment(f *partition.Fragment, rules []*core.Rule, pred core.Predic
 		qqbCnt: make([]int, len(rules)),
 	}
 	// LCWA classification of owned centers (once, shared by all rules).
-	for _, c := range f.Centers {
-		hasQ, hasMatch := false, false
-		for _, e := range f.G.Out(c) {
-			if e.Label != pred.EdgeLabel {
-				continue
-			}
-			hasQ = true
-			if f.G.Label(e.To) == pred.YLabel {
-				hasMatch = true
-				break
-			}
-		}
-		switch {
-		case hasMatch:
-			st.pq = append(st.pq, c)
-		case hasQ:
-			st.pqbar = append(st.pqbar, c)
-		default:
-			st.other = append(st.other, c)
-		}
-	}
+	st.pq, st.pqbar, st.other = ClassifyCenters(f.G, f.Centers, pred)
 
 	mopts := match.Options{}
 	var triples *tripleIndex

@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Batcher coalesces concurrent executions that share a key into one: the
+// first caller (the leader) runs fn, every caller that arrives while it is
+// in flight blocks and receives the leader's result. This turns a stampede
+// of identical identify queries into a single match execution. An optional
+// window makes the leader wait before executing so near-simultaneous
+// duplicates can still join the batch.
+type Batcher[V any] struct {
+	mu       sync.Mutex
+	window   time.Duration
+	inflight map[string]*batchCall[V]
+
+	executions atomic.Int64
+	coalesced  atomic.Int64
+}
+
+type batchCall[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// BatchStats is a point-in-time counter snapshot for /stats.
+type BatchStats struct {
+	Executions int64 `json:"executions"`
+	Coalesced  int64 `json:"coalesced"`
+}
+
+// NewBatcher returns a Batcher with the given coalescing window (0 = pure
+// single-flight).
+func NewBatcher[V any](window time.Duration) *Batcher[V] {
+	return &Batcher[V]{
+		window:   window,
+		inflight: make(map[string]*batchCall[V]),
+	}
+}
+
+// Do executes fn under key, coalescing with any in-flight call for the same
+// key. shared reports whether this call joined another's execution rather
+// than running fn itself.
+func (b *Batcher[V]) Do(key string, fn func() (V, error)) (v V, shared bool, err error) {
+	b.mu.Lock()
+	if c, ok := b.inflight[key]; ok {
+		b.mu.Unlock()
+		<-c.done
+		b.coalesced.Add(1)
+		return c.val, true, c.err
+	}
+	c := &batchCall[V]{done: make(chan struct{})}
+	b.inflight[key] = c
+	b.mu.Unlock()
+
+	if b.window > 0 {
+		time.Sleep(b.window)
+	}
+	c.val, c.err = fn()
+	b.executions.Add(1)
+
+	b.mu.Lock()
+	delete(b.inflight, key)
+	b.mu.Unlock()
+	close(c.done)
+	return c.val, false, c.err
+}
+
+// Stats returns current counters.
+func (b *Batcher[V]) Stats() BatchStats {
+	return BatchStats{
+		Executions: b.executions.Load(),
+		Coalesced:  b.coalesced.Load(),
+	}
+}

@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestBatcherCoalescesConcurrentCalls(t *testing.T) {
+	b := NewBatcher[int](0)
+	var calls atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+	fn := func() (int, error) {
+		calls.Add(1)
+		close(started)
+		<-release
+		return 42, nil
+	}
+
+	const n = 16
+	var wg sync.WaitGroup
+	results := make([]int, n)
+	shared := make([]bool, n)
+	wg.Add(1)
+	go func() { // leader
+		defer wg.Done()
+		results[0], shared[0], _ = b.Do("k", fn)
+	}()
+	<-started // fn is in flight; everyone below must coalesce
+	for i := 1; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], shared[i], _ = b.Do("k", func() (int, error) {
+				t.Error("follower executed fn")
+				return 0, nil
+			})
+		}(i)
+	}
+	// Give followers time to enqueue, then let the leader finish.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("fn ran %d times, want 1", got)
+	}
+	for i, r := range results {
+		if r != 42 {
+			t.Errorf("caller %d got %d, want 42", i, r)
+		}
+		if i > 0 && !shared[i] {
+			t.Errorf("caller %d not marked shared", i)
+		}
+	}
+	if shared[0] {
+		t.Error("leader marked shared")
+	}
+	st := b.Stats()
+	if st.Executions != 1 || st.Coalesced != n-1 {
+		t.Errorf("stats %+v, want 1 execution, %d coalesced", st, n-1)
+	}
+}
+
+func TestBatcherDistinctKeysRunIndependently(t *testing.T) {
+	b := NewBatcher[string](0)
+	a, sharedA, _ := b.Do("a", func() (string, error) { return "va", nil })
+	c, sharedC, _ := b.Do("c", func() (string, error) { return "vc", nil })
+	if a != "va" || c != "vc" || sharedA || sharedC {
+		t.Fatalf("got (%q,%v) (%q,%v)", a, sharedA, c, sharedC)
+	}
+	if st := b.Stats(); st.Executions != 2 || st.Coalesced != 0 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestBatcherPropagatesErrors(t *testing.T) {
+	b := NewBatcher[int](0)
+	boom := errors.New("boom")
+	_, _, err := b.Do("k", func() (int, error) { return 0, boom })
+	if err != boom {
+		t.Fatalf("err %v, want boom", err)
+	}
+	// The failed call is not pinned: a later call re-executes.
+	v, shared, err := b.Do("k", func() (int, error) { return 7, nil })
+	if v != 7 || shared || err != nil {
+		t.Fatalf("retry got (%d,%v,%v)", v, shared, err)
+	}
+}
+
+func TestBatcherWindowCollectsLateArrivals(t *testing.T) {
+	b := NewBatcher[int](30 * time.Millisecond)
+	var calls atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			time.Sleep(time.Duration(i) * time.Millisecond) // staggered arrivals
+			v, _, _ := b.Do("k", func() (int, error) {
+				calls.Add(1)
+				return 1, nil
+			})
+			if v != 1 {
+				t.Errorf("caller %d got %d", i, v)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := calls.Load(); got != 1 {
+		t.Errorf("fn ran %d times, want 1 (window should absorb staggered arrivals)", got)
+	}
+}

@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func ev(key string) *RuleEval { return &RuleEval{Key: key} }
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", ev("a"))
+	c.Put("b", ev("b"))
+	if _, ok := c.Get("a"); !ok { // a is now most recently used
+		t.Fatal("a missing")
+	}
+	c.Put("c", ev("c")) // evicts b, the LRU entry
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived eviction")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("%s evicted, want resident", k)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 2 {
+		t.Errorf("stats %+v, want 1 eviction, 2 entries", st)
+	}
+}
+
+func TestCachePutRefreshesExisting(t *testing.T) {
+	c := NewCache(4)
+	c.Put("a", ev("old"))
+	c.Put("a", ev("new"))
+	got, ok := c.Get("a")
+	if !ok || got.Key != "new" {
+		t.Fatalf("got %+v, want refreshed value", got)
+	}
+	if st := c.Stats(); st.Entries != 1 {
+		t.Errorf("entries %d, want 1", st.Entries)
+	}
+}
+
+func TestCachePurge(t *testing.T) {
+	c := NewCache(8)
+	for i := 0; i < 5; i++ {
+		c.Put(fmt.Sprintf("k%d", i), ev("v"))
+	}
+	if n := c.Purge(); n != 5 {
+		t.Fatalf("purged %d, want 5", n)
+	}
+	if _, ok := c.Get("k0"); ok {
+		t.Error("entry survived purge")
+	}
+	st := c.Stats()
+	if st.Entries != 0 || st.Purges != 1 {
+		t.Errorf("stats %+v after purge", st)
+	}
+	if n := c.Purge(); n != 0 {
+		t.Errorf("second purge dropped %d", n)
+	}
+	if st := c.Stats(); st.Purges != 1 {
+		t.Errorf("empty purge counted: %+v", st)
+	}
+}
+
+func TestCacheMinimumCapacity(t *testing.T) {
+	c := NewCache(0)
+	c.Put("a", ev("a"))
+	c.Put("b", ev("b"))
+	if _, ok := c.Get("b"); !ok {
+		t.Error("latest entry missing from capacity-1 cache")
+	}
+	if st := c.Stats(); st.Entries != 1 {
+		t.Errorf("entries %d, want 1", st.Entries)
+	}
+}
+
+func TestCacheConcurrentAccess(t *testing.T) {
+	c := NewCache(16)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				k := fmt.Sprintf("k%d", j%32)
+				if j%3 == 0 {
+					c.Put(k, ev(k))
+				} else {
+					c.Get(k)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Entries > 16 {
+		t.Errorf("entries %d exceed capacity", st.Entries)
+	}
+}

@@ -1,0 +1,383 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"gpar/internal/core"
+	"gpar/internal/graph"
+)
+
+// jsonFloat marshals NaN and ±Inf — which encoding/json rejects — as
+// strings. Rule confidence is legitimately +Inf (the "logic rule" trivial
+// case) and NaN (supp(q,G) = 0).
+type jsonFloat float64
+
+// MarshalJSON implements json.Marshaler.
+func (f jsonFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsNaN(v):
+		return []byte(`"NaN"`), nil
+	case math.IsInf(v, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-Inf"`), nil
+	}
+	return json.Marshal(v)
+}
+
+// IdentifyRequest is the body of POST /v1/identify. Rules selects by key
+// and Indices by position; both empty means the whole resident set Σ.
+type IdentifyRequest struct {
+	Rules   []string `json:"rules,omitempty"`
+	Indices []int    `json:"indices,omitempty"`
+	// Eta is the confidence bound η; 0 means the server default.
+	Eta float64 `json:"eta,omitempty"`
+	// IncludeMatches returns each rule's match set, not just its size.
+	IncludeMatches bool `json:"includeMatches,omitempty"`
+}
+
+// IdentifyRule is one rule's slice of an identify response.
+type IdentifyRule struct {
+	Index     int            `json:"index"`
+	Key       string         `json:"key"`
+	Conf      jsonFloat      `json:"conf"`
+	SuppR     int            `json:"suppR"`
+	SuppQ     int            `json:"suppQ"`
+	Matches   int            `json:"matches"`
+	Applied   bool           `json:"applied"`
+	Cached    bool           `json:"cached"`
+	Coalesced bool           `json:"coalesced,omitempty"`
+	Nodes     []graph.NodeID `json:"nodes,omitempty"`
+}
+
+// IdentifyResponse is Σ(x,G,η) for the selected rules.
+type IdentifyResponse struct {
+	Generation uint64         `json:"generation"`
+	Eta        float64        `json:"eta"`
+	Identified []graph.NodeID `json:"identified"`
+	Count      int            `json:"count"`
+	Rules      []IdentifyRule `json:"rules"`
+	ElapsedMs  float64        `json:"elapsedMs"`
+}
+
+// RuleInfo is one entry of GET /v1/rules.
+type RuleInfo struct {
+	Index  int    `json:"index"`
+	Key    string `json:"key"`
+	Rule   string `json:"rule"`
+	Size   int    `json:"size"`
+	Radius int    `json:"radius"`
+}
+
+// RulesResponse is the body of GET /v1/rules.
+type RulesResponse struct {
+	Generation uint64     `json:"generation"`
+	Pred       string     `json:"pred"`
+	Rules      []RuleInfo `json:"rules"`
+}
+
+// StatsResponse is the body of GET /stats.
+type StatsResponse struct {
+	Generation uint64  `json:"generation"`
+	UptimeSec  float64 `json:"uptimeSec"`
+	Graph      struct {
+		Nodes int `json:"nodes"`
+		Edges int `json:"edges"`
+	} `json:"graph"`
+	Pred      string     `json:"pred"`
+	Rules     int        `json:"rules"`
+	Fragments int        `json:"fragments"`
+	PoolSize  int        `json:"poolSize"`
+	Cache     CacheStats `json:"cache"`
+	Batch     BatchStats `json:"batch"`
+	Requests  struct {
+		Identify int64 `json:"identify"`
+		Rules    int64 `json:"rules"`
+		Mine     int64 `json:"mine"`
+		Swaps    int64 `json:"swaps"`
+	} `json:"requests"`
+	Jobs map[JobStatus]int `json:"jobs"`
+}
+
+// Handler returns the server's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/identify", s.handleIdentify)
+	mux.HandleFunc("GET /v1/rules", s.handleRulesGet)
+	mux.HandleFunc("PUT /v1/rules", s.handleRulesPut)
+	mux.HandleFunc("POST /v1/mine", s.handleMine)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return mux
+}
+
+// ready returns the current snapshot or writes the appropriate error.
+func (s *Server) ready(w http.ResponseWriter) *Snapshot {
+	if s.closed.Load() {
+		httpError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return nil
+	}
+	snap := s.snap.Load()
+	if snap == nil {
+		httpError(w, http.StatusServiceUnavailable, "no snapshot loaded")
+		return nil
+	}
+	return snap
+}
+
+func (s *Server) handleIdentify(w http.ResponseWriter, r *http.Request) {
+	s.nIdentify.Add(1)
+	snap := s.ready(w)
+	if snap == nil {
+		return
+	}
+	var req IdentifyRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	eta := req.Eta
+	if eta == 0 {
+		eta = s.cfg.DefaultEta
+	}
+	var selected []*ServedRule
+	switch {
+	case len(req.Rules) == 0 && len(req.Indices) == 0:
+		selected = snap.Rules
+	default:
+		seen := make(map[string]bool)
+		for _, key := range req.Rules {
+			sr, ok := snap.RuleByKey(key)
+			if !ok {
+				httpError(w, http.StatusNotFound, "unknown rule key %q", key)
+				return
+			}
+			if !seen[sr.Key] {
+				seen[sr.Key] = true
+				selected = append(selected, sr)
+			}
+		}
+		for _, ix := range req.Indices {
+			if ix < 0 || ix >= len(snap.Rules) {
+				httpError(w, http.StatusNotFound, "rule index %d out of range [0,%d)", ix, len(snap.Rules))
+				return
+			}
+			sr := snap.Rules[ix]
+			if !seen[sr.Key] {
+				seen[sr.Key] = true
+				selected = append(selected, sr)
+			}
+		}
+	}
+	if len(selected) == 0 {
+		httpError(w, http.StatusConflict, "no rules loaded; mine (POST /v1/mine) or upload (PUT /v1/rules) first")
+		return
+	}
+
+	start := time.Now()
+	resp := IdentifyResponse{Generation: snap.Gen, Eta: eta}
+	// Evaluate the selected rules concurrently; the shared Pool still
+	// bounds total matching work, this just overlaps the per-rule chains.
+	type outcome struct {
+		ev                *RuleEval
+		cached, coalesced bool
+		err               error
+	}
+	outcomes := make([]outcome, len(selected))
+	var wg sync.WaitGroup
+	for i, sr := range selected {
+		wg.Add(1)
+		go func(i int, sr *ServedRule) {
+			defer wg.Done()
+			o := &outcomes[i]
+			o.ev, o.cached, o.coalesced, o.err = s.identifyOne(snap, sr)
+		}(i, sr)
+	}
+	wg.Wait()
+	identified := make(map[graph.NodeID]bool)
+	for i, sr := range selected {
+		o := outcomes[i]
+		if o.err != nil {
+			httpError(w, http.StatusInternalServerError, "rule %s: %v", sr.Key, o.err)
+			return
+		}
+		ir := IdentifyRule{
+			Index:     sr.Index,
+			Key:       sr.Key,
+			Conf:      jsonFloat(o.ev.Conf),
+			SuppR:     o.ev.Stats.SuppR,
+			SuppQ:     o.ev.Stats.SuppQ,
+			Matches:   len(o.ev.Matches),
+			Applied:   o.ev.Conf >= eta,
+			Cached:    o.cached,
+			Coalesced: o.coalesced,
+		}
+		if req.IncludeMatches {
+			ir.Nodes = o.ev.Matches
+		}
+		if ir.Applied {
+			for _, v := range o.ev.Matches {
+				identified[v] = true
+			}
+		}
+		resp.Rules = append(resp.Rules, ir)
+	}
+	resp.Identified = sortedIDs(identified)
+	resp.Count = len(resp.Identified)
+	resp.ElapsedMs = float64(time.Since(start).Microseconds()) / 1000
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleRulesGet(w http.ResponseWriter, r *http.Request) {
+	s.nRules.Add(1)
+	snap := s.ready(w)
+	if snap == nil {
+		return
+	}
+	resp := RulesResponse{Generation: snap.Gen, Pred: snap.PredDisplay, Rules: []RuleInfo{}}
+	for _, sr := range snap.Rules {
+		resp.Rules = append(resp.Rules, RuleInfo{
+			Index:  sr.Index,
+			Key:    sr.Key,
+			Rule:   sr.Display,
+			Size:   sr.Size,
+			Radius: sr.Radius,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleRulesPut replaces the served rule set with one in the core rule
+// text format (the round-trip of core.WriteRules / core.ReadRules), hot-
+// swapping the snapshot.
+func (s *Server) handleRulesPut(w http.ResponseWriter, r *http.Request) {
+	s.nRules.Add(1)
+	snap := s.ready(w)
+	if snap == nil {
+		return
+	}
+	// Drain the body before taking any lock: a stalled client must not
+	// wedge the swap path (or Shutdown) on a network read.
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 16<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	// ReadRules interns label names into the shared symbol table, which is
+	// only safe under the swap lock.
+	s.swapMu.Lock()
+	rules, err := core.ReadRules(bytes.NewReader(body), snap.G.Symbols())
+	s.swapMu.Unlock()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad rule set: %v", err)
+		return
+	}
+	gen, err := s.SwapRules(rules)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "swap failed: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"generation": gen,
+		"rules":      len(rules),
+	})
+}
+
+func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
+	s.nMine.Add(1)
+	if s.ready(w) == nil {
+		return
+	}
+	var p MineParams
+	if err := json.NewDecoder(r.Body).Decode(&p); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	job, err := s.StartMine(p)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job)
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.jobs.List())
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	code := http.StatusOK
+	if s.closed.Load() || s.snap.Load() == nil {
+		status = "unavailable"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":     status,
+		"generation": s.gen.Load(),
+		"uptimeSec":  time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	var resp StatsResponse
+	resp.Generation = s.gen.Load()
+	resp.UptimeSec = time.Since(s.start).Seconds()
+	if snap := s.snap.Load(); snap != nil {
+		resp.Graph.Nodes = snap.G.NumNodes()
+		resp.Graph.Edges = snap.G.NumEdges()
+		resp.Pred = snap.PredDisplay
+		resp.Rules = len(snap.Rules)
+		resp.Fragments = len(snap.frags)
+	}
+	resp.PoolSize = s.pool.Size()
+	resp.Cache = s.cache.Stats()
+	resp.Batch = s.batch.Stats()
+	resp.Requests.Identify = s.nIdentify.Load()
+	resp.Requests.Rules = s.nRules.Load()
+	resp.Requests.Mine = s.nMine.Load()
+	resp.Requests.Swaps = s.nSwap.Load()
+	resp.Jobs = s.jobs.Counts()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func sortedIDs(set map[graph.NodeID]bool) []graph.NodeID {
+	out := make([]graph.NodeID, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]any{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,247 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"gpar/internal/core"
+	"gpar/internal/graph"
+	"gpar/internal/mine"
+)
+
+// MineParams is the body of POST /v1/mine: a DMine run over the resident
+// graph. Label names must already exist in the graph (they are resolved
+// with the read-only Symbols.Lookup, never interned).
+type MineParams struct {
+	XLabel    string  `json:"xLabel"`
+	EdgeLabel string  `json:"edgeLabel"`
+	YLabel    string  `json:"yLabel"`
+	K         int     `json:"k,omitempty"`
+	Sigma     int     `json:"sigma,omitempty"`
+	D         int     `json:"d,omitempty"`
+	Lambda    float64 `json:"lambda,omitempty"`
+	MaxEdges  int     `json:"maxEdges,omitempty"`
+	Workers   int     `json:"workers,omitempty"`
+	Cap       int     `json:"cap,omitempty"`
+	// Install swaps the mined top-k in as the served rule set on success,
+	// bumping the generation and invalidating the match-set cache.
+	Install bool `json:"install,omitempty"`
+}
+
+// JobStatus is the lifecycle of a mine job.
+type JobStatus string
+
+const (
+	JobPending JobStatus = "pending"
+	JobRunning JobStatus = "running"
+	JobDone    JobStatus = "done"
+	JobFailed  JobStatus = "failed"
+)
+
+// Job is one asynchronous DMine run. Fields are snapshots; the registry
+// returns copies, so readers never observe a job mid-update.
+type Job struct {
+	ID       string     `json:"id"`
+	Status   JobStatus  `json:"status"`
+	Params   MineParams `json:"params"`
+	Created  time.Time  `json:"created"`
+	Started  time.Time  `json:"started,omitzero"`
+	Finished time.Time  `json:"finished,omitzero"`
+	Error    string     `json:"error,omitempty"`
+
+	Rounds    int       `json:"rounds,omitempty"`
+	Generated int       `json:"generated,omitempty"`
+	Kept      int       `json:"kept,omitempty"`
+	F         float64   `json:"f,omitempty"`
+	RuleKeys  []string  `json:"ruleKeys,omitempty"`
+	Installed bool      `json:"installed,omitempty"`
+	// Generation is the snapshot generation after install (0 otherwise).
+	Generation uint64 `json:"generation,omitempty"`
+}
+
+// maxJobs bounds the registry: when exceeded, the oldest finished jobs are
+// evicted (running and pending jobs are never dropped), so a daemon that
+// re-mines periodically does not grow without bound.
+const maxJobs = 128
+
+// Jobs is the in-memory job registry.
+type Jobs struct {
+	mu  sync.Mutex
+	m   map[string]*Job
+	seq int
+}
+
+// NewJobs returns an empty registry.
+func NewJobs() *Jobs {
+	return &Jobs{m: make(map[string]*Job)}
+}
+
+func (j *Jobs) create(p MineParams) Job {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.seq++
+	job := &Job{
+		ID:      fmt.Sprintf("job-%d", j.seq),
+		Status:  JobPending,
+		Params:  p,
+		Created: time.Now(),
+	}
+	j.m[job.ID] = job
+	for len(j.m) > maxJobs {
+		var oldest *Job
+		for _, cand := range j.m {
+			if cand.Status != JobDone && cand.Status != JobFailed {
+				continue
+			}
+			if oldest == nil || cand.Created.Before(oldest.Created) {
+				oldest = cand
+			}
+		}
+		if oldest == nil {
+			break // everything is still in flight; keep them all
+		}
+		delete(j.m, oldest.ID)
+	}
+	return *job
+}
+
+func (j *Jobs) update(id string, fn func(*Job)) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if job, ok := j.m[id]; ok {
+		fn(job)
+	}
+}
+
+// Get returns a copy of the job, if it exists.
+func (j *Jobs) Get(id string) (Job, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	job, ok := j.m[id]
+	if !ok {
+		return Job{}, false
+	}
+	return *job, true
+}
+
+// List returns copies of all jobs, newest first.
+func (j *Jobs) List() []Job {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]Job, 0, len(j.m))
+	for _, job := range j.m {
+		out = append(out, *job)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].Created.After(out[k].Created) })
+	return out
+}
+
+// Counts returns per-status totals for /stats.
+func (j *Jobs) Counts() map[JobStatus]int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make(map[JobStatus]int, 4)
+	for _, job := range j.m {
+		out[job.Status]++
+	}
+	return out
+}
+
+// StartMine validates params against the current snapshot and launches the
+// DMine run in the background, returning the pending job. The whole
+// admission runs under the swap lock: Symbols.Lookup must not race a
+// concurrent Intern (PUT /v1/rules), and the closed-check + jobWG.Add must
+// serialize with Shutdown so no job registers after the drain begins.
+func (s *Server) StartMine(p MineParams) (Job, error) {
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	if s.closed.Load() {
+		return Job{}, fmt.Errorf("serve: server is shutting down")
+	}
+	snap := s.snap.Load()
+	if snap == nil {
+		return Job{}, fmt.Errorf("serve: no snapshot loaded")
+	}
+	pred, err := lookupPred(snap.G.Symbols(), p)
+	if err != nil {
+		return Job{}, err
+	}
+	job := s.jobs.create(p)
+	s.jobWG.Add(1)
+	go s.runMine(job.ID, snap, pred, p)
+	return job, nil
+}
+
+func (s *Server) runMine(id string, snap *Snapshot, pred core.Predicate, p MineParams) {
+	defer s.jobWG.Done()
+	s.jobs.update(id, func(j *Job) {
+		j.Status = JobRunning
+		j.Started = time.Now()
+	})
+	opts := mine.Options{
+		K: p.K, Sigma: p.Sigma, D: p.D, Lambda: p.Lambda, N: p.Workers,
+		MaxEdges: p.MaxEdges, MaxCandidatesPerRound: p.Cap,
+	}.WithOptimizations()
+	res := mine.DMine(snap.G, pred, opts)
+
+	rules := make([]*core.Rule, 0, len(res.TopK))
+	keys := make([]string, 0, len(res.TopK))
+	// Rule.Key renders label names; serialize against concurrent interning
+	// (PUT /v1/rules) with the swap lock.
+	s.swapMu.Lock()
+	for _, mm := range res.TopK {
+		rules = append(rules, mm.Rule)
+		keys = append(keys, mm.Rule.Key())
+	}
+	s.swapMu.Unlock()
+	installed := false
+	var gen uint64
+	var installErr error
+	if p.Install && len(rules) > 0 && !s.closed.Load() {
+		// Install against the graph the mine ran on, verified under the
+		// swap lock; a concurrent graph swap wins and this install fails.
+		gen, installErr = s.installIfCurrent(snap.G, pred, rules)
+		installed = installErr == nil
+	}
+	s.jobs.update(id, func(j *Job) {
+		j.Finished = time.Now()
+		j.Rounds = res.Rounds
+		j.Generated = res.Generated
+		j.Kept = res.Kept
+		j.F = res.F
+		j.RuleKeys = keys
+		j.Installed = installed
+		j.Generation = gen
+		if installErr != nil {
+			j.Status = JobFailed
+			j.Error = installErr.Error()
+		} else {
+			j.Status = JobDone
+		}
+	})
+}
+
+// lookupPred resolves the mine predicate's label names without interning.
+func lookupPred(syms *graph.Symbols, p MineParams) (core.Predicate, error) {
+	var pred core.Predicate
+	for _, f := range []struct {
+		name string
+		dst  *graph.Label
+	}{
+		{p.XLabel, &pred.XLabel},
+		{p.EdgeLabel, &pred.EdgeLabel},
+		{p.YLabel, &pred.YLabel},
+	} {
+		if f.name == "" {
+			return pred, fmt.Errorf("serve: mine predicate has empty label")
+		}
+		l := syms.Lookup(f.name)
+		if l == graph.NoLabel {
+			return pred, fmt.Errorf("serve: label %q does not occur in the graph", f.name)
+		}
+		*f.dst = l
+	}
+	return pred, nil
+}

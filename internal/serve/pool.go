@@ -1,0 +1,49 @@
+package serve
+
+import "sync"
+
+// Pool bounds the total matching concurrency of the server. Every request
+// fans its per-fragment evaluation tasks through the one shared Pool, so N
+// concurrent clients cannot start more than PoolSize fragment matchers.
+type Pool struct {
+	sem chan struct{}
+}
+
+// NewPool returns a pool running at most n tasks concurrently. n < 1 is
+// treated as 1.
+func NewPool(n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	return &Pool{sem: make(chan struct{}, n)}
+}
+
+// Size reports the concurrency bound.
+func (p *Pool) Size() int { return cap(p.sem) }
+
+// Do runs all tasks, at most Size at a time pool-wide, and waits for them.
+// The calling goroutine also executes tasks (it runs the last one inline
+// once a slot is free), so Do never deadlocks on an exhausted pool.
+func (p *Pool) Do(tasks ...func()) {
+	if len(tasks) == 0 {
+		return
+	}
+	var wg sync.WaitGroup
+	for _, task := range tasks[:len(tasks)-1] {
+		p.sem <- struct{}{}
+		wg.Add(1)
+		go func(task func()) {
+			defer func() {
+				<-p.sem
+				wg.Done()
+			}()
+			task()
+		}(task)
+	}
+	// Run the final task on the caller: it charges a slot like the others
+	// but keeps the caller productive instead of idle-waiting.
+	p.sem <- struct{}{}
+	tasks[len(tasks)-1]()
+	<-p.sem
+	wg.Wait()
+}

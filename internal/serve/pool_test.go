@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	p := NewPool(2)
+	var cur, peak, ran atomic.Int64
+	task := func() {
+		n := cur.Add(1)
+		for {
+			old := peak.Load()
+			if n <= old || peak.CompareAndSwap(old, n) {
+				break
+			}
+		}
+		for i := 0; i < 1000; i++ { // busy work to overlap tasks
+			_ = i * i
+		}
+		ran.Add(1)
+		cur.Add(-1)
+	}
+	tasks := make([]func(), 20)
+	for i := range tasks {
+		tasks[i] = task
+	}
+	p.Do(tasks...)
+	if ran.Load() != 20 {
+		t.Fatalf("ran %d tasks, want 20", ran.Load())
+	}
+	if peak.Load() > 2 {
+		t.Errorf("peak concurrency %d exceeds pool size 2", peak.Load())
+	}
+}
+
+func TestPoolSharedAcrossCallers(t *testing.T) {
+	// Two goroutines fanning out through the same pool stay jointly bounded.
+	p := NewPool(3)
+	var cur, peak atomic.Int64
+	task := func() {
+		n := cur.Add(1)
+		for {
+			old := peak.Load()
+			if n <= old || peak.CompareAndSwap(old, n) {
+				break
+			}
+		}
+		for i := 0; i < 500; i++ {
+			_ = i * i
+		}
+		cur.Add(-1)
+	}
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tasks := make([]func(), 10)
+			for i := range tasks {
+				tasks[i] = task
+			}
+			p.Do(tasks...)
+		}()
+	}
+	wg.Wait()
+	if peak.Load() > 3 {
+		t.Errorf("peak concurrency %d exceeds shared pool size 3", peak.Load())
+	}
+}
+
+func TestPoolEmptyAndSingle(t *testing.T) {
+	p := NewPool(0) // clamps to 1
+	if p.Size() != 1 {
+		t.Fatalf("size %d, want 1", p.Size())
+	}
+	p.Do() // no tasks: must not block
+	done := false
+	p.Do(func() { done = true })
+	if !done {
+		t.Error("single task did not run")
+	}
+}

@@ -1,0 +1,234 @@
+// Package serve is the GPAR serving subsystem: it keeps a frozen data graph
+// and a mined (or loaded) rule set Σ resident in memory and answers
+// entity-identification queries concurrently over HTTP — the
+// "mine once, match many" shape of the paper's two headline use cases
+// (identifying potential customers, Section 1, and EIP, Section 5).
+//
+// The subsystem is built from four pieces:
+//
+//   - Snapshot: an immutable unit of serving state — the frozen graph, the
+//     rule set with precomputed keys and renderings, the partition fragments
+//     (d-neighborhood preserving, Section 4.2/5.1) with per-fragment sketch
+//     indexes and LCWA center classification. Snapshots are swapped
+//     atomically (LoadSnapshot / SwapRules), so in-flight queries keep the
+//     state they started with.
+//   - Cache: a bounded LRU of per-rule match-set evaluations keyed by rule
+//     Key() + graph generation; a swap bumps the generation and purges.
+//   - Batcher: single-flight coalescing of concurrent identify calls for
+//     the same rule into one match execution.
+//   - Pool: a bounded worker pool shared by all requests; per-rule
+//     evaluation fans out over the snapshot's fragments through it, so
+//     total matching concurrency is bounded no matter how many clients
+//     connect.
+//
+// Concurrency discipline: graph.Graph and graph.Symbols are not safe for
+// concurrent mutation, so BuildSnapshot freezes the graph, forces the label
+// index, and pre-renders every name (rule keys, display strings) before the
+// snapshot is published. Request paths only read labels as integers;
+// Symbols.Intern happens solely under the server's swap lock (LoadSnapshot,
+// SwapRules, ReadRules on PUT /v1/rules), and mine-job predicates resolve
+// label names with Symbols.Lookup, also under the swap lock so they cannot
+// race an interning swap.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gpar/internal/core"
+	"gpar/internal/graph"
+)
+
+// Config tunes a Server. The zero value is usable; defaults fill in.
+type Config struct {
+	// Workers is the number of graph fragments built per snapshot (the n of
+	// partition.Partition). Default 4.
+	Workers int
+	// PoolSize bounds concurrent fragment-evaluation tasks across all
+	// requests. Default GOMAXPROCS.
+	PoolSize int
+	// SketchK is the k-hop sketch depth for guided matching. Default 2.
+	SketchK int
+	// CacheCap bounds the number of cached per-rule evaluations. Default 256.
+	CacheCap int
+	// BatchWindow is how long the first (leader) identify call for a rule
+	// waits before executing, letting concurrent duplicates coalesce onto
+	// it. Default 0: pure single-flight, no added latency.
+	BatchWindow time.Duration
+	// DefaultEta is the confidence bound η applied when a request omits it.
+	// Default 1.0.
+	DefaultEta float64
+}
+
+func (c Config) defaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.PoolSize <= 0 {
+		c.PoolSize = runtime.GOMAXPROCS(0)
+	}
+	if c.SketchK <= 0 {
+		c.SketchK = 2
+	}
+	if c.CacheCap <= 0 {
+		c.CacheCap = 256
+	}
+	if c.DefaultEta <= 0 {
+		c.DefaultEta = 1.0
+	}
+	return c
+}
+
+// Server owns the current Snapshot and the shared cache, batcher, pool and
+// job registry. Create with New, install state with LoadSnapshot, expose
+// with Handler.
+type Server struct {
+	cfg   Config
+	pool  *Pool
+	cache *Cache
+	batch *Batcher[*RuleEval]
+	jobs  *Jobs
+
+	swapMu sync.Mutex // serializes snapshot swaps and symbol interning
+	snap   atomic.Pointer[Snapshot]
+	gen    atomic.Uint64
+
+	start  time.Time
+	closed atomic.Bool
+	jobWG  sync.WaitGroup
+
+	nIdentify atomic.Int64
+	nRules    atomic.Int64
+	nMine     atomic.Int64
+	nSwap     atomic.Int64
+}
+
+// New returns a Server with no snapshot installed; handlers answer 503
+// until LoadSnapshot succeeds.
+func New(cfg Config) *Server {
+	cfg = cfg.defaults()
+	return &Server{
+		cfg:   cfg,
+		pool:  NewPool(cfg.PoolSize),
+		cache: NewCache(cfg.CacheCap),
+		batch: NewBatcher[*RuleEval](cfg.BatchWindow),
+		jobs:  NewJobs(),
+		start: time.Now(),
+	}
+}
+
+// Snapshot returns the currently served snapshot, or nil before the first
+// LoadSnapshot.
+func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
+
+// Generation returns the current snapshot generation (0 before the first
+// load). Each swap increments it, which invalidates all cache keys.
+func (s *Server) Generation() uint64 { return s.gen.Load() }
+
+// LoadSnapshot builds and atomically installs serving state for graph g,
+// predicate pred and rule set rules (which may be empty). It freezes g,
+// partitions it, classifies centers under the LCWA, purges the cache, and
+// bumps the generation. In-flight requests finish on the old snapshot.
+func (s *Server) LoadSnapshot(g *graph.Graph, pred core.Predicate, rules []*core.Rule) error {
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	_, err := s.loadLocked(g, pred, rules)
+	return err
+}
+
+// loadLocked is LoadSnapshot with s.swapMu already held. It returns the
+// generation it installed, so callers can report their own swap rather
+// than whatever generation is current by the time they respond.
+func (s *Server) loadLocked(g *graph.Graph, pred core.Predicate, rules []*core.Rule) (uint64, error) {
+	if g == nil {
+		return 0, fmt.Errorf("serve: nil graph")
+	}
+	snap, err := BuildSnapshot(g, pred, rules, s.cfg)
+	if err != nil {
+		return 0, err
+	}
+	snap.Gen = s.gen.Add(1)
+	s.snap.Store(snap)
+	s.cache.Purge()
+	s.nSwap.Add(1)
+	return snap.Gen, nil
+}
+
+// SwapRules hot-swaps the rule set, keeping the current graph, and returns
+// the installed generation. When rules is non-empty its predicate replaces
+// the snapshot's; an empty set keeps the old predicate. Fragments are
+// rebuilt (the partition radius depends on the rule set) and the match-set
+// cache is invalidated.
+func (s *Server) SwapRules(rules []*core.Rule) (uint64, error) {
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	snap := s.snap.Load()
+	if snap == nil {
+		return 0, fmt.Errorf("serve: no snapshot loaded")
+	}
+	pred := snap.Pred
+	if len(rules) > 0 {
+		pred = rules[0].Pred
+	}
+	return s.loadLocked(snap.G, pred, rules)
+}
+
+// installIfCurrent installs rules for pred only if the served graph is
+// still expectG, checked under the swap lock — a mine job must not revert
+// a graph that was swapped while it ran. It returns the installed
+// generation.
+func (s *Server) installIfCurrent(expectG *graph.Graph, pred core.Predicate, rules []*core.Rule) (uint64, error) {
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	cur := s.snap.Load()
+	if cur == nil || cur.G != expectG {
+		return 0, fmt.Errorf("serve: graph swapped during mine; not installing")
+	}
+	return s.loadLocked(expectG, pred, rules)
+}
+
+// Shutdown stops accepting work and waits for running mine jobs, up to
+// ctx's deadline. Handlers answer 503 after Shutdown begins.
+func (s *Server) Shutdown(ctx context.Context) error {
+	// closed flips under the swap lock so it serializes with StartMine's
+	// closed-check + jobWG.Add: no job can register after the drain begins.
+	s.swapMu.Lock()
+	s.closed.Store(true)
+	s.swapMu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.jobWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// identifyOne evaluates one rule of the snapshot through the cache and the
+// batcher. It reports whether the evaluation was served from cache and
+// whether this call coalesced onto a concurrent identical one.
+func (s *Server) identifyOne(snap *Snapshot, sr *ServedRule) (ev *RuleEval, cached, coalesced bool, err error) {
+	key := fmt.Sprintf("g%d|%s", snap.Gen, sr.Key)
+	if ev, ok := s.cache.Get(key); ok {
+		return ev, true, false, nil
+	}
+	ev, coalesced, err = s.batch.Do(key, func() (*RuleEval, error) {
+		// Re-check as the leader: a previous leader may have populated the
+		// cache between this caller's Get miss and its Do entry.
+		if ev, ok := s.cache.Get(key); ok {
+			return ev, nil
+		}
+		ev := snap.EvalRule(sr, s.pool)
+		s.cache.Put(key, ev)
+		return ev, nil
+	})
+	return ev, false, coalesced, err
+}

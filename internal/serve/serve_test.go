@@ -1,0 +1,423 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"gpar/internal/core"
+	"gpar/internal/eip"
+	"gpar/internal/graph"
+	"gpar/internal/pattern"
+)
+
+// fixture builds the quickstart-style restaurant graph with two rules for
+// the predicate visit(cust, restaurant).
+func fixture(t *testing.T) (*graph.Graph, core.Predicate, []*core.Rule) {
+	t.Helper()
+	syms := graph.NewSymbols()
+	g := graph.New(syms)
+	cust := make([]graph.NodeID, 8)
+	for i := range cust {
+		cust[i] = g.AddNode("cust")
+	}
+	bistro := g.AddNode("restaurant")
+	diner := g.AddNode("restaurant")
+	bar := g.AddNode("bar")
+
+	friends := [][2]int{{0, 1}, {1, 0}, {2, 1}, {3, 2}, {4, 1}, {5, 4}, {6, 5}, {7, 0}}
+	for _, e := range friends {
+		g.AddEdge(cust[e[0]], cust[e[1]], "friend")
+	}
+	for _, i := range []int{0, 1, 2, 4} {
+		g.AddEdge(cust[i], bistro, "visit")
+	}
+	g.AddEdge(cust[3], diner, "visit")
+	g.AddEdge(cust[5], bar, "visit")
+
+	pred := core.Predicate{
+		XLabel:    syms.Intern("cust"),
+		EdgeLabel: syms.Intern("visit"),
+		YLabel:    syms.Intern("restaurant"),
+	}
+
+	// R1: x -friend-> y1, y1 -visit-> restaurant  ⇒  visit(x, restaurant)
+	q1 := pattern.New(syms)
+	x := q1.AddNode("cust")
+	q1.X = x
+	f := q1.AddNode("cust")
+	r := q1.AddNode("restaurant")
+	q1.AddEdge(x, f, "friend")
+	q1.AddEdge(f, r, "visit")
+	r1 := &core.Rule{Q: q1, Pred: pred}
+
+	// R2: x -friend-> y1  ⇒  visit(x, restaurant)
+	q2 := pattern.New(syms)
+	x2 := q2.AddNode("cust")
+	q2.X = x2
+	f2 := q2.AddNode("cust")
+	q2.AddEdge(x2, f2, "friend")
+	r2 := &core.Rule{Q: q2, Pred: pred}
+
+	for i, r := range []*core.Rule{r1, r2} {
+		if err := r.Validate(); err != nil {
+			t.Fatalf("fixture rule %d: %v", i, err)
+		}
+	}
+	return g, pred, []*core.Rule{r1, r2}
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server, []*core.Rule) {
+	t.Helper()
+	g, pred, rules := fixture(t)
+	s := New(cfg)
+	if err := s.LoadSnapshot(g, pred, rules); err != nil {
+		t.Fatalf("LoadSnapshot: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts, rules
+}
+
+func doJSON(t *testing.T, method, url string, body []byte, out any) int {
+	t.Helper()
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("%s %s: bad JSON %q: %v", method, url, data, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestEndpointsRoundTrip(t *testing.T) {
+	s, ts, rules := newTestServer(t, Config{Workers: 2})
+
+	var health map[string]any
+	if code := doJSON(t, "GET", ts.URL+"/healthz", nil, &health); code != 200 {
+		t.Fatalf("healthz: %d", code)
+	}
+	if health["status"] != "ok" {
+		t.Fatalf("healthz status %v", health["status"])
+	}
+
+	var rl RulesResponse
+	if code := doJSON(t, "GET", ts.URL+"/v1/rules", nil, &rl); code != 200 {
+		t.Fatalf("rules: %d", code)
+	}
+	if len(rl.Rules) != 2 || rl.Generation != 1 {
+		t.Fatalf("rules response: %+v", rl)
+	}
+	for i, ri := range rl.Rules {
+		if ri.Key != rules[i].Key() {
+			t.Errorf("rule %d key %q, want %q", i, ri.Key, rules[i].Key())
+		}
+	}
+
+	var idr IdentifyResponse
+	if code := doJSON(t, "POST", ts.URL+"/v1/identify", []byte(`{"eta":1.0,"includeMatches":true}`), &idr); code != 200 {
+		t.Fatalf("identify: %d", code)
+	}
+	if len(idr.Rules) != 2 || idr.Generation != 1 {
+		t.Fatalf("identify response: %+v", idr)
+	}
+
+	// Oracle: the eip package's algorithm Match on the same inputs.
+	g, _, oracleRules := fixture(t)
+	want, err := eip.Match(g, oracleRules, eip.Options{N: 2, Eta: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(idr.Identified, want.Identified) {
+		t.Errorf("identified %v, want %v", idr.Identified, want.Identified)
+	}
+	for i, pr := range want.PerRule {
+		if idr.Rules[i].SuppR != pr.Stats.SuppR || idr.Rules[i].Matches != len(pr.QSet) {
+			t.Errorf("rule %d: suppR=%d matches=%d, want suppR=%d matches=%d",
+				i, idr.Rules[i].SuppR, idr.Rules[i].Matches, pr.Stats.SuppR, len(pr.QSet))
+		}
+	}
+
+	// Selecting by key and by index returns the same single-rule answer.
+	byKey, byIx := IdentifyResponse{}, IdentifyResponse{}
+	doJSON(t, "POST", ts.URL+"/v1/identify", []byte(fmt.Sprintf(`{"rules":[%q]}`, rules[0].Key())), &byKey)
+	doJSON(t, "POST", ts.URL+"/v1/identify", []byte(`{"indices":[0]}`), &byIx)
+	if !reflect.DeepEqual(byKey.Identified, byIx.Identified) || len(byKey.Rules) != 1 {
+		t.Errorf("key/index selection mismatch: %+v vs %+v", byKey, byIx)
+	}
+
+	if code := doJSON(t, "POST", ts.URL+"/v1/identify", []byte(`{"rules":["nope"]}`), nil); code != 404 {
+		t.Errorf("unknown key: %d, want 404", code)
+	}
+	if code := doJSON(t, "POST", ts.URL+"/v1/identify", []byte(`{"indices":[9]}`), nil); code != 404 {
+		t.Errorf("bad index: %d, want 404", code)
+	}
+	if code := doJSON(t, "POST", ts.URL+"/v1/identify", []byte(`{bad json`), nil); code != 400 {
+		t.Errorf("bad body: %d, want 400", code)
+	}
+	_ = s
+}
+
+func TestCacheHitAndSwapInvalidation(t *testing.T) {
+	s, ts, rules := newTestServer(t, Config{Workers: 2})
+
+	var first, second IdentifyResponse
+	doJSON(t, "POST", ts.URL+"/v1/identify", []byte(`{}`), &first)
+	doJSON(t, "POST", ts.URL+"/v1/identify", []byte(`{}`), &second)
+	for i := range second.Rules {
+		if first.Rules[i].Cached {
+			t.Errorf("first call rule %d unexpectedly cached", i)
+		}
+		if !second.Rules[i].Cached {
+			t.Errorf("second call rule %d not cached", i)
+		}
+	}
+	var st StatsResponse
+	doJSON(t, "GET", ts.URL+"/stats", nil, &st)
+	if st.Cache.Hits < int64(len(rules)) {
+		t.Errorf("cache hits %d, want >= %d", st.Cache.Hits, len(rules))
+	}
+
+	// Hot-swap the rule set to just rule 0 via the wire format round-trip.
+	var buf bytes.Buffer
+	if err := core.WriteRules(&buf, rules[:1]); err != nil {
+		t.Fatal(err)
+	}
+	var swap map[string]any
+	if code := doJSON(t, "PUT", ts.URL+"/v1/rules", buf.Bytes(), &swap); code != 200 {
+		t.Fatalf("swap: %d (%v)", code, swap)
+	}
+	if gen := s.Generation(); gen != 2 {
+		t.Fatalf("generation %d after swap, want 2", gen)
+	}
+
+	var third IdentifyResponse
+	doJSON(t, "POST", ts.URL+"/v1/identify", []byte(`{}`), &third)
+	if len(third.Rules) != 1 {
+		t.Fatalf("post-swap rule count %d, want 1", len(third.Rules))
+	}
+	if third.Rules[0].Cached {
+		t.Errorf("post-swap identify served from a stale cache")
+	}
+	if third.Generation != 2 {
+		t.Errorf("post-swap generation %d, want 2", third.Generation)
+	}
+	doJSON(t, "GET", ts.URL+"/stats", nil, &st)
+	if st.Cache.Purges == 0 {
+		t.Errorf("swap did not purge the cache: %+v", st.Cache)
+	}
+}
+
+func TestIdentifyCoalescesConcurrentDuplicates(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{Workers: 2, BatchWindow: 40 * time.Millisecond})
+
+	const clients = 32
+	var wg sync.WaitGroup
+	responses := make([]IdentifyResponse, clients)
+	codes := make([]int, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes[i] = doJSON(t, "POST", ts.URL+"/v1/identify", []byte(`{"indices":[0]}`), &responses[i])
+		}(i)
+	}
+	wg.Wait()
+
+	for i := range responses {
+		if codes[i] != 200 {
+			t.Fatalf("client %d: status %d", i, codes[i])
+		}
+		if !reflect.DeepEqual(responses[i].Identified, responses[0].Identified) {
+			t.Fatalf("client %d got a different answer", i)
+		}
+	}
+	var st StatsResponse
+	doJSON(t, "GET", ts.URL+"/stats", nil, &st)
+	// One rule requested 32 times concurrently within the batch window:
+	// every request is accounted for, almost all coalesce onto the leader
+	// (a straggler that misses the window cache-hits instead; a leader
+	// whose inner re-check hits counts in both executions and hits, so
+	// the sum can exceed the client count but never undershoot it).
+	if st.Batch.Executions+st.Batch.Coalesced+st.Cache.Hits < clients {
+		t.Errorf("executions %d + coalesced %d + hits %d < %d clients",
+			st.Batch.Executions, st.Batch.Coalesced, st.Cache.Hits, clients)
+	}
+	if st.Batch.Coalesced == 0 {
+		t.Errorf("no coalescing under %d concurrent identical requests: %+v", clients, st.Batch)
+	}
+	if st.Batch.Executions >= clients/2 {
+		t.Errorf("executions %d, want far fewer than %d clients", st.Batch.Executions, clients)
+	}
+}
+
+func TestConcurrentMixedLoad(t *testing.T) {
+	_, ts, rules := newTestServer(t, Config{Workers: 3})
+
+	const clients = 32
+	var wg sync.WaitGroup
+	errs := make(chan error, clients*4)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for rep := 0; rep < 3; rep++ {
+				var idr IdentifyResponse
+				body := []byte(fmt.Sprintf(`{"indices":[%d],"eta":1.0}`, i%len(rules)))
+				if code := doJSON(t, "POST", ts.URL+"/v1/identify", body, &idr); code != 200 {
+					errs <- fmt.Errorf("identify: %d", code)
+				}
+				if code := doJSON(t, "GET", ts.URL+"/v1/rules", nil, &RulesResponse{}); code != 200 {
+					errs <- fmt.Errorf("rules: %d", code)
+				}
+				if code := doJSON(t, "GET", ts.URL+"/stats", nil, &StatsResponse{}); code != 200 {
+					errs <- fmt.Errorf("stats: %d", code)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestMineJobAndInstall(t *testing.T) {
+	s, ts, _ := newTestServer(t, Config{Workers: 2})
+
+	var job Job
+	body := []byte(`{"xLabel":"cust","edgeLabel":"visit","yLabel":"restaurant",
+		"k":3,"sigma":1,"d":2,"maxEdges":1,"cap":20,"install":true}`)
+	if code := doJSON(t, "POST", ts.URL+"/v1/mine", body, &job); code != http.StatusAccepted {
+		t.Fatalf("mine: %d", code)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var st Job
+		doJSON(t, "GET", ts.URL+"/v1/jobs/"+job.ID, nil, &st)
+		if st.Status == JobDone {
+			if !st.Installed || st.Generation != 2 {
+				t.Fatalf("job not installed: %+v", st)
+			}
+			break
+		}
+		if st.Status == JobFailed {
+			t.Fatalf("job failed: %s", st.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", st.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if s.Generation() != 2 {
+		t.Fatalf("generation %d after install, want 2", s.Generation())
+	}
+	var rl RulesResponse
+	doJSON(t, "GET", ts.URL+"/v1/rules", nil, &rl)
+	if len(rl.Rules) == 0 {
+		t.Fatal("no rules after installing a mine job")
+	}
+
+	// Unknown labels are rejected up front, without starting a job.
+	if code := doJSON(t, "POST", ts.URL+"/v1/mine",
+		[]byte(`{"xLabel":"cust","edgeLabel":"visit","yLabel":"starship"}`), nil); code != 400 {
+		t.Errorf("unknown label: %d, want 400", code)
+	}
+}
+
+func TestGracefulShutdown(t *testing.T) {
+	s, ts, _ := newTestServer(t, Config{Workers: 2})
+
+	// Start a job, then shut down: Shutdown must wait for it.
+	if _, err := s.StartMine(MineParams{
+		XLabel: "cust", EdgeLabel: "visit", YLabel: "restaurant",
+		K: 2, Sigma: 1, MaxEdges: 1, Cap: 10,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	for _, job := range s.jobs.List() {
+		if job.Status == JobPending || job.Status == JobRunning {
+			t.Errorf("job %s still %s after Shutdown", job.ID, job.Status)
+		}
+	}
+	if code := doJSON(t, "POST", ts.URL+"/v1/identify", []byte(`{}`), nil); code != http.StatusServiceUnavailable {
+		t.Errorf("identify after shutdown: %d, want 503", code)
+	}
+	if code := doJSON(t, "GET", ts.URL+"/healthz", nil, nil); code != http.StatusServiceUnavailable {
+		t.Errorf("healthz after shutdown: %d, want 503", code)
+	}
+}
+
+func TestLoadSnapshotValidation(t *testing.T) {
+	g, pred, rules := fixture(t)
+	s := New(Config{})
+	if err := s.LoadSnapshot(nil, pred, nil); err == nil {
+		t.Error("nil graph accepted")
+	}
+	other := pred
+	other.EdgeLabel = g.Symbols().Intern("dislike")
+	if err := s.LoadSnapshot(g, other, rules); err == nil {
+		t.Error("predicate mismatch accepted")
+	}
+	if _, err := s.SwapRules(rules); err == nil {
+		t.Error("SwapRules before LoadSnapshot accepted")
+	}
+	if err := s.LoadSnapshot(g, pred, rules); err != nil {
+		t.Fatalf("valid LoadSnapshot: %v", err)
+	}
+	// Empty rule set is allowed (serve-then-mine startup), identify 409s.
+	if gen, err := s.SwapRules(nil); err != nil || gen != 2 {
+		t.Fatalf("empty SwapRules: gen %d, err %v", gen, err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	if code := doJSON(t, "POST", ts.URL+"/v1/identify", []byte(`{}`), nil); code != http.StatusConflict {
+		t.Errorf("identify with empty Σ: %d, want 409", code)
+	}
+}
+
+func TestNonFiniteConfidenceMarshals(t *testing.T) {
+	// A rule whose antecedent never contradicts the consequent has conf
+	// +Inf (the logic-rule trivial case); the response must stay valid JSON.
+	for want, v := range map[string]float64{
+		`"+Inf"`: math.Inf(1),
+		`"-Inf"`: math.Inf(-1),
+		`"NaN"`:  math.NaN(),
+		`1.5`:    1.5,
+	} {
+		data, err := json.Marshal(jsonFloat(v))
+		if err != nil {
+			t.Fatalf("marshal %v: %v", v, err)
+		}
+		if string(data) != want {
+			t.Errorf("marshal %v = %s, want %s", v, data, want)
+		}
+	}
+}

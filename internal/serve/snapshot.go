@@ -1,0 +1,194 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+
+	"gpar/internal/core"
+	"gpar/internal/eip"
+	"gpar/internal/graph"
+	"gpar/internal/match"
+	"gpar/internal/partition"
+	"gpar/internal/sketch"
+)
+
+// ServedRule is one rule of the resident set Σ with everything the request
+// paths need precomputed (no symbol-table reads after build).
+type ServedRule struct {
+	Index   int
+	Key     string // core.Rule.Key(), the cache identity
+	Rule    *core.Rule
+	Display string // Rule.String(), rendered at build time
+	Radius  int    // r(PR, x), the partition radius contribution
+	Size    int    // |Q|
+}
+
+// Snapshot is one immutable unit of serving state. All fields are read-only
+// after BuildSnapshot returns; swapping installs a whole new Snapshot.
+type Snapshot struct {
+	Gen   uint64
+	G     *graph.Graph
+	Pred  core.Predicate
+	// PredDisplay is Pred rendered at build time.
+	PredDisplay string
+	Rules       []*ServedRule
+	byKey       map[string]*ServedRule
+
+	frags []*fragEval
+	// D is the partition radius used for the fragments.
+	D int
+	// SuppQ1 and SuppQbar are supp(q,G) and supp(q̄,G): the LCWA
+	// classification of candidates, shared by every rule of the predicate.
+	SuppQ1   int
+	SuppQbar int
+}
+
+// fragEval is one partition fragment prepared for repeated rule evaluation:
+// frozen graph, sketch index for guided search, and the owned centers
+// classified once under the LCWA (as in eip.processFragment).
+type fragEval struct {
+	frag     *partition.Fragment
+	sketches *sketch.Index
+	pq       []graph.NodeID // owned centers with the consequent edge to a YLabel node
+	pqbar    []graph.NodeID // owned centers with the consequent edge elsewhere
+	other    []graph.NodeID // unknown cases
+}
+
+// RuleEval is one rule's graph-wide evaluation: the match-set cache value.
+type RuleEval struct {
+	Key     string
+	Stats   core.Stats
+	Conf    float64
+	Matches []graph.NodeID // Q(x,G), sorted global IDs: the potential customers
+}
+
+// BuildSnapshot prepares serving state for g, pred and rules. Rules must
+// all validate and pertain to pred (the EIP problem statement requires one
+// predicate per Σ). The graph is frozen and its label index forced so all
+// later access is read-only.
+func BuildSnapshot(g *graph.Graph, pred core.Predicate, rules []*core.Rule, cfg Config) (*Snapshot, error) {
+	cfg = cfg.defaults()
+	if pred.XLabel == graph.NoLabel || pred.EdgeLabel == graph.NoLabel || pred.YLabel == graph.NoLabel {
+		return nil, fmt.Errorf("serve: predicate has unset labels")
+	}
+	for i, r := range rules {
+		if err := r.Validate(); err != nil {
+			return nil, fmt.Errorf("serve: rule %d: %w", i, err)
+		}
+		if r.Pred != pred {
+			return nil, fmt.Errorf("serve: rule %d pertains to a different predicate", i)
+		}
+	}
+	g.Freeze()
+	g.NodeLabels() // force the lazy label index before concurrent reads
+
+	snap := &Snapshot{
+		G:           g,
+		Pred:        pred,
+		PredDisplay: pred.String(g.Symbols()),
+		byKey:       make(map[string]*ServedRule, len(rules)),
+		D:           eip.MaxRadius(rules),
+	}
+	for i, r := range rules {
+		sr := &ServedRule{
+			Index:   i,
+			Key:     r.Key(),
+			Rule:    r,
+			Display: r.String(),
+			Radius:  r.Radius(),
+			Size:    r.Size(),
+		}
+		snap.Rules = append(snap.Rules, sr)
+		snap.byKey[sr.Key] = sr
+	}
+
+	cands := g.NodesWithLabel(pred.XLabel)
+	frags := partition.Partition(g, cands, cfg.Workers, snap.D)
+	for _, f := range frags {
+		f.G.Freeze()
+		f.G.NodeLabels() // fragments are shared by concurrent requests
+		fe := &fragEval{
+			frag:     f,
+			sketches: sketch.NewIndex(f.G, cfg.SketchK),
+		}
+		// LCWA classification of owned centers (Section 3), once per swap.
+		fe.pq, fe.pqbar, fe.other = eip.ClassifyCenters(f.G, f.Centers, pred)
+		snap.SuppQ1 += len(fe.pq)
+		snap.SuppQbar += len(fe.pqbar)
+		snap.frags = append(snap.frags, fe)
+	}
+	return snap, nil
+}
+
+// RuleByKey resolves a rule key to its served rule.
+func (s *Snapshot) RuleByKey(key string) (*ServedRule, bool) {
+	sr, ok := s.byKey[key]
+	return sr, ok
+}
+
+// fragPart is one fragment's partial result for one rule.
+type fragPart struct {
+	q   []graph.NodeID // Q-matching owned centers, global IDs
+	r   []graph.NodeID // PR-matching owned centers, global IDs
+	qqb int            // Q matches among the q̄ class
+}
+
+// EvalRule computes the rule's match set and statistics over the
+// snapshot's fragments, fanning the per-fragment work out through pool.
+// This is algorithm Match (Section 5.2) restricted to one rule: guided
+// search over the fragment sketch index, early-terminating HasMatchAt, and
+// the PR ⇒ Q containment reuse of Example 10.
+func (s *Snapshot) EvalRule(sr *ServedRule, pool *Pool) *RuleEval {
+	parts := make([]fragPart, len(s.frags))
+	tasks := make([]func(), len(s.frags))
+	for i, fe := range s.frags {
+		tasks[i] = func() { parts[i] = fe.evalRule(sr) }
+	}
+	pool.Do(tasks...)
+
+	ev := &RuleEval{Key: sr.Key}
+	for _, p := range parts {
+		ev.Matches = append(ev.Matches, p.q...)
+		ev.Stats.SuppR += len(p.r)
+		ev.Stats.SuppQqb += p.qqb
+	}
+	sort.Slice(ev.Matches, func(i, j int) bool { return ev.Matches[i] < ev.Matches[j] })
+	ev.Stats.SuppQ = len(ev.Matches)
+	ev.Stats.SuppQ1 = s.SuppQ1
+	ev.Stats.SuppQbar = s.SuppQbar
+	ev.Conf = ev.Stats.Conf()
+	return ev
+}
+
+// evalRule runs the per-candidate checks for one rule on one fragment.
+func (fe *fragEval) evalRule(sr *ServedRule) fragPart {
+	var p fragPart
+	opts := match.Options{Guided: true, Sketches: fe.sketches}
+	g := fe.frag.G
+	pr := sr.Rule.PR()
+	// Pq members: PR first; a PR match is a Q match (containment reuse).
+	for _, c := range fe.pq {
+		if match.HasMatchAt(pr, g, c, opts) {
+			p.r = append(p.r, fe.frag.Global(c))
+			p.q = append(p.q, fe.frag.Global(c))
+			continue
+		}
+		if match.HasMatchAt(sr.Rule.Q, g, c, opts) {
+			p.q = append(p.q, fe.frag.Global(c))
+		}
+	}
+	// q̄ members: Q matches count for supp(Qq̄) and as potential customers.
+	for _, c := range fe.pqbar {
+		if match.HasMatchAt(sr.Rule.Q, g, c, opts) {
+			p.qqb++
+			p.q = append(p.q, fe.frag.Global(c))
+		}
+	}
+	// Unknown cases: potential customers when Q matches.
+	for _, c := range fe.other {
+		if match.HasMatchAt(sr.Rule.Q, g, c, opts) {
+			p.q = append(p.q, fe.frag.Global(c))
+		}
+	}
+	return p
+}
