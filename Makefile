@@ -1,7 +1,7 @@
 GO ?= go
 BIN := bin
 
-.PHONY: all build vet test race serve clean
+.PHONY: all build vet test race bench bench-short serve clean
 
 all: vet build test
 
@@ -16,6 +16,24 @@ test:
 
 race:
 	$(GO) test -race ./internal/serve/ ./internal/partition/ ./internal/match/
+
+# Run the match/eip hot-path benchmarks with -benchmem and record them,
+# joined against the pre-CSR baseline, in BENCH_match.json. The two-step
+# temp-file dance (rather than a pipe) makes a benchmark failure fail the
+# target instead of being masked by the parser's exit status.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkAnchoredMatch|BenchmarkMatchSet$$|BenchmarkIdentify' \
+	    -benchmem -benchtime=1s ./internal/match/ ./internal/serve/ > bench.out
+	$(GO) run ./cmd/benchjson -o BENCH_match.json < bench.out
+	@rm -f bench.out
+
+# Short-mode variant for CI: one quick pass so regressions show up in PR
+# logs without a stable-machine timing claim.
+bench-short:
+	$(GO) test -run '^$$' -bench 'BenchmarkAnchoredMatch|BenchmarkIdentify' \
+	    -benchmem -benchtime=50x ./internal/match/ ./internal/serve/ > bench.out
+	$(GO) run ./cmd/benchjson < bench.out
+	@rm -f bench.out
 
 # Start the serving daemon on a generated Pokec-like graph, mining a
 # starter rule set for the Disco predicate (see DESIGN.md quickstart).

@@ -1,0 +1,133 @@
+// Command benchjson turns `go test -bench -benchmem` output into the
+// BENCH_match.json artifact tracked by `make bench`: per-benchmark ns/op,
+// B/op and allocs/op, joined against the recorded pre-CSR baseline so the
+// speedup and allocation-reduction ratios of the flat-CSR matcher rewrite
+// are visible in one file.
+//
+// Usage: go test -bench ... -benchmem ./... | benchjson [-o BENCH_match.json]
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// baseline holds the numbers measured at commit d6c8e5f (pointer-chasing
+// [][]Edge adjacency, map used-set, per-candidate matcher allocation) on
+// the same workloads, recorded before the CSR rewrite landed. They were
+// taken on the machine that produced the committed artifact; the ratios
+// are only meaningful when the current run uses comparable hardware.
+var baseline = map[string]measurement{
+	"BenchmarkAnchoredMatch/unguided": {NsPerOp: 7171, BytesPerOp: 1379, AllocsPerOp: 64},
+	"BenchmarkAnchoredMatch/guided":   {NsPerOp: 44948, BytesPerOp: 6707, AllocsPerOp: 209},
+	"BenchmarkMatchSet":               {NsPerOp: 20951397, BytesPerOp: 4145511, AllocsPerOp: 192160},
+	"BenchmarkIdentify":               {NsPerOp: 19078529, BytesPerOp: 6297920, AllocsPerOp: 103736},
+}
+
+type measurement struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type entry struct {
+	Name    string       `json:"name"`
+	Current measurement  `json:"current"`
+	Base    *measurement `json:"baseline,omitempty"`
+	// Speedup is baseline ns/op divided by current ns/op (higher is
+	// better); AllocReduction likewise for allocs/op, with a zero current
+	// count treated as 1 so the ratio is a well-defined lower bound
+	// (ZeroAllocs marks that case). Only present when a baseline is
+	// recorded for the benchmark.
+	Speedup        float64 `json:"speedup,omitempty"`
+	AllocReduction float64 `json:"alloc_reduction,omitempty"`
+	ZeroAllocs     bool    `json:"zero_allocs,omitempty"`
+}
+
+type report struct {
+	GeneratedBy    string  `json:"generated_by"`
+	BaselineCommit string  `json:"baseline_commit"`
+	Benchmarks     []entry `json:"benchmarks"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	var entries []entry
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(os.Stderr, line) // keep the raw output visible in logs
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		var cur measurement
+		cur.NsPerOp, _ = strconv.ParseFloat(m[2], 64)
+		if m[3] != "" {
+			b, _ := strconv.ParseFloat(m[3], 64)
+			cur.BytesPerOp = int64(b)
+		}
+		if m[4] != "" {
+			cur.AllocsPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		e := entry{Name: m[1], Current: cur}
+		if base, ok := baseline[m[1]]; ok {
+			b := base
+			e.Base = &b
+			if cur.NsPerOp > 0 {
+				e.Speedup = round2(base.NsPerOp / cur.NsPerOp)
+			}
+			allocs := cur.AllocsPerOp
+			if allocs == 0 {
+				e.ZeroAllocs = true
+				allocs = 1 // lower-bound ratio; the true reduction is infinite
+			}
+			if base.AllocsPerOp > 0 {
+				e.AllocReduction = round2(float64(base.AllocsPerOp) / float64(allocs))
+			}
+		}
+		entries = append(entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
+		os.Exit(1)
+	}
+	if len(entries) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found")
+		os.Exit(1)
+	}
+
+	rep := report{
+		GeneratedBy:    "make bench",
+		BaselineCommit: "d6c8e5f",
+		Benchmarks:     entries,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func round2(f float64) float64 {
+	return float64(int64(f*100+0.5)) / 100
+}

@@ -179,13 +179,25 @@ func run(g *graph.Graph, rules []*core.Rule, opts Options, md mode) (*Result, er
 		f.G.Freeze() // one worker per fragment, frozen before they start
 	}
 
+	// Per-rule triple requirements depend only on the rule; compute once,
+	// shared by all fragment workers (read-only).
+	var needQ, needPR [][]Triple
+	if md == modeMatch {
+		needQ = make([][]Triple, len(rules))
+		needPR = make([][]Triple, len(rules))
+		for i, r := range rules {
+			needQ[i] = PatternTriples(r.Q)
+			needPR[i] = RuleTriples(r)
+		}
+	}
+
 	states := make([]*fragState, len(frags))
 	var wg sync.WaitGroup
 	for i, f := range frags {
 		wg.Add(1)
 		go func(i int, f *partition.Fragment) {
 			defer wg.Done()
-			states[i] = processFragment(f, rules, pred, opts, md)
+			states[i] = processFragment(f, rules, needQ, needPR, pred, opts, md)
 		}(i, f)
 	}
 	wg.Wait()
@@ -194,7 +206,7 @@ func run(g *graph.Graph, rules []*core.Rule, opts Options, md mode) (*Result, er
 
 // processFragment runs the per-candidate checks for all rules on one
 // fragment (step 2 of Matchc).
-func processFragment(f *partition.Fragment, rules []*core.Rule, pred core.Predicate, opts Options, md mode) *fragState {
+func processFragment(f *partition.Fragment, rules []*core.Rule, needQ, needPR [][]Triple, pred core.Predicate, opts Options, md mode) *fragState {
 	st := &fragState{
 		frag:   f,
 		qSets:  make([][]graph.NodeID, len(rules)),
@@ -205,39 +217,54 @@ func processFragment(f *partition.Fragment, rules []*core.Rule, pred core.Predic
 	st.pq, st.pqbar, st.other = ClassifyCenters(f.G, f.Centers, pred)
 
 	mopts := match.Options{}
-	var triples *tripleIndex
+	var triples *TripleIndex
 	if md == modeMatch {
 		mopts.Guided = true
 		mopts.Sketches = sketch.NewIndex(f.G, opts.SketchK)
-		triples = newTripleIndex(f.G)
+		triples = NewTripleIndex(f.G)
 	}
 
 	for ri, r := range rules {
+		if md == modeMatch && !triples.Covers(needQ[ri]) {
+			// The fragment lacks a triple Q itself requires: no center can
+			// match Q — and PR ⊇ Q, so none can match PR either. Skip the
+			// rule without building matchers, charging the same per-
+			// candidate check ops the loops below would have (Pq members
+			// run both the PR and the Q check).
+			st.ops += int64(2*len(st.pq) + len(st.pqbar) + len(st.other))
+			continue
+		}
+		// The PR gate additionally requires the consequent triple; when it
+		// fails, PR checks short-circuit but Q checks still run.
+		skipPR := md == modeMatch && !triples.Covers(needPR[ri])
 		pr := r.PR()
-		need := ruleTriples(r)
+		// One pooled matcher per pattern, reused across every candidate of
+		// the fragment: the per-candidate hot loop allocates nothing.
+		qm := match.NewMatcher(r.Q, f.G, mopts)
+		var prm *match.Matcher
+		if !skipPR {
+			prm = match.NewMatcher(pr, f.G, mopts)
+		}
 		checkQ := func(c graph.NodeID) bool {
 			st.ops++
 			if md == modeMatch {
-				if !triples.covers(c, need) {
-					return false
-				}
-				return match.HasMatchAt(r.Q, f.G, c, mopts)
+				return qm.HasMatchAt(c)
 			}
 			// Matchc: full enumeration, no early termination; every visited
 			// embedding counts as work.
-			n := match.EnumerateAnchored(r.Q, f.G, c, mopts, nil)
+			n := qm.EnumerateAnchored(c, nil)
 			st.ops += int64(n)
 			return n > 0
 		}
 		checkPR := func(c graph.NodeID) bool {
 			st.ops++
 			if md == modeMatch {
-				if !triples.covers(c, need) {
+				if skipPR {
 					return false
 				}
-				return match.HasMatchAt(pr, f.G, c, mopts)
+				return prm.HasMatchAt(c)
 			}
-			n := match.EnumerateAnchored(pr, f.G, c, mopts, nil)
+			n := prm.EnumerateAnchored(c, nil)
 			st.ops += int64(n)
 			return n > 0
 		}
@@ -267,6 +294,10 @@ func processFragment(f *partition.Fragment, rules []*core.Rule, pred core.Predic
 			if checkQ(c) {
 				st.qSets[ri] = append(st.qSets[ri], f.Global(c))
 			}
+		}
+		qm.Release()
+		if prm != nil {
+			prm.Release()
 		}
 	}
 	return st

@@ -198,18 +198,18 @@ func TestValidation(t *testing.T) {
 }
 
 // TestTripleFilterSoundness: the triple prefilter never changes the answer
-// (covered by TestAllThreeAlgorithmsAgree) and ruleTriples is stable.
+// (covered by TestAllThreeAlgorithmsAgree) and RuleTriples is stable.
 func TestRuleTriples(t *testing.T) {
 	syms := graph.NewSymbols()
 	r1 := gen.R1(syms)
-	a := ruleTriples(r1)
-	b := ruleTriples(r1)
+	a := RuleTriples(r1)
+	b := RuleTriples(r1)
 	if len(a) == 0 {
 		t.Fatal("no triples for R1")
 	}
 	for i := range a {
 		if a[i] != b[i] {
-			t.Error("ruleTriples not deterministic")
+			t.Error("RuleTriples not deterministic")
 		}
 	}
 }

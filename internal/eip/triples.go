@@ -5,63 +5,75 @@ import (
 
 	"gpar/internal/core"
 	"gpar/internal/graph"
+	"gpar/internal/pattern"
 )
 
-// triple is one labeled edge shape (source label, edge label, target label).
+// Triple is one labeled edge shape (source label, edge label, target label).
 // Rule antecedents decompose into triples; a candidate whose d-neighborhood
 // lacks a required triple can be rejected for every rule needing it without
 // any isomorphism search. Because the summary is computed once per candidate
 // and consulted by all rules, it serves as the multi-query common-subpattern
 // optimization of Section 5.2 ("extract common sub-patterns of GPARs in Σ",
-// after [32]).
-type triple struct {
-	src, edge, dst graph.Label
+// after [32]). Exported so the serving snapshot (internal/serve) can
+// prefilter per-rule candidate lists at build time.
+type Triple struct {
+	Src, Edge, Dst graph.Label
 }
 
-// ruleTriples returns the distinct edge triples of a rule's pattern PR.
-func ruleTriples(r *core.Rule) []triple {
-	p := r.PR().Expand()
-	set := make(map[triple]bool)
+// RuleTriples returns the distinct edge triples of a rule's pattern PR —
+// including the consequent edge, so it gates PR checks only. Q-only checks
+// must gate on PatternTriples(r.Q): a fragment whose centers all lack the
+// consequent (the q̄ and unknown classes) can be missing the consequent
+// triple while Q still matches there.
+func RuleTriples(r *core.Rule) []Triple {
+	return PatternTriples(r.PR().Expand())
+}
+
+// PatternTriples returns the distinct edge triples of one pattern.
+func PatternTriples(p *pattern.Pattern) []Triple {
+	p = p.Expand()
+	set := make(map[Triple]bool)
 	for _, e := range p.Edges() {
-		set[triple{p.Label(e.From), e.Label, p.Label(e.To)}] = true
+		set[Triple{p.Label(e.From), e.Label, p.Label(e.To)}] = true
 	}
-	out := make([]triple, 0, len(set))
+	out := make([]Triple, 0, len(set))
 	for t := range set {
 		out = append(out, t)
 	}
 	sort.Slice(out, func(i, j int) bool {
-		if out[i].src != out[j].src {
-			return out[i].src < out[j].src
+		if out[i].Src != out[j].Src {
+			return out[i].Src < out[j].Src
 		}
-		if out[i].edge != out[j].edge {
-			return out[i].edge < out[j].edge
+		if out[i].Edge != out[j].Edge {
+			return out[i].Edge < out[j].Edge
 		}
-		return out[i].dst < out[j].dst
+		return out[i].Dst < out[j].Dst
 	})
 	return out
 }
 
-// tripleIndex summarizes, per fragment, which edge triples exist anywhere in
+// TripleIndex summarizes, per fragment, which edge triples exist anywhere in
 // the fragment graph. Fragments are built from the candidates'
 // d-neighborhoods, so "present in the fragment" over-approximates "present
 // in Gd(vx)" — a sound filter (it can only skip impossible matches).
-type tripleIndex struct {
-	present map[triple]bool
+type TripleIndex struct {
+	present map[Triple]bool
 }
 
-func newTripleIndex(g *graph.Graph) *tripleIndex {
-	ix := &tripleIndex{present: make(map[triple]bool)}
+// NewTripleIndex summarizes the edge triples of g.
+func NewTripleIndex(g *graph.Graph) *TripleIndex {
+	ix := &TripleIndex{present: make(map[Triple]bool)}
 	for v := 0; v < g.NumNodes(); v++ {
 		from := graph.NodeID(v)
 		for _, e := range g.Out(from) {
-			ix.present[triple{g.Label(from), e.Label, g.Label(e.To)}] = true
+			ix.present[Triple{g.Label(from), e.Label, g.Label(e.To)}] = true
 		}
 	}
 	return ix
 }
 
-// covers reports whether every required triple exists in the fragment.
-func (ix *tripleIndex) covers(_ graph.NodeID, need []triple) bool {
+// Covers reports whether every required triple exists in the fragment.
+func (ix *TripleIndex) Covers(need []Triple) bool {
 	for _, t := range need {
 		if !ix.present[t] {
 			return false

@@ -3,6 +3,7 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // NodeID identifies a node within one Graph. IDs are dense: 0..NumNodes()-1.
@@ -19,17 +20,28 @@ type Edge struct {
 // Multiple edges between the same pair of nodes are allowed as long as their
 // labels differ; AddEdge deduplicates exact (from, to, label) triples.
 //
-// A Graph is not safe for concurrent mutation; concurrent reads are safe.
+// Concurrency contract: a Graph is not safe for concurrent mutation, and an
+// unfrozen graph is not safe for concurrent reads that touch the lazy label
+// index (NodesWithLabel, CountLabel, NodeLabels). Freeze the graph before
+// sharing it: after Freeze returns, every read path — including further
+// Freeze calls, which are then cheap atomic no-ops — is safe from any
+// number of goroutines until the next mutation. Mutating a shared graph
+// (which thaws it) requires external synchronization, exactly like any
+// other write.
 type Graph struct {
 	syms   *Symbols
 	labels []Label  // labels[v] is the node label of v
-	out    [][]Edge // out[v] lists edges v -> w
-	in     [][]Edge // in[v] lists edges w -> v as {To: w}
+	out    [][]Edge // out[v] lists edges v -> w; frozen: views into csr.outE
+	in     [][]Edge // in[v] lists edges w -> v as {To: w}; frozen: views into csr.inE
 	numE   int
 
-	byLabel map[Label][]NodeID // label index; rebuilt lazily
-	dirty   bool               // true when byLabel/sortedness is stale
-	sorted  bool               // adjacency sorted by (To, Label) for binary search
+	byLabel map[Label][]NodeID // label index for unfrozen graphs; rebuilt lazily
+	dirty   bool               // true when byLabel is stale
+
+	// frozen publishes csr: buildCSR happens-before frozen.Store(true), so
+	// any goroutine observing true may read csr without locks.
+	frozen atomic.Bool
+	csr    *csrIndex
 }
 
 // New returns an empty graph using the given symbol table. If syms is nil a
@@ -63,6 +75,7 @@ func (g *Graph) AddNode(name string) NodeID {
 
 // AddNodeL adds a node with an already-interned label.
 func (g *Graph) AddNodeL(l Label) NodeID {
+	g.thaw()
 	v := NodeID(len(g.labels))
 	g.labels = append(g.labels, l)
 	g.out = append(g.out, nil)
@@ -82,16 +95,16 @@ func (g *Graph) AddEdgeL(from, to NodeID, l Label) bool {
 	if g.hasEdge(from, to, l) {
 		return false
 	}
+	g.thaw()
 	g.out[from] = append(g.out[from], Edge{To: to, Label: l})
 	g.in[to] = append(g.in[to], Edge{To: from, Label: l})
 	g.numE++
 	g.dirty = true
-	g.sorted = false
 	return true
 }
 
 func (g *Graph) hasEdge(from, to NodeID, l Label) bool {
-	if g.sorted {
+	if g.frozen.Load() {
 		return searchEdge(g.out[from], to, l)
 	}
 	for _, e := range g.out[from] {
@@ -102,51 +115,65 @@ func (g *Graph) hasEdge(from, to NodeID, l Label) bool {
 	return false
 }
 
-// searchEdge binary-searches a (To, Label)-sorted adjacency list.
+// searchEdge binary-searches a (Label, To)-sorted adjacency list.
 func searchEdge(adj []Edge, to NodeID, l Label) bool {
 	lo, hi := 0, len(adj)
 	for lo < hi {
 		mid := (lo + hi) / 2
 		e := adj[mid]
-		if e.To < to || (e.To == to && e.Label < l) {
+		if e.Label < l || (e.Label == l && e.To < to) {
 			lo = mid + 1
 		} else {
 			hi = mid
 		}
 	}
-	return lo < len(adj) && adj[lo].To == to && adj[lo].Label == l
+	return lo < len(adj) && adj[lo].Label == l && adj[lo].To == to
 }
 
-// Freeze sorts every adjacency list by (To, Label) so HasEdge runs in
-// O(log degree) instead of O(degree) — the matcher's hottest operation on
-// hub nodes. Freeze is idempotent; any later mutation unfreezes the graph.
-// The matcher freezes data graphs automatically.
+// Freeze compiles the graph into its flat CSR representation: contiguous
+// per-direction edge arenas sorted by (Label, To) within each node, a
+// per-node (direction, edge label) range index, and a flat node-label
+// candidate index. After Freeze, HasEdge is a binary search, OutRangeL and
+// InRangeL return label-contiguous arena subslices without allocating, and
+// NodesWithLabel reads the precomputed index without mutating the graph.
+//
+// Freeze is idempotent and, once the graph is frozen, safe to call
+// concurrently (it reduces to an atomic load) — matchers call it
+// unconditionally. Freezing an *unfrozen* graph concurrently with any other
+// access is a data race, like any mutation: freeze before sharing. Any
+// later mutation thaws the graph back to its mutable representation.
 func (g *Graph) Freeze() {
-	if g.sorted {
+	if g.frozen.Load() {
 		return
 	}
+	c := buildCSR(g)
+	// Re-point adjacency at the arenas so every reader of Out/In iterates
+	// cache-contiguous memory. The three-index slices cap each view at its
+	// range end, so a post-thaw append copies out instead of clobbering the
+	// next node's edges.
 	for v := range g.out {
-		sortAdj(g.out[v])
-		sortAdj(g.in[v])
+		g.out[v] = c.outE[c.outOff[v]:c.outOff[v+1]:c.outOff[v+1]]
+		g.in[v] = c.inE[c.inOff[v]:c.inOff[v+1]:c.inOff[v+1]]
 	}
-	g.sorted = true
+	g.csr = c
+	g.frozen.Store(true)
 }
 
-// Frozen reports whether adjacency lists are currently sorted.
-func (g *Graph) Frozen() bool { return g.sorted }
+// Frozen reports whether the graph is currently in CSR form.
+func (g *Graph) Frozen() bool { return g.frozen.Load() }
 
-func sortAdj(adj []Edge) {
-	sort.Slice(adj, func(i, j int) bool {
-		if adj[i].To != adj[j].To {
-			return adj[i].To < adj[j].To
-		}
-		return adj[i].Label < adj[j].Label
-	})
+// thaw drops the CSR index before a mutation. Adjacency views stay valid
+// (they point into the old arenas and copy out on append).
+func (g *Graph) thaw() {
+	if g.frozen.Load() {
+		g.frozen.Store(false)
+		g.csr = nil
+	}
 }
 
 // HasEdge reports whether edge from -> to with label l exists.
 func (g *Graph) HasEdge(from, to NodeID, l Label) bool {
-	if g.sorted {
+	if g.frozen.Load() {
 		return searchEdge(g.out[from], to, l)
 	}
 	// Scan the shorter adjacency list.
@@ -159,6 +186,40 @@ func (g *Graph) HasEdge(from, to NodeID, l Label) bool {
 		}
 	}
 	return false
+}
+
+// OutRangeL returns v's outgoing edges labeled l. On a frozen graph this is
+// a label-contiguous subslice of the CSR arena, found by binary search over
+// v's distinct labels with no allocation; on an unfrozen graph it allocates
+// a filtered copy. The caller must not mutate the result.
+func (g *Graph) OutRangeL(v NodeID, l Label) []Edge {
+	if g.frozen.Load() {
+		c := g.csr
+		return rangeL(c.outE, c.outLab, c.outLabOff, c.outLabStart, v, l)
+	}
+	var out []Edge
+	for _, e := range g.out[v] {
+		if e.Label == l {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// InRangeL is OutRangeL for incoming edges: each Edge's To field is the
+// source node of an edge To -> v labeled l.
+func (g *Graph) InRangeL(v NodeID, l Label) []Edge {
+	if g.frozen.Load() {
+		c := g.csr
+		return rangeL(c.inE, c.inLab, c.inLabOff, c.inLabStart, v, l)
+	}
+	var out []Edge
+	for _, e := range g.in[v] {
+		if e.Label == l {
+			out = append(out, e)
+		}
+	}
+	return out
 }
 
 // EdgeLabels returns the labels of all edges from -> to, in insertion order.
@@ -197,6 +258,9 @@ func (g *Graph) Degree(v NodeID) int { return len(g.out[v]) + len(g.in[v]) }
 // This is the "has at least one edge of type q" test of the local closed
 // world assumption (Section 3).
 func (g *Graph) HasOutLabel(v NodeID, l Label) bool {
+	if g.frozen.Load() {
+		return len(g.OutRangeL(v, l)) > 0
+	}
 	for _, e := range g.out[v] {
 		if e.Label == l {
 			return true
@@ -208,6 +272,17 @@ func (g *Graph) HasOutLabel(v NodeID, l Label) bool {
 // OutTo returns the targets of v's outgoing edges labeled l.
 func (g *Graph) OutTo(v NodeID, l Label) []NodeID {
 	var out []NodeID
+	if g.frozen.Load() {
+		r := g.OutRangeL(v, l)
+		if len(r) == 0 {
+			return nil
+		}
+		out = make([]NodeID, len(r))
+		for i, e := range r {
+			out[i] = e.To
+		}
+		return out
+	}
 	for _, e := range g.out[v] {
 		if e.Label == l {
 			out = append(out, e.To)
@@ -228,20 +303,32 @@ func (g *Graph) rebuild() {
 	g.dirty = false
 }
 
-// NodesWithLabel returns all nodes labeled l, in ID order. Read-only.
+// NodesWithLabel returns all nodes labeled l, in ID order. Read-only. On a
+// frozen graph this is a subslice of the precomputed candidate index and
+// never mutates the graph, so it is safe under concurrency.
 func (g *Graph) NodesWithLabel(l Label) []NodeID {
+	if g.frozen.Load() {
+		c := g.csr
+		if l < 0 || int(l)+1 >= len(c.labelOff) {
+			return nil
+		}
+		return c.nodesByLabel[c.labelOff[l]:c.labelOff[l+1]]
+	}
 	g.rebuild()
 	return g.byLabel[l]
 }
 
 // CountLabel reports the number of nodes labeled l.
 func (g *Graph) CountLabel(l Label) int {
-	g.rebuild()
-	return len(g.byLabel[l])
+	return len(g.NodesWithLabel(l))
 }
 
-// NodeLabels returns the distinct node labels present, sorted.
+// NodeLabels returns the distinct node labels present, sorted. Read-only
+// when the graph is frozen.
 func (g *Graph) NodeLabels() []Label {
+	if g.frozen.Load() {
+		return g.csr.labelsSorted
+	}
 	g.rebuild()
 	out := make([]Label, 0, len(g.byLabel))
 	for l := range g.byLabel {

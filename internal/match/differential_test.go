@@ -1,0 +1,204 @@
+package match_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"gpar/internal/graph"
+	. "gpar/internal/match"
+	"gpar/internal/pattern"
+	"gpar/internal/sketch"
+)
+
+// refGraph records the generated graph in a representation independent of
+// graph.Graph's CSR machinery, so the oracle below shares no code with the
+// engine under test.
+type refGraph struct {
+	labels []graph.Label
+	edges  map[[3]int32]bool // (from, to, label)
+}
+
+func (r *refGraph) hasEdge(from, to graph.NodeID, l graph.Label) bool {
+	return r.edges[[3]int32{int32(from), int32(to), int32(l)}]
+}
+
+// genCase generates one seeded random graph/pattern pair: a graph of 6-14
+// nodes over 2-3 node labels and 2-3 edge labels, and a connected-ish
+// pattern of 2-4 nodes sampled partly from the graph's own edges (so a good
+// fraction of cases have matches).
+func genCase(seed int64) (*graph.Graph, *refGraph, *pattern.Pattern) {
+	rng := rand.New(rand.NewSource(seed))
+	syms := graph.NewSymbols()
+	g := graph.New(syms)
+	ref := &refGraph{edges: map[[3]int32]bool{}}
+
+	nLabels := 2 + rng.Intn(2)
+	eLabels := 2 + rng.Intn(2)
+	n := 6 + rng.Intn(9)
+	for i := 0; i < n; i++ {
+		l := syms.Intern(fmt.Sprintf("N%d", rng.Intn(nLabels)))
+		g.AddNodeL(l)
+		ref.labels = append(ref.labels, l)
+	}
+	ne := n + rng.Intn(2*n)
+	for i := 0; i < ne; i++ {
+		from := graph.NodeID(rng.Intn(n))
+		to := graph.NodeID(rng.Intn(n))
+		l := syms.Intern(fmt.Sprintf("e%d", rng.Intn(eLabels)))
+		if g.AddEdgeL(from, to, l) {
+			ref.edges[[3]int32{int32(from), int32(to), int32(l)}] = true
+		}
+	}
+
+	p := pattern.New(syms)
+	pn := 2 + rng.Intn(3)
+	for i := 0; i < pn; i++ {
+		p.AddNodeL(syms.Intern(fmt.Sprintf("N%d", rng.Intn(nLabels))))
+	}
+	p.X = 0
+	pe := 1 + rng.Intn(pn+1)
+	for i := 0; i < pe; i++ {
+		p.AddEdgeL(rng.Intn(pn), rng.Intn(pn), syms.Intern(fmt.Sprintf("e%d", rng.Intn(eLabels))))
+	}
+	return g, ref, p
+}
+
+// oracleCount enumerates every injective label/edge-preserving assignment
+// of the expanded pattern into the reference graph, optionally pinning
+// pattern node x to anchor. It is a from-scratch implementation sharing no
+// code with the matcher.
+func oracleCount(ref *refGraph, pe *pattern.Pattern, anchor graph.NodeID) int {
+	k := pe.NumNodes()
+	if k == 0 {
+		return 0
+	}
+	asgn := make([]graph.NodeID, k)
+	used := make([]bool, len(ref.labels))
+	count := 0
+	var rec func(u int)
+	rec = func(u int) {
+		if u == k {
+			count++
+			return
+		}
+		lo, hi := 0, len(ref.labels)
+		if u == pe.X && anchor >= 0 {
+			lo, hi = int(anchor), int(anchor)+1
+		}
+		for v := lo; v < hi; v++ {
+			dv := graph.NodeID(v)
+			if used[v] || ref.labels[v] != pe.Label(u) {
+				continue
+			}
+			// Check pattern edges whose endpoints are both assigned after
+			// this step and that involve u; earlier edges were checked when
+			// their later endpoint was placed.
+			ok := true
+			for _, e := range pe.Edges() {
+				if e.From > u || e.To > u || (e.From != u && e.To != u) {
+					continue
+				}
+				a, b := dv, dv
+				if e.From != u {
+					a = asgn[e.From]
+				}
+				if e.To != u {
+					b = asgn[e.To]
+				}
+				if !ref.hasEdge(a, b, e.Label) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			asgn[u] = dv
+			used[v] = true
+			rec(u + 1)
+			used[v] = false
+		}
+	}
+	rec(0)
+	return count
+}
+
+// TestDifferentialOracle is the acceptance test of the CSR matcher rewrite:
+// on ≥100 seeded random graph/pattern pairs, the matcher's full enumeration
+// count (the DisVF2 behaviour), its anchored counts, its anchored existence
+// checks and its match set must all agree with an independent brute-force
+// oracle — in both unguided and guided mode.
+func TestDifferentialOracle(t *testing.T) {
+	const cases = 120
+	for seed := int64(0); seed < cases; seed++ {
+		g, ref, p := genCase(seed)
+		pe := p.Expand()
+		want := oracleCount(ref, pe, -1)
+
+		for _, guided := range []bool{false, true} {
+			opts := Options{}
+			name := "unguided"
+			if guided {
+				opts = Options{Guided: true, Sketches: sketch.NewIndex(g, 2)}
+				name = "guided"
+			}
+			got := Enumerate(p, g, opts, nil)
+			if got != want {
+				t.Fatalf("seed %d (%s): Enumerate = %d, oracle = %d\npattern: %v",
+					seed, name, got, want, p)
+			}
+			// Anchored counts and existence per candidate of x's label.
+			m := NewMatcher(p, g, opts)
+			sum := 0
+			var set []graph.NodeID
+			for _, v := range g.NodesWithLabel(pe.Label(pe.X)) {
+				c := oracleCount(ref, pe, v)
+				sum += c
+				n := EnumerateAnchored(p, g, v, opts, nil)
+				if n != c {
+					t.Fatalf("seed %d (%s): EnumerateAnchored(%d) = %d, oracle = %d",
+						seed, name, v, n, c)
+				}
+				if m.HasMatchAt(v) != (c > 0) {
+					t.Fatalf("seed %d (%s): HasMatchAt(%d) = %v, oracle count = %d",
+						seed, name, v, m.HasMatchAt(v), c)
+				}
+				if c > 0 {
+					set = append(set, v)
+				}
+			}
+			m.Release()
+			if sum != want {
+				t.Fatalf("seed %d (%s): anchored counts sum %d != total %d", seed, name, sum, want)
+			}
+			ms := MatchSet(p, g, nil, opts)
+			if len(ms) != len(set) {
+				t.Fatalf("seed %d (%s): MatchSet = %v, oracle = %v", seed, name, ms, set)
+			}
+			for i := range ms {
+				if ms[i] != set[i] {
+					t.Fatalf("seed %d (%s): MatchSet = %v, oracle = %v", seed, name, ms, set)
+				}
+			}
+		}
+	}
+}
+
+// TestMatcherReuseAcrossBindings: one pooled matcher cycled through many
+// (pattern, graph) bindings gives the same answers as fresh ones — the
+// epoch-stamp discipline must not leak used-marks between bindings.
+func TestMatcherReuseAcrossBindings(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		g1, ref1, p1 := genCase(seed)
+		g2, ref2, p2 := genCase(seed + 1000)
+		for i := 0; i < 3; i++ {
+			if got, want := Enumerate(p1, g1, Options{}, nil), oracleCount(ref1, p1.Expand(), -1); got != want {
+				t.Fatalf("seed %d iter %d: g1 count %d != %d", seed, i, got, want)
+			}
+			if got, want := Enumerate(p2, g2, Options{}, nil), oracleCount(ref2, p2.Expand(), -1); got != want {
+				t.Fatalf("seed %d iter %d: g2 count %d != %d", seed, i, got, want)
+			}
+		}
+	}
+}

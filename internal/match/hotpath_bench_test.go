@@ -1,0 +1,101 @@
+package match
+
+import (
+	"math/rand"
+	"testing"
+
+	"gpar/internal/graph"
+	"gpar/internal/pattern"
+	"gpar/internal/sketch"
+)
+
+// benchWorkload is a Pokec-shaped social graph (users with friend edges and
+// music likes) plus a diamond pattern that forces real backtracking:
+//
+//	x:user -friend-> f:user -like-> m:music
+//	x:user -friend-> f2:user -like-> m
+//
+// anchored at every user in turn. It is the anchored-match hot loop of
+// algorithms Match and DMine, and the per-candidate work unit of gpard's
+// /v1/identify.
+type benchWorkload struct {
+	g     *graph.Graph
+	p     *pattern.Pattern
+	cands []graph.NodeID
+}
+
+func newBenchWorkload() *benchWorkload {
+	rng := rand.New(rand.NewSource(42))
+	syms := graph.NewSymbols()
+	g := graph.New(syms)
+	const users, musics = 3000, 200
+	us := make([]graph.NodeID, users)
+	for i := range us {
+		us[i] = g.AddNode("user")
+	}
+	ms := make([]graph.NodeID, musics)
+	for i := range ms {
+		ms[i] = g.AddNode("music")
+	}
+	for _, u := range us {
+		for j, nf := 0, 2+rng.Intn(8); j < nf; j++ {
+			g.AddEdge(u, us[rng.Intn(users)], "friend")
+		}
+		for j, nl := 0, 1+rng.Intn(3); j < nl; j++ {
+			g.AddEdge(u, ms[rng.Intn(musics)], "like")
+		}
+	}
+	p := pattern.New(syms)
+	x := p.AddNode("user")
+	p.X = x
+	f := p.AddNode("user")
+	f2 := p.AddNode("user")
+	m := p.AddNode("music")
+	p.AddEdge(x, f, "friend")
+	p.AddEdge(x, f2, "friend")
+	p.AddEdge(f, m, "like")
+	p.AddEdge(f2, m, "like")
+	g.Freeze()
+	return &benchWorkload{g: g, p: p, cands: g.NodesWithLabel(syms.Lookup("user"))}
+}
+
+// BenchmarkAnchoredMatch is the acceptance benchmark for the anchored-match
+// hot path: one HasMatchAt existence check per iteration, cycling through
+// the candidate set. Recorded in BENCH_match.json by `make bench`.
+func BenchmarkAnchoredMatch(b *testing.B) {
+	w := newBenchWorkload()
+	b.Run("unguided", func(b *testing.B) {
+		opts := Options{}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			HasMatchAt(w.p, w.g, w.cands[i%len(w.cands)], opts)
+		}
+	})
+	b.Run("guided", func(b *testing.B) {
+		ix := sketch.NewIndex(w.g, 2)
+		opts := Options{Guided: true, Sketches: ix}
+		// Warm the sketch cache so the loop measures matching, not sketch
+		// construction.
+		for _, v := range w.cands {
+			ix.Sketch(v)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			HasMatchAt(w.p, w.g, w.cands[i%len(w.cands)], opts)
+		}
+	})
+}
+
+// BenchmarkMatchSet measures the whole-candidate-set sweep (Q(x,G) over all
+// users), the unit of work one fragment performs per rule evaluation.
+func BenchmarkMatchSet(b *testing.B) {
+	w := newBenchWorkload()
+	opts := Options{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatchSet(w.p, w.g, w.cands, opts)
+	}
+}

@@ -13,10 +13,22 @@
 //     optimization of algorithm Match (Section 5.2);
 //   - guided search: candidate ordering by k-hop sketch scores, the second
 //     optimization of algorithm Match.
+//
+// The engine runs on the frozen CSR representation of the data graph
+// (graph.Freeze): candidate generation iterates label-contiguous arena
+// ranges instead of scanning whole adjacency lists, the used-set is an
+// epoch-stamped array instead of a map, and all search state lives in a
+// pooled, rebindable Matcher — so the hot loops of algorithms Match, DMine
+// and the gpard serving path allocate nothing in steady state. Callers with
+// many anchored probes against one (pattern, graph) pair should obtain a
+// Matcher once via NewMatcher and Release it when done; the package-level
+// functions are one-shot conveniences over the same pool.
 package match
 
 import (
-	"sort"
+	"cmp"
+	"slices"
+	"sync"
 
 	"gpar/internal/graph"
 	"gpar/internal/pattern"
@@ -35,22 +47,6 @@ type Options struct {
 	MaxMatches int
 }
 
-// matcher holds one search's state.
-type matcher struct {
-	p    *pattern.Pattern // expanded pattern
-	g    *graph.Graph
-	opts Options
-
-	order   []int // pattern nodes in visit order
-	pedges  []pattern.Edge
-	padj    [][]phalf // pattern adjacency: per node, incident edges
-	pdeg    []int
-	asgn    []graph.NodeID // asgn[u] = data node, or -1
-	used    map[graph.NodeID]bool
-	needSk  []sketch.Sketch // per pattern node, pattern sketch (guided only)
-	visitIx []int           // position of each pattern node in order, -1 if later
-}
-
 // phalf is one incident pattern edge seen from a node.
 type phalf struct {
 	other    int
@@ -58,55 +54,171 @@ type phalf struct {
 	outgoing bool // true when the edge leaves this node
 }
 
+// scoredCand is one guided candidate with its sketch slack score.
+type scoredCand struct {
+	v graph.NodeID
+	s int
+}
+
 const unassigned = graph.NodeID(-1)
 
-func newMatcher(p *pattern.Pattern, g *graph.Graph, opts Options) *matcher {
-	g.Freeze() // O(log degree) HasEdge in the consistency check
+// Matcher is a reusable compiled matcher for one (pattern, graph, options)
+// binding. All slices are retained across bindings and grown only when a
+// larger pattern or graph arrives, so a pooled Matcher performing repeated
+// anchored probes allocates nothing. A Matcher is not safe for concurrent
+// use; obtain one per goroutine. The bound graph must stay frozen and
+// unmutated for the Matcher's lifetime: binding sizes the used-set to the
+// graph's node count, so growing the graph mid-lifetime is out of
+// contract (edge checks degrade safely to scans, node growth does not).
+type Matcher struct {
+	p    *pattern.Pattern // expanded pattern
+	g    *graph.Graph
+	opts Options
+
+	// Pattern-side compiled state, rebuilt per binding reusing capacity.
+	phalfs []phalf // flat incident-edge arena
+	poff   []int32 // len n+1; node u's halves are phalfs[poff[u]:poff[u+1]]
+	pcur   []int32 // fill cursor scratch
+	pdeg   []int
+	order  []int  // pattern nodes in visit order (BFS from x)
+	seen   []bool // buildOrder scratch
+
+	// Per-search state.
+	asgn []graph.NodeID
+	// used is the epoch-stamped used-set over data nodes: used[v] == epoch
+	// means v is on the current search path. Rebinding bumps the epoch
+	// instead of clearing, so switching graphs or patterns is O(1).
+	used  []uint32
+	epoch uint32
+
+	// Guided state.
+	needSk []sketch.Sketch
+	cbufs  [][]scoredCand // per-depth candidate buffers, reused across calls
+}
+
+var matcherPool = sync.Pool{New: func() any { return new(Matcher) }}
+
+// NewMatcher returns a pooled Matcher bound to (p, g, opts). It freezes g
+// (a no-op when already frozen) and precomputes the pattern adjacency and
+// visit order rooted at p's designated x. Call Release when done to return
+// the Matcher — and its grown buffers — to the pool.
+func NewMatcher(p *pattern.Pattern, g *graph.Graph, opts Options) *Matcher {
+	m := matcherPool.Get().(*Matcher)
+	m.bind(p, g, opts)
+	return m
+}
+
+// Release returns the Matcher to the pool. The Matcher must not be used
+// afterwards.
+func (m *Matcher) Release() {
+	m.p, m.g = nil, nil
+	m.opts = Options{}
+	m.needSk = nil
+	matcherPool.Put(m)
+}
+
+func (m *Matcher) bind(p *pattern.Pattern, g *graph.Graph, opts Options) {
+	g.Freeze() // no-op (atomic load) when already frozen
 	pe := p.Expand()
-	m := &matcher{p: pe, g: g, opts: opts}
+	m.p, m.g, m.opts = pe, g, opts
+
 	n := pe.NumNodes()
-	m.pedges = pe.Edges()
-	m.padj = make([][]phalf, n)
-	m.pdeg = make([]int, n)
-	for _, e := range m.pedges {
-		m.padj[e.From] = append(m.padj[e.From], phalf{other: e.To, label: e.Label, outgoing: true})
-		m.padj[e.To] = append(m.padj[e.To], phalf{other: e.From, label: e.Label, outgoing: false})
+	edges := pe.Edges()
+	m.pdeg = grow(m.pdeg, n)
+	for i := range m.pdeg {
+		m.pdeg[i] = 0
+	}
+	for _, e := range edges {
 		m.pdeg[e.From]++
 		m.pdeg[e.To]++
 	}
-	m.asgn = make([]graph.NodeID, n)
+	m.poff = grow(m.poff, n+1)
+	m.poff[0] = 0
+	for u := 0; u < n; u++ {
+		m.poff[u+1] = m.poff[u] + int32(m.pdeg[u])
+	}
+	m.phalfs = grow(m.phalfs, 2*len(edges))
+	m.pcur = grow(m.pcur, n)
+	copy(m.pcur, m.poff[:n])
+	for _, e := range edges {
+		m.phalfs[m.pcur[e.From]] = phalf{other: e.To, label: e.Label, outgoing: true}
+		m.pcur[e.From]++
+		m.phalfs[m.pcur[e.To]] = phalf{other: e.From, label: e.Label, outgoing: false}
+		m.pcur[e.To]++
+	}
+
+	m.asgn = grow(m.asgn, n)
 	for i := range m.asgn {
 		m.asgn[i] = unassigned
 	}
-	m.used = make(map[graph.NodeID]bool, n)
-	if opts.Guided && opts.Sketches != nil {
-		k := opts.Sketches.K()
-		m.needSk = make([]sketch.Sketch, n)
-		for u := 0; u < n; u++ {
-			m.needSk[u] = sketch.OfPattern(pe, u, k)
-		}
+	nn := g.NumNodes()
+	if cap(m.used) < nn {
+		m.used = make([]uint32, nn)
+		m.epoch = 0
 	}
-	return m
+	m.used = m.used[:nn]
+	m.epoch++
+	if m.epoch == 0 { // wraparound: stale stamps could alias, clear once
+		for i := range m.used {
+			m.used[i] = 0
+		}
+		m.epoch = 1
+	}
+
+	m.needSk = nil
+	if opts.Guided && opts.Sketches != nil {
+		// Cached per pattern identity on the index, so long-lived indexes
+		// (one per serving fragment) compute pattern sketches exactly once.
+		m.needSk = opts.Sketches.PatternSketches(p)
+	}
+
+	if n > 0 {
+		root := pe.X
+		if root == pattern.NoNode {
+			root = 0
+		}
+		m.buildOrder(root)
+	} else {
+		m.order = m.order[:0]
+	}
+}
+
+// grow returns s resized to length n, reallocating only when the retained
+// capacity is too small. Contents are unspecified; callers overwrite.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// halves returns the incident pattern edges of node u.
+func (m *Matcher) halves(u int) []phalf {
+	return m.phalfs[m.poff[u]:m.poff[u+1]]
 }
 
 // buildOrder fixes the visit order: BFS from root (usually x) through its
 // component, then BFS from the first unvisited node of each remaining
-// component. Anchored components first makes candidate sets small.
-func (m *matcher) buildOrder(root int) {
+// component. Anchored components first makes candidate sets small. The
+// order slice doubles as the BFS queue.
+func (m *Matcher) buildOrder(root int) {
 	n := m.p.NumNodes()
-	seen := make([]bool, n)
+	m.seen = grow(m.seen, n)
+	for i := range m.seen {
+		m.seen[i] = false
+	}
 	m.order = m.order[:0]
+	scan := 0
 	bfs := func(start int) {
-		queue := []int{start}
-		seen[start] = true
-		for len(queue) > 0 {
-			u := queue[0]
-			queue = queue[1:]
-			m.order = append(m.order, u)
-			for _, h := range m.padj[u] {
-				if !seen[h.other] {
-					seen[h.other] = true
-					queue = append(queue, h.other)
+		m.seen[start] = true
+		m.order = append(m.order, start)
+		for scan < len(m.order) {
+			u := m.order[scan]
+			scan++
+			for _, h := range m.halves(u) {
+				if !m.seen[h.other] {
+					m.seen[h.other] = true
+					m.order = append(m.order, h.other)
 				}
 			}
 		}
@@ -115,18 +227,14 @@ func (m *matcher) buildOrder(root int) {
 		bfs(root)
 	}
 	for u := 0; u < n; u++ {
-		if !seen[u] {
+		if !m.seen[u] {
 			bfs(u)
 		}
-	}
-	m.visitIx = make([]int, n)
-	for i, u := range m.order {
-		m.visitIx[u] = i
 	}
 }
 
 // feasible applies label, degree and (optionally) sketch pruning.
-func (m *matcher) feasible(u int, v graph.NodeID) bool {
+func (m *Matcher) feasible(u int, v graph.NodeID) bool {
 	if m.g.Label(v) != m.p.Label(u) {
 		return false
 	}
@@ -141,19 +249,27 @@ func (m *matcher) feasible(u int, v graph.NodeID) bool {
 	return true
 }
 
-// consistent verifies all pattern edges between u and already-assigned nodes.
-func (m *matcher) consistent(u int, v graph.NodeID) bool {
-	for _, h := range m.padj[u] {
+// consistent verifies all pattern edges between u and already-assigned
+// nodes. The half at arena index skip — the one whose CSR range produced
+// the candidate — is satisfied by construction and not re-verified.
+func (m *Matcher) consistent(u int, v graph.NodeID, skip int32) bool {
+	base := m.poff[u]
+	for i, h := range m.halves(u) {
+		if base+int32(i) == skip {
+			continue
+		}
 		w := m.asgn[h.other]
-		if w == unassigned {
+		if h.other == u {
+			w = v // pattern self-loop: the data node must carry it too
+		} else if w == unassigned {
 			continue
 		}
 		if h.outgoing {
-			if !m.g.HasEdge(v, w, h.label) {
+			if !m.hasDataEdge(v, w, h.label) {
 				return false
 			}
 		} else {
-			if !m.g.HasEdge(w, v, h.label) {
+			if !m.hasDataEdge(w, v, h.label) {
 				return false
 			}
 		}
@@ -161,95 +277,150 @@ func (m *matcher) consistent(u int, v graph.NodeID) bool {
 	return true
 }
 
-// candidates returns the data-node candidates for pattern node u, using a
-// mapped neighbor's adjacency when available and the label index otherwise.
-// When guided, candidates are ordered by descending sketch score.
-func (m *matcher) candidates(u int) []graph.NodeID {
-	var cands []graph.NodeID
-	// Find the mapped neighbor with the smallest adjacency to expand from.
-	best := -1
-	bestLen := int(^uint(0) >> 1)
-	var bestHalf phalf
-	for _, h := range m.padj[u] {
-		w := m.asgn[h.other]
-		if w == unassigned {
-			continue
-		}
-		var l int
-		if h.outgoing {
-			l = m.g.InDegree(w) // edge u->other means candidates point at w
+// hasDataEdge tests from -l-> to against the frozen graph by binary-
+// searching only the label-contiguous CSR range, falling to a linear scan
+// on the short tail. If the graph was thawed behind the matcher's back
+// (a contract violation, but a silent-wrong-answer hazard) it falls back
+// to the unfrozen HasEdge scan, which does not assume sorted ranges.
+func (m *Matcher) hasDataEdge(from, to graph.NodeID, l graph.Label) bool {
+	if !m.g.Frozen() {
+		return m.g.HasEdge(from, to, l)
+	}
+	r := m.g.OutRangeL(from, l) // sorted by To within the label range
+	lo, hi := 0, len(r)
+	for hi-lo > 8 {
+		mid := (lo + hi) / 2
+		if r[mid].To < to {
+			lo = mid + 1
 		} else {
-			l = m.g.OutDegree(w)
-		}
-		if l < bestLen {
-			bestLen = l
-			best = h.other
-			bestHalf = h
+			hi = mid
 		}
 	}
-	if best >= 0 {
-		w := m.asgn[best]
-		if bestHalf.outgoing {
-			// pattern edge u -> best: data candidates v with v -> w.
-			for _, e := range m.g.In(w) {
-				if e.Label == bestHalf.label {
-					cands = append(cands, e.To)
-				}
-			}
-		} else {
-			for _, e := range m.g.Out(w) {
-				if e.Label == bestHalf.label {
-					cands = append(cands, e.To)
-				}
-			}
-		}
-	} else {
-		cands = m.g.NodesWithLabel(m.p.Label(u))
-	}
-	if m.opts.Guided && m.needSk != nil && len(cands) > 1 {
-		type scored struct {
-			v graph.NodeID
-			s int
-		}
-		ss := make([]scored, 0, len(cands))
-		for _, v := range cands {
-			s, ok := sketch.Score(m.opts.Sketches.Sketch(v), m.needSk[u])
-			if !ok {
-				continue
-			}
-			ss = append(ss, scored{v, s})
-		}
-		sort.Slice(ss, func(i, j int) bool {
-			if ss[i].s != ss[j].s {
-				return ss[i].s > ss[j].s
-			}
-			return ss[i].v < ss[j].v
-		})
-		cands = cands[:0]
-		for _, sc := range ss {
-			cands = append(cands, sc.v)
+	for ; lo < hi; lo++ {
+		if r[lo].To >= to {
+			return r[lo].To == to
 		}
 	}
-	return cands
+	return false
 }
 
 // search assigns order[idx..]; fn receives each complete assignment and
 // returns false to stop the whole search. search reports whether the search
 // was stopped early.
-func (m *matcher) search(idx int, fn func(asgn []graph.NodeID) bool) bool {
+//
+// Candidates for order[idx] come from the smallest label-contiguous CSR
+// range of a mapped pattern neighbor (binary-searched, not scanned), or
+// from the precomputed node-label index when no neighbor is mapped yet.
+// Unguided search iterates the range in place; guided search materializes
+// it into the per-depth reusable buffer to sort by sketch score.
+func (m *Matcher) search(idx int, fn func(asgn []graph.NodeID) bool) bool {
 	if idx == len(m.order) {
 		return !fn(m.asgn)
 	}
 	u := m.order[idx]
-	for _, v := range m.candidates(u) {
-		if m.used[v] || !m.feasible(u, v) || !m.consistent(u, v) {
+	var es []graph.Edge   // anchored source: candidates are e.To
+	var ns []graph.NodeID // label-index source
+	skip := int32(-1)     // arena index of the half that anchored es
+	base := m.poff[u]
+	for i, h := range m.halves(u) {
+		w := m.asgn[h.other]
+		if w == unassigned {
+			continue
+		}
+		var r []graph.Edge
+		if h.outgoing {
+			// Pattern edge u -> other: data candidates v have v -> w, i.e.
+			// they appear in w's incoming range for the label.
+			r = m.g.InRangeL(w, h.label)
+		} else {
+			r = m.g.OutRangeL(w, h.label)
+		}
+		if skip < 0 || len(r) < len(es) {
+			es, skip = r, base+int32(i)
+			if len(r) == 0 {
+				return false // some mapped neighbor admits no extension
+			}
+		}
+	}
+	if skip < 0 {
+		ns = m.g.NodesWithLabel(m.p.Label(u))
+	}
+	if m.needSk != nil {
+		return m.searchGuided(idx, u, es, ns, skip, fn)
+	}
+	if skip >= 0 {
+		for _, e := range es {
+			if m.tryAssign(idx, u, e.To, skip, fn) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, v := range ns {
+		if m.tryAssign(idx, u, v, -1, fn) {
+			return true
+		}
+	}
+	return false
+}
+
+// tryAssign attempts order[idx] = v and recurses. It reports whether the
+// search was stopped early.
+func (m *Matcher) tryAssign(idx, u int, v graph.NodeID, skip int32, fn func(asgn []graph.NodeID) bool) bool {
+	if m.used[v] == m.epoch || !m.feasible(u, v) || !m.consistent(u, v, skip) {
+		return false
+	}
+	m.asgn[u] = v
+	m.used[v] = m.epoch
+	stopped := m.search(idx+1, fn)
+	m.asgn[u] = unassigned
+	m.used[v] = 0
+	return stopped
+}
+
+// searchGuided is the guided variant of one search level: candidates are
+// scored against the pattern sketch, infeasible ones dropped, and the rest
+// visited in descending slack order ("the larger the difference is, the
+// more likely v' matches u'").
+func (m *Matcher) searchGuided(idx, u int, es []graph.Edge, ns []graph.NodeID, skip int32, fn func(asgn []graph.NodeID) bool) bool {
+	for len(m.cbufs) <= idx {
+		m.cbufs = append(m.cbufs, nil)
+	}
+	buf := m.cbufs[idx][:0]
+	want := m.p.Label(u)
+	add := func(v graph.NodeID) {
+		if m.g.Label(v) != want {
+			return
+		}
+		s, ok := sketch.Score(m.opts.Sketches.Sketch(v), m.needSk[u])
+		if !ok {
+			return
+		}
+		buf = append(buf, scoredCand{v, s})
+	}
+	if skip >= 0 {
+		for _, e := range es {
+			add(e.To)
+		}
+	} else {
+		for _, v := range ns {
+			add(v)
+		}
+	}
+	sortScored(buf)
+	m.cbufs[idx] = buf // retain grown capacity
+	for _, sc := range buf {
+		// Label and sketch feasibility were established by add; only the
+		// degree bound, the used-set and edge consistency remain.
+		v := sc.v
+		if m.used[v] == m.epoch || m.g.Degree(v) < m.pdeg[u] || !m.consistent(u, v, skip) {
 			continue
 		}
 		m.asgn[u] = v
-		m.used[v] = true
+		m.used[v] = m.epoch
 		stopped := m.search(idx+1, fn)
 		m.asgn[u] = unassigned
-		delete(m.used, v)
+		m.used[v] = 0
 		if stopped {
 			return true
 		}
@@ -257,30 +428,104 @@ func (m *matcher) search(idx int, fn func(asgn []graph.NodeID) bool) bool {
 	return false
 }
 
-// HasMatchAt reports whether p has a match h with h(p.X) = v in g. This is
-// the early-terminating membership test of algorithm Match: it stops at the
-// first complete embedding.
-func HasMatchAt(p *pattern.Pattern, g *graph.Graph, v graph.NodeID, opts Options) bool {
-	m := newMatcher(p, g, opts)
+// sortScored orders candidates by descending score, then ascending ID for
+// determinism. slices.SortFunc does not allocate, keeping the guided hot
+// path allocation-free.
+func sortScored(a []scoredCand) {
+	slices.SortFunc(a, func(x, y scoredCand) int {
+		if x.s != y.s {
+			return cmp.Compare(y.s, x.s)
+		}
+		return cmp.Compare(x.v, y.v)
+	})
+}
+
+// HasMatchAt reports whether the bound pattern has a match h with h(x) = v.
+// This is the early-terminating membership test of algorithm Match: it
+// stops at the first complete embedding. It may be called repeatedly with
+// different anchors; no state leaks between calls.
+func (m *Matcher) HasMatchAt(v graph.NodeID) bool {
+	n := m.p.NumNodes()
+	if n == 0 {
+		return false
+	}
 	x := m.p.X
 	if x == pattern.NoNode {
 		x = 0
 	}
-	if x >= m.p.NumNodes() {
+	// consistent at the anchor is vacuous except for self-loops at x.
+	if x >= n || !m.feasible(x, v) || !m.consistent(x, v, -1) {
 		return false
 	}
-	if !m.feasible(x, v) {
-		return false
-	}
-	m.buildOrder(x)
 	m.asgn[x] = v
-	m.used[v] = true
+	m.used[v] = m.epoch
 	found := false
 	m.search(1, func([]graph.NodeID) bool {
 		found = true
 		return false
 	})
+	m.asgn[x] = unassigned
+	m.used[v] = 0
 	return found
+}
+
+// EnumerateAnchored enumerates the matches h with h(x) = v, invoking fn for
+// each (the slice passed to fn is reused; fn must copy it to retain it; fn
+// returning false stops the search). It returns the number of matches
+// visited, capped by Options.MaxMatches when set.
+func (m *Matcher) EnumerateAnchored(v graph.NodeID, fn func(asgn []graph.NodeID) bool) int {
+	n := m.p.NumNodes()
+	if n == 0 {
+		return 0
+	}
+	x := m.p.X
+	if x == pattern.NoNode {
+		x = 0
+	}
+	if x >= n || !m.feasible(x, v) || !m.consistent(x, v, -1) {
+		return 0
+	}
+	m.asgn[x] = v
+	m.used[v] = m.epoch
+	count := 0
+	m.search(1, func(asgn []graph.NodeID) bool {
+		count++
+		if fn != nil && !fn(asgn) {
+			return false
+		}
+		return m.opts.MaxMatches == 0 || count < m.opts.MaxMatches
+	})
+	m.asgn[x] = unassigned
+	m.used[v] = 0
+	return count
+}
+
+// Enumerate invokes fn for every complete match in the graph (all
+// embeddings, not only distinct x images), the full-enumeration behaviour
+// of the disVF2 baseline. Same fn contract as EnumerateAnchored.
+func (m *Matcher) Enumerate(fn func(asgn []graph.NodeID) bool) int {
+	if m.p.NumNodes() == 0 {
+		return 0
+	}
+	count := 0
+	m.search(0, func(asgn []graph.NodeID) bool {
+		count++
+		if fn != nil && !fn(asgn) {
+			return false
+		}
+		return m.opts.MaxMatches == 0 || count < m.opts.MaxMatches
+	})
+	return count
+}
+
+// HasMatchAt reports whether p has a match h with h(p.X) = v in g. One-shot
+// form of Matcher.HasMatchAt; callers probing many anchors should hold a
+// Matcher instead.
+func HasMatchAt(p *pattern.Pattern, g *graph.Graph, v graph.NodeID, opts Options) bool {
+	m := NewMatcher(p, g, opts)
+	ok := m.HasMatchAt(v)
+	m.Release()
+	return ok
 }
 
 // MatchSet returns Q(x,G) restricted to the candidate set: the distinct data
@@ -288,16 +533,17 @@ func HasMatchAt(p *pattern.Pattern, g *graph.Graph, v graph.NodeID, opts Options
 // is nil, all nodes with x's label are tried. The result preserves candidate
 // order.
 func MatchSet(p *pattern.Pattern, g *graph.Graph, cands []graph.NodeID, opts Options) []graph.NodeID {
-	pe := p.Expand()
-	if pe.X == pattern.NoNode {
+	m := NewMatcher(p, g, opts)
+	defer m.Release()
+	if m.p.X == pattern.NoNode {
 		return nil
 	}
 	if cands == nil {
-		cands = g.NodesWithLabel(pe.Label(pe.X))
+		cands = g.NodesWithLabel(m.p.Label(m.p.X))
 	}
 	var out []graph.NodeID
 	for _, v := range cands {
-		if HasMatchAt(p, g, v, opts) {
+		if m.HasMatchAt(v) {
 			out = append(out, v)
 		}
 	}
@@ -310,24 +556,10 @@ func MatchSet(p *pattern.Pattern, g *graph.Graph, cands []graph.NodeID, opts Opt
 // to retain it. fn returns false to stop. Enumerate returns the number of
 // matches visited. opts.MaxMatches caps the enumeration.
 func Enumerate(p *pattern.Pattern, g *graph.Graph, opts Options, fn func(asgn []graph.NodeID) bool) int {
-	m := newMatcher(p, g, opts)
-	if m.p.NumNodes() == 0 {
-		return 0
-	}
-	root := m.p.X
-	if root == pattern.NoNode {
-		root = 0
-	}
-	m.buildOrder(root)
-	count := 0
-	m.search(0, func(asgn []graph.NodeID) bool {
-		count++
-		if fn != nil && !fn(asgn) {
-			return false
-		}
-		return opts.MaxMatches == 0 || count < opts.MaxMatches
-	})
-	return count
+	m := NewMatcher(p, g, opts)
+	n := m.Enumerate(fn)
+	m.Release()
+	return n
 }
 
 // ImageSets returns, for every (expanded) pattern node, the set of distinct
@@ -371,27 +603,8 @@ func MinImageSupport(p *pattern.Pattern, g *graph.Graph, opts Options) int {
 // of matches visited. It powers the extension-discovery step of algorithm
 // DMine, which must see whole embeddings rather than just existence.
 func EnumerateAnchored(p *pattern.Pattern, g *graph.Graph, v graph.NodeID, opts Options, fn func(asgn []graph.NodeID) bool) int {
-	m := newMatcher(p, g, opts)
-	if m.p.NumNodes() == 0 {
-		return 0
-	}
-	x := m.p.X
-	if x == pattern.NoNode {
-		x = 0
-	}
-	if !m.feasible(x, v) {
-		return 0
-	}
-	m.buildOrder(x)
-	m.asgn[x] = v
-	m.used[v] = true
-	count := 0
-	m.search(1, func(asgn []graph.NodeID) bool {
-		count++
-		if fn != nil && !fn(asgn) {
-			return false
-		}
-		return opts.MaxMatches == 0 || count < opts.MaxMatches
-	})
-	return count
+	m := NewMatcher(p, g, opts)
+	n := m.EnumerateAnchored(v, fn)
+	m.Release()
+	return n
 }

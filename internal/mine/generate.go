@@ -76,7 +76,8 @@ func (w *worker) localMine(m *miner, frontier []*Mined) []message {
 				ext:       acc.ext,
 				rule:      child,
 			}
-			childPR := child.PR()
+			// One pooled matcher per child rule, reused across all centers.
+			prm := match.NewMatcher(child.PR(), w.frag.G, opts)
 			radius := child.Q.RadiusAt(child.Q.X)
 			sort.Slice(acc.centers, func(i, j int) bool { return acc.centers[i] < acc.centers[j] })
 			for _, c := range acc.centers {
@@ -86,7 +87,7 @@ func (w *worker) localMine(m *miner, frontier []*Mined) []message {
 				}
 				if w.pq[c] {
 					w.ops++
-					if match.HasMatchAt(childPR, w.frag.G, c, opts) {
+					if prm.HasMatchAt(c) {
 						msg.rSet = append(msg.rSet, w.frag.Global(c))
 						// Usupp_i: PR matches that still have room to grow.
 						if w.hasNodeAtDistance(c, radius+1) {
@@ -95,6 +96,7 @@ func (w *worker) localMine(m *miner, frontier []*Mined) []message {
 					}
 				}
 			}
+			prm.Release()
 			msg.flag = len(msg.qCenters) > 0
 			out = append(out, msg)
 		}

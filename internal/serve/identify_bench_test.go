@@ -1,0 +1,50 @@
+package serve
+
+import (
+	"testing"
+
+	"gpar/internal/core"
+	"gpar/internal/gen"
+	"gpar/internal/graph"
+)
+
+// benchSnapshot builds the Pokec-like serving fixture used by the identify
+// acceptance benchmark: a generated social graph, a handful of mined-shape
+// rules, and a snapshot with the default worker layout.
+func benchSnapshot(b *testing.B) (*Snapshot, []*ServedRule, *Pool) {
+	b.Helper()
+	syms := graph.NewSymbols()
+	g := gen.Pokec(syms, gen.DefaultPokec(1500, 1))
+	var pred core.Predicate
+	for _, p := range gen.PokecPredicates(syms) {
+		if len(core.Pq(g, p)) > 0 {
+			pred = p
+			break
+		}
+	}
+	if pred.XLabel == graph.NoLabel {
+		b.Fatal("no supported predicate in generated graph")
+	}
+	rules := gen.Rules(g, pred, gen.RuleGenParams{Count: 4, VP: 3, EP: 3, Seed: 1})
+	if len(rules) == 0 {
+		b.Fatal("no rules generated")
+	}
+	snap, err := BuildSnapshot(g, pred, rules, Config{Workers: 4})
+	if err != nil {
+		b.Fatalf("BuildSnapshot: %v", err)
+	}
+	return snap, snap.Rules, NewPool(4)
+}
+
+// BenchmarkIdentify is the acceptance benchmark for the steady-state
+// /v1/identify path: one uncached EvalRule per iteration over the resident
+// snapshot, cycling through the rule set. Recorded in BENCH_match.json by
+// `make bench`.
+func BenchmarkIdentify(b *testing.B) {
+	snap, rules, pool := benchSnapshot(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap.EvalRule(rules[i%len(rules)], pool)
+	}
+}

@@ -51,12 +51,12 @@ type Job struct {
 	Finished time.Time  `json:"finished,omitzero"`
 	Error    string     `json:"error,omitempty"`
 
-	Rounds    int       `json:"rounds,omitempty"`
-	Generated int       `json:"generated,omitempty"`
-	Kept      int       `json:"kept,omitempty"`
-	F         float64   `json:"f,omitempty"`
-	RuleKeys  []string  `json:"ruleKeys,omitempty"`
-	Installed bool      `json:"installed,omitempty"`
+	Rounds    int      `json:"rounds,omitempty"`
+	Generated int      `json:"generated,omitempty"`
+	Kept      int      `json:"kept,omitempty"`
+	F         float64  `json:"f,omitempty"`
+	RuleKeys  []string `json:"ruleKeys,omitempty"`
+	Installed bool     `json:"installed,omitempty"`
 	// Generation is the snapshot generation after install (0 otherwise).
 	Generation uint64 `json:"generation,omitempty"`
 }

@@ -9,6 +9,7 @@ import (
 	"gpar/internal/graph"
 	"gpar/internal/match"
 	"gpar/internal/partition"
+	"gpar/internal/pattern"
 	"gpar/internal/sketch"
 )
 
@@ -21,14 +22,24 @@ type ServedRule struct {
 	Display string // Rule.String(), rendered at build time
 	Radius  int    // r(PR, x), the partition radius contribution
 	Size    int    // |Q|
+
+	// pr is Rule.PR() materialized once at build time. Rule.PR() clones per
+	// call; a stable pattern identity lets the per-fragment sketch indexes
+	// cache the pattern sketches across requests.
+	pr *pattern.Pattern
+	// degX is the degree of the designated x in the expanded antecedent Q —
+	// the cheap per-candidate feasibility bound used to prefilter candidate
+	// lists at build time. (A PR match is also a Q match, so Q's bound is a
+	// necessary condition for both checks.)
+	degX int
 }
 
 // Snapshot is one immutable unit of serving state. All fields are read-only
 // after BuildSnapshot returns; swapping installs a whole new Snapshot.
 type Snapshot struct {
-	Gen   uint64
-	G     *graph.Graph
-	Pred  core.Predicate
+	Gen  uint64
+	G    *graph.Graph
+	Pred core.Predicate
 	// PredDisplay is Pred rendered at build time.
 	PredDisplay string
 	Rules       []*ServedRule
@@ -44,14 +55,53 @@ type Snapshot struct {
 }
 
 // fragEval is one partition fragment prepared for repeated rule evaluation:
-// frozen graph, sketch index for guided search, and the owned centers
-// classified once under the LCWA (as in eip.processFragment).
+// frozen graph, sketch index for guided search, the owned centers
+// classified once under the LCWA (as in eip.processFragment), and per-rule
+// prefiltered candidate lists so steady-state requests touch only centers
+// that can possibly match.
 type fragEval struct {
 	frag     *partition.Fragment
 	sketches *sketch.Index
 	pq       []graph.NodeID // owned centers with the consequent edge to a YLabel node
 	pqbar    []graph.NodeID // owned centers with the consequent edge elsewhere
 	other    []graph.NodeID // unknown cases
+
+	// ruleCands[i] are rule i's candidate lists, prefiltered at build time
+	// by the fragment triple summary and the x-degree bound.
+	ruleCands []ruleCandSet
+}
+
+// ruleCandSet is one rule's prefiltered candidate lists on one fragment.
+type ruleCandSet struct {
+	// skip: the fragment lacks a triple Q requires, so neither Q nor PR
+	// (⊇ Q) can match any center. skipPR: only the PR gate failed (the
+	// consequent triple is absent, e.g. a fragment of all-q̄ centers); Q
+	// checks still run.
+	skip, skipPR     bool
+	pq, pqbar, other []graph.NodeID
+}
+
+// prefilter returns the members of centers that satisfy the cheap
+// per-candidate necessary conditions for matching sr's antecedent. When
+// nothing is filtered the input slice is shared, not copied.
+func prefilter(g *graph.Graph, centers []graph.NodeID, degX int) []graph.NodeID {
+	keepAll := true
+	for _, c := range centers {
+		if g.Degree(c) < degX {
+			keepAll = false
+			break
+		}
+	}
+	if keepAll {
+		return centers
+	}
+	out := make([]graph.NodeID, 0, len(centers))
+	for _, c := range centers {
+		if g.Degree(c) >= degX {
+			out = append(out, c)
+		}
+	}
+	return out
 }
 
 // RuleEval is one rule's graph-wide evaluation: the match-set cache value.
@@ -79,8 +129,9 @@ func BuildSnapshot(g *graph.Graph, pred core.Predicate, rules []*core.Rule, cfg 
 			return nil, fmt.Errorf("serve: rule %d pertains to a different predicate", i)
 		}
 	}
+	// Freeze compiles the CSR representation, including the node-label
+	// candidate index, so every later read is lock-free and mutation-free.
 	g.Freeze()
-	g.NodeLabels() // force the lazy label index before concurrent reads
 
 	snap := &Snapshot{
 		G:           g,
@@ -90,6 +141,16 @@ func BuildSnapshot(g *graph.Graph, pred core.Predicate, rules []*core.Rule, cfg 
 		D:           eip.MaxRadius(rules),
 	}
 	for i, r := range rules {
+		qx := r.Q.Expand()
+		degX := 0
+		for _, e := range qx.Edges() {
+			if e.From == qx.X {
+				degX++
+			}
+			if e.To == qx.X {
+				degX++
+			}
+		}
 		sr := &ServedRule{
 			Index:   i,
 			Key:     r.Key(),
@@ -97,16 +158,27 @@ func BuildSnapshot(g *graph.Graph, pred core.Predicate, rules []*core.Rule, cfg 
 			Display: r.String(),
 			Radius:  r.Radius(),
 			Size:    r.Size(),
+			pr:      r.PR(),
+			degX:    degX,
 		}
 		snap.Rules = append(snap.Rules, sr)
 		snap.byKey[sr.Key] = sr
 	}
 
+	// Per-rule triple requirements depend only on the rule; compute once,
+	// not per fragment. Q's triples gate all matching on a fragment; PR's
+	// (which add the consequent edge) gate only the PR check.
+	needQ := make([][]eip.Triple, len(rules))
+	needPR := make([][]eip.Triple, len(rules))
+	for i, r := range rules {
+		needQ[i] = eip.PatternTriples(r.Q)
+		needPR[i] = eip.RuleTriples(r)
+	}
+
 	cands := g.NodesWithLabel(pred.XLabel)
 	frags := partition.Partition(g, cands, cfg.Workers, snap.D)
 	for _, f := range frags {
-		f.G.Freeze()
-		f.G.NodeLabels() // fragments are shared by concurrent requests
+		f.G.Freeze() // fragments are shared by concurrent requests
 		fe := &fragEval{
 			frag:     f,
 			sketches: sketch.NewIndex(f.G, cfg.SketchK),
@@ -115,6 +187,26 @@ func BuildSnapshot(g *graph.Graph, pred core.Predicate, rules []*core.Rule, cfg 
 		fe.pq, fe.pqbar, fe.other = eip.ClassifyCenters(f.G, f.Centers, pred)
 		snap.SuppQ1 += len(fe.pq)
 		snap.SuppQbar += len(fe.pqbar)
+
+		// Per-rule candidate lists, prefiltered once per swap: the fragment
+		// triple summary rejects whole rules (multi-query common-subpattern
+		// sharing, Section 5.2) and the x-degree bound rejects individual
+		// centers, so steady-state identify requests run the matcher only
+		// on plausible candidates.
+		triples := eip.NewTripleIndex(f.G)
+		fe.ruleCands = make([]ruleCandSet, len(rules))
+		for i := range rules {
+			rc := &fe.ruleCands[i]
+			if !triples.Covers(needQ[i]) {
+				rc.skip = true
+				continue
+			}
+			rc.skipPR = !triples.Covers(needPR[i])
+			degX := snap.Rules[i].degX
+			rc.pq = prefilter(f.G, fe.pq, degX)
+			rc.pqbar = prefilter(f.G, fe.pqbar, degX)
+			rc.other = prefilter(f.G, fe.other, degX)
+		}
 		snap.frags = append(snap.frags, fe)
 	}
 	return snap, nil
@@ -160,33 +252,46 @@ func (s *Snapshot) EvalRule(sr *ServedRule, pool *Pool) *RuleEval {
 	return ev
 }
 
-// evalRule runs the per-candidate checks for one rule on one fragment.
+// evalRule runs the per-candidate checks for one rule on one fragment,
+// over the candidate lists prefiltered at snapshot build. Matchers come
+// from the shared pool and are reused across every candidate, so the
+// steady-state request path allocates only its result slices.
 func (fe *fragEval) evalRule(sr *ServedRule) fragPart {
 	var p fragPart
+	rc := &fe.ruleCands[sr.Index]
+	if rc.skip {
+		return p
+	}
 	opts := match.Options{Guided: true, Sketches: fe.sketches}
 	g := fe.frag.G
-	pr := sr.Rule.PR()
+	qm := match.NewMatcher(sr.Rule.Q, g, opts)
+	defer qm.Release()
+	var prm *match.Matcher
+	if !rc.skipPR {
+		prm = match.NewMatcher(sr.pr, g, opts)
+		defer prm.Release()
+	}
 	// Pq members: PR first; a PR match is a Q match (containment reuse).
-	for _, c := range fe.pq {
-		if match.HasMatchAt(pr, g, c, opts) {
+	for _, c := range rc.pq {
+		if prm != nil && prm.HasMatchAt(c) {
 			p.r = append(p.r, fe.frag.Global(c))
 			p.q = append(p.q, fe.frag.Global(c))
 			continue
 		}
-		if match.HasMatchAt(sr.Rule.Q, g, c, opts) {
+		if qm.HasMatchAt(c) {
 			p.q = append(p.q, fe.frag.Global(c))
 		}
 	}
 	// q̄ members: Q matches count for supp(Qq̄) and as potential customers.
-	for _, c := range fe.pqbar {
-		if match.HasMatchAt(sr.Rule.Q, g, c, opts) {
+	for _, c := range rc.pqbar {
+		if qm.HasMatchAt(c) {
 			p.qqb++
 			p.q = append(p.q, fe.frag.Global(c))
 		}
 	}
 	// Unknown cases: potential customers when Q matches.
-	for _, c := range fe.other {
-		if match.HasMatchAt(sr.Rule.Q, g, c, opts) {
+	for _, c := range rc.other {
+		if qm.HasMatchAt(c) {
 			p.q = append(p.q, fe.frag.Global(c))
 		}
 	}

@@ -1,0 +1,51 @@
+package serve
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentEvalRuleRace hammers one snapshot with concurrent EvalRule
+// calls across all rules — the steady-state shape of gpard under load: a
+// shared frozen graph, shared fragment sketch indexes, pooled matchers, and
+// the shared worker pool. Every evaluation must produce the same result as
+// a quiet single-threaded one. Run with -race (wired into `make race` and
+// CI).
+func TestConcurrentEvalRuleRace(t *testing.T) {
+	g, pred, rules := fixture(t)
+	snap, err := BuildSnapshot(g, pred, rules, Config{Workers: 3})
+	if err != nil {
+		t.Fatalf("BuildSnapshot: %v", err)
+	}
+	pool := NewPool(4)
+
+	// Quiet reference evaluations.
+	want := make([]*RuleEval, len(snap.Rules))
+	for i, sr := range snap.Rules {
+		want[i] = snap.EvalRule(sr, pool)
+	}
+
+	const goroutines, iters = 8, 40
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				ri := (w + i) % len(snap.Rules)
+				got := snap.EvalRule(snap.Rules[ri], pool)
+				if !reflect.DeepEqual(got.Matches, want[ri].Matches) || got.Stats != want[ri].Stats {
+					errs <- "concurrent EvalRule diverged from quiet evaluation"
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}

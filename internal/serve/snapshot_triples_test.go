@@ -1,0 +1,60 @@
+package serve
+
+import (
+	"testing"
+
+	"gpar/internal/core"
+	"gpar/internal/graph"
+	"gpar/internal/pattern"
+)
+
+// TestEvalRuleQbarOnlyCenters: a graph whose candidate centers all lack the
+// consequent edge to a YLabel node (pure q̄ / unknown classes) must still
+// report their Q matches. The build-time triple prefilter gates Q checks on
+// Q's own triples, not PR's — PR's include the consequent edge, which such
+// a graph legitimately lacks. Regression test for the skip/skipPR split.
+func TestEvalRuleQbarOnlyCenters(t *testing.T) {
+	syms := graph.NewSymbols()
+	g := graph.New(syms)
+	c0 := g.AddNode("cust")
+	c1 := g.AddNode("cust")
+	c2 := g.AddNode("cust")
+	bar := g.AddNode("bar")
+	g.AddEdge(c0, c1, "friend")
+	g.AddEdge(c1, c2, "friend")
+	g.AddEdge(c2, bar, "visit") // a visit edge, but never to a "restaurant"
+
+	pred := core.Predicate{
+		XLabel:    syms.Intern("cust"),
+		EdgeLabel: syms.Intern("visit"),
+		YLabel:    syms.Intern("restaurant"),
+	}
+	// Q: x -friend-> f  ⇒  visit(x, restaurant). Matches c0 and c1.
+	q := pattern.New(syms)
+	x := q.AddNode("cust")
+	q.X = x
+	f := q.AddNode("cust")
+	q.AddEdge(x, f, "friend")
+	r := &core.Rule{Q: q, Pred: pred}
+	if err := r.Validate(); err != nil {
+		t.Fatalf("rule: %v", err)
+	}
+
+	snap, err := BuildSnapshot(g, pred, []*core.Rule{r}, Config{Workers: 1})
+	if err != nil {
+		t.Fatalf("BuildSnapshot: %v", err)
+	}
+	if snap.SuppQ1 != 0 {
+		t.Fatalf("fixture broken: expected no Pq centers, got %d", snap.SuppQ1)
+	}
+	ev := snap.EvalRule(snap.Rules[0], NewPool(1))
+	want := []graph.NodeID{c0, c1}
+	if len(ev.Matches) != len(want) || ev.Matches[0] != want[0] || ev.Matches[1] != want[1] {
+		t.Fatalf("EvalRule matches = %v, want %v (q̄-only fragment must not be triple-skipped)", ev.Matches, want)
+	}
+	// c2 is the lone q̄ center but has no outgoing friend edge, so Q does
+	// not match it; c0 and c1 are unknown-class customers.
+	if ev.Stats.SuppQqb != 0 || ev.Stats.SuppQbar != 1 {
+		t.Fatalf("Stats = %+v, want SuppQqb=0 SuppQbar=1", ev.Stats)
+	}
+}

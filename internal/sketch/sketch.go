@@ -61,11 +61,43 @@ func Score(data, need Sketch) (score int, feasible bool) {
 	return score, true
 }
 
+// bfsScratch is the reusable state of one sketch BFS: an epoch-stamped
+// visited array (no clearing between runs; bumping the epoch invalidates
+// all stamps at once) and the two frontier buffers. On a frozen graph the
+// BFS walks CSR arena views, so together with the scratch a cached-index
+// miss allocates only the sketch maps it returns.
+type bfsScratch struct {
+	visited        []uint32
+	epoch          uint32
+	frontier, next []graph.NodeID
+}
+
+var bfsPool = sync.Pool{New: func() any { return new(bfsScratch) }}
+
+// reset sizes the scratch for a graph of n nodes and opens a new epoch.
+func (sc *bfsScratch) reset(n int) {
+	if cap(sc.visited) < n {
+		sc.visited = make([]uint32, n)
+		sc.epoch = 0
+	}
+	sc.visited = sc.visited[:n]
+	sc.epoch++
+	if sc.epoch == 0 { // wraparound: stale stamps could collide, clear once
+		for i := range sc.visited {
+			sc.visited[i] = 0
+		}
+		sc.epoch = 1
+	}
+}
+
 // Of computes the k-hop sketch of node v in g.
 func Of(g *graph.Graph, v graph.NodeID, k int) Sketch {
 	sk := make(Sketch, k)
-	visited := map[graph.NodeID]bool{v: true}
-	frontier := []graph.NodeID{v}
+	sc := bfsPool.Get().(*bfsScratch)
+	sc.reset(g.NumNodes())
+	sc.visited[v] = sc.epoch
+	frontier := append(sc.frontier[:0], v)
+	next := sc.next[:0]
 	for hop := 0; hop < k && len(frontier) > 0; hop++ {
 		dist := make(map[graph.Label]int)
 		if hop > 0 {
@@ -73,26 +105,28 @@ func Of(g *graph.Graph, v graph.NodeID, k int) Sketch {
 				dist[l] = c
 			}
 		}
-		var next []graph.NodeID
+		next = next[:0]
 		for _, u := range frontier {
 			for _, e := range g.Out(u) {
-				if !visited[e.To] {
-					visited[e.To] = true
+				if sc.visited[e.To] != sc.epoch {
+					sc.visited[e.To] = sc.epoch
 					next = append(next, e.To)
 					dist[g.Label(e.To)]++
 				}
 			}
 			for _, e := range g.In(u) {
-				if !visited[e.To] {
-					visited[e.To] = true
+				if sc.visited[e.To] != sc.epoch {
+					sc.visited[e.To] = sc.epoch
 					next = append(next, e.To)
 					dist[g.Label(e.To)]++
 				}
 			}
 		}
 		sk[hop] = dist
-		frontier = next
+		frontier, next = next, frontier
 	}
+	sc.frontier, sc.next = frontier[:0], next[:0]
+	bfsPool.Put(sc)
 	fillCumulative(sk)
 	return sk
 }
@@ -128,15 +162,26 @@ func OfPattern(p *pattern.Pattern, u, k int) Sketch {
 			u = pe.Y
 		}
 	}
-	sk := make(Sketch, k)
-	n := pe.NumNodes()
-	adj := make([][]int, n)
+	return ofExpanded(pe, patternAdj(pe), u, k)
+}
+
+// patternAdj builds the undirected adjacency of an expanded pattern.
+func patternAdj(pe *pattern.Pattern) [][]int {
+	adj := make([][]int, pe.NumNodes())
 	for _, e := range pe.Edges() {
 		adj[e.From] = append(adj[e.From], e.To)
 		if e.From != e.To {
 			adj[e.To] = append(adj[e.To], e.From)
 		}
 	}
+	return adj
+}
+
+// ofExpanded computes the k-hop sketch of node u of an already-expanded
+// pattern with prebuilt adjacency.
+func ofExpanded(pe *pattern.Pattern, adj [][]int, u, k int) Sketch {
+	sk := make(Sketch, k)
+	n := pe.NumNodes()
 	visited := make([]bool, n)
 	visited[u] = true
 	frontier := []int{u}
@@ -172,11 +217,43 @@ type Index struct {
 
 	mu    sync.Mutex
 	cache map[graph.NodeID]Sketch
+
+	pmu    sync.Mutex
+	pcache map[*pattern.Pattern][]Sketch
 }
 
 // NewIndex returns a sketch index of depth k over g.
 func NewIndex(g *graph.Graph, k int) *Index {
-	return &Index{g: g, k: k, cache: make(map[graph.NodeID]Sketch)}
+	return &Index{
+		g:      g,
+		k:      k,
+		cache:  make(map[graph.NodeID]Sketch),
+		pcache: make(map[*pattern.Pattern][]Sketch),
+	}
+}
+
+// PatternSketches returns the k-hop sketches of every node of p's
+// multiplicity expansion, indexed by expanded node index, cached by pattern
+// identity. The matcher calls this once per binding, so repeated rule
+// evaluations over a long-lived index (one per serving fragment) pay the
+// pattern-sketch construction exactly once.
+func (ix *Index) PatternSketches(p *pattern.Pattern) []Sketch {
+	ix.pmu.Lock()
+	sks, ok := ix.pcache[p]
+	ix.pmu.Unlock()
+	if ok {
+		return sks
+	}
+	pe := p.Expand()
+	adj := patternAdj(pe)
+	sks = make([]Sketch, pe.NumNodes())
+	for u := range sks {
+		sks[u] = ofExpanded(pe, adj, u, ix.k)
+	}
+	ix.pmu.Lock()
+	ix.pcache[p] = sks
+	ix.pmu.Unlock()
+	return sks
 }
 
 // K reports the sketch depth.
