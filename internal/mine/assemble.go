@@ -31,7 +31,7 @@ func (m *miner) assemble(msgs []message) []*Mined {
 	var order []string
 	for i := range msgs {
 		msg := &msgs[i]
-		gk := msg.parentKey + "|" + msg.ext.Key()
+		gk := msg.parentKey + "|" + msg.extKey
 		gr := groups[gk]
 		if gr == nil {
 			gr = &group{

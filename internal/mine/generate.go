@@ -22,14 +22,15 @@ func (m *miner) generate(frontier []*Mined) []message {
 	for _, r := range results {
 		msgs = append(msgs, r...)
 	}
-	// Deterministic processing order at the coordinator.
+	// Deterministic processing order at the coordinator. The sort keys were
+	// computed once at emission; rebuilding ext.Key() inside the comparator
+	// would cost O(M log M) string builds per round.
 	sort.Slice(msgs, func(i, j int) bool {
 		if msgs[i].parentKey != msgs[j].parentKey {
 			return msgs[i].parentKey < msgs[j].parentKey
 		}
-		ki, kj := msgs[i].ext.Key(), msgs[j].ext.Key()
-		if ki != kj {
-			return ki < kj
+		if msgs[i].extKey != msgs[j].extKey {
+			return msgs[i].extKey < msgs[j].extKey
 		}
 		return msgs[i].worker < msgs[j].worker
 	})
@@ -74,6 +75,7 @@ func (w *worker) localMine(m *miner, frontier []*Mined) []message {
 				worker:    w.id,
 				parentKey: parent.key,
 				ext:       acc.ext,
+				extKey:    k,
 				rule:      child,
 			}
 			// One pooled matcher per child rule, reused across all centers.

@@ -202,6 +202,7 @@ type message struct {
 	worker    int
 	parentKey string
 	ext       pattern.Extension
+	extKey    string     // ext.Key(), computed once at emission
 	rule      *core.Rule // materialized candidate (parent ⊕ ext)
 
 	qCenters   []graph.NodeID // global IDs: owned centers matching the new Q
