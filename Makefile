@@ -1,7 +1,8 @@
 GO ?= go
 BIN := bin
 
-.PHONY: all build vet test race bench bench-short serve clean
+.PHONY: all build vet test race bench bench-match bench-mine bench-short \
+	bench-mine-short bench-guard serve clean
 
 all: vet build test
 
@@ -15,25 +16,45 @@ test:
 	$(GO) build ./... && $(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/serve/ ./internal/partition/ ./internal/match/
+	$(GO) test -race ./internal/serve/ ./internal/partition/ ./internal/match/ ./internal/mine/
 
-# Run the match/eip hot-path benchmarks with -benchmem and record them,
-# joined against the pre-CSR baseline, in BENCH_match.json. The two-step
+# Run the hot-path benchmarks with -benchmem and record them, joined
+# against their recorded baselines, in BENCH_match.json (matcher, vs
+# d6c8e5f) and BENCH_mine.json (mining loop, vs 0549b0b). The two-step
 # temp-file dance (rather than a pipe) makes a benchmark failure fail the
 # target instead of being masked by the parser's exit status.
-bench:
+bench: bench-match bench-mine
+
+bench-match:
 	$(GO) test -run '^$$' -bench 'BenchmarkAnchoredMatch|BenchmarkMatchSet$$|BenchmarkIdentify' \
 	    -benchmem -benchtime=1s ./internal/match/ ./internal/serve/ > bench.out
-	$(GO) run ./cmd/benchjson -o BENCH_match.json < bench.out
+	$(GO) run ./cmd/benchjson -set match -o BENCH_match.json < bench.out
 	@rm -f bench.out
 
-# Short-mode variant for CI: one quick pass so regressions show up in PR
+bench-mine:
+	$(GO) test -run '^$$' -bench 'BenchmarkDMine$$|BenchmarkDMineNo$$|BenchmarkDiscoverExtensions|BenchmarkDiversifyUpdate' \
+	    -benchmem -benchtime=2s ./internal/mine/ ./internal/diversify/ > bench.out
+	$(GO) run ./cmd/benchjson -set mine -o BENCH_mine.json < bench.out
+	@rm -f bench.out
+
+# Short-mode variants for CI: one quick pass so regressions show up in PR
 # logs without a stable-machine timing claim.
 bench-short:
 	$(GO) test -run '^$$' -bench 'BenchmarkAnchoredMatch|BenchmarkIdentify' \
 	    -benchmem -benchtime=50x ./internal/match/ ./internal/serve/ > bench.out
-	$(GO) run ./cmd/benchjson < bench.out
+	$(GO) run ./cmd/benchjson -set match < bench.out
 	@rm -f bench.out
+
+bench-mine-short:
+	$(GO) test -run '^$$' -bench 'BenchmarkDMine$$|BenchmarkDiscoverExtensions|BenchmarkDiversifyUpdate' \
+	    -benchmem -benchtime=3x ./internal/mine/ ./internal/diversify/ > bench.out
+	$(GO) run ./cmd/benchjson -set mine < bench.out
+	@rm -f bench.out
+
+# Fail if any committed bench artifact records a ratio below 1.0 — the
+# regression gate CI runs on every push.
+bench-guard:
+	$(GO) run ./cmd/benchguard BENCH_match.json BENCH_mine.json
 
 # Start the serving daemon on a generated Pokec-like graph, mining a
 # starter rule set for the Disco predicate (see DESIGN.md quickstart).

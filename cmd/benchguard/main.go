@@ -1,0 +1,59 @@
+// Command benchguard is the CI regression gate over committed bench
+// artifacts: it reads BENCH_*.json files (as written by cmd/benchjson) and
+// exits nonzero if any recorded speedup has fallen below 1.0 — i.e. if
+// someone commits an artifact showing an optimized path slower than its
+// recorded baseline. Allocation ratios are reported in the artifacts but
+// not gated: some rewrites deliberately trade a few allocations for time
+// (e.g. the diversifier's memoized pair distances).
+//
+// Usage: benchguard BENCH_match.json BENCH_mine.json ...
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"gpar/internal/benchfmt"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchguard BENCH_*.json ...")
+		os.Exit(2)
+	}
+	failed := false
+	for _, path := range os.Args[1:] {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+			os.Exit(2)
+		}
+		var rep benchfmt.Report
+		if err := json.Unmarshal(data, &rep); err != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: %s: %v\n", path, err)
+			os.Exit(2)
+		}
+		checked := 0
+		for _, e := range rep.Benchmarks {
+			if e.Base == nil {
+				continue
+			}
+			checked++
+			if e.Speedup < 1.0 {
+				fmt.Fprintf(os.Stderr, "benchguard: %s: %s speedup %.2f < 1.0 vs %s\n",
+					path, e.Name, e.Speedup, rep.BaselineCommit)
+				failed = true
+			}
+		}
+		if checked == 0 {
+			fmt.Fprintf(os.Stderr, "benchguard: %s: no baselined benchmarks found\n", path)
+			failed = true
+		}
+		fmt.Printf("benchguard: %s: %d baselined benchmarks checked (baseline %s)\n",
+			path, checked, rep.BaselineCommit)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,10 +1,11 @@
 // Command benchjson turns `go test -bench -benchmem` output into the
-// BENCH_match.json artifact tracked by `make bench`: per-benchmark ns/op,
-// B/op and allocs/op, joined against the recorded pre-CSR baseline so the
-// speedup and allocation-reduction ratios of the flat-CSR matcher rewrite
-// are visible in one file.
+// BENCH_*.json artifacts tracked by `make bench`: per-benchmark ns/op,
+// B/op and allocs/op, joined against a recorded baseline so the speedup
+// and allocation-reduction ratios of a hot-path rewrite are visible in one
+// file. -set picks the baseline: "match" (pre-CSR matcher, d6c8e5f) or
+// "mine" (pre-interning DMine loop, 0549b0b).
 //
-// Usage: go test -bench ... -benchmem ./... | benchjson [-o BENCH_match.json]
+// Usage: go test -bench ... -benchmem ./... | benchjson [-set match|mine] [-o BENCH_match.json]
 package main
 
 import (
@@ -16,51 +17,61 @@ import (
 	"regexp"
 	"strconv"
 	"strings"
+
+	"gpar/internal/benchfmt"
 )
 
-// baseline holds the numbers measured at commit d6c8e5f (pointer-chasing
-// [][]Edge adjacency, map used-set, per-candidate matcher allocation) on
-// the same workloads, recorded before the CSR rewrite landed. They were
-// taken on the machine that produced the committed artifact; the ratios
-// are only meaningful when the current run uses comparable hardware.
-var baseline = map[string]measurement{
-	"BenchmarkAnchoredMatch/unguided": {NsPerOp: 7171, BytesPerOp: 1379, AllocsPerOp: 64},
-	"BenchmarkAnchoredMatch/guided":   {NsPerOp: 44948, BytesPerOp: 6707, AllocsPerOp: 209},
-	"BenchmarkMatchSet":               {NsPerOp: 20951397, BytesPerOp: 4145511, AllocsPerOp: 192160},
-	"BenchmarkIdentify":               {NsPerOp: 19078529, BytesPerOp: 6297920, AllocsPerOp: 103736},
+// baselines hold the numbers measured at the named commits on the same
+// workloads, recorded before each rewrite landed. They were taken on the
+// machine that produced the committed artifacts; the ratios are only
+// meaningful when the current run uses comparable hardware.
+//
+// "match": commit d6c8e5f — pointer-chasing [][]Edge adjacency, map
+// used-set, per-candidate matcher allocation, before the CSR rewrite.
+//
+// "mine": commit 0549b0b — string rule/extension identity, per-embedding
+// map scratch, single-threaded assembly and sorted-slice diversification
+// diffs, before the allocation-lean DMine rewrite.
+var baselines = map[string]map[string]measurement{
+	"match": {
+		"BenchmarkAnchoredMatch/unguided": {NsPerOp: 7171, BytesPerOp: 1379, AllocsPerOp: 64},
+		"BenchmarkAnchoredMatch/guided":   {NsPerOp: 44948, BytesPerOp: 6707, AllocsPerOp: 209},
+		"BenchmarkMatchSet":               {NsPerOp: 20951397, BytesPerOp: 4145511, AllocsPerOp: 192160},
+		"BenchmarkIdentify":               {NsPerOp: 19078529, BytesPerOp: 6297920, AllocsPerOp: 103736},
+	},
+	"mine": {
+		"BenchmarkDMine":              {NsPerOp: 112067462, BytesPerOp: 31951282, AllocsPerOp: 790954},
+		"BenchmarkDMineNo":            {NsPerOp: 119691820, BytesPerOp: 29647447, AllocsPerOp: 710175},
+		"BenchmarkDiscoverExtensions": {NsPerOp: 1285430, BytesPerOp: 304374, AllocsPerOp: 11801},
+		"BenchmarkDiversifyUpdate":    {NsPerOp: 77365179, BytesPerOp: 260412, AllocsPerOp: 91},
+	},
 }
 
-type measurement struct {
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
+// baselineCommits names the commit each baseline set was measured at.
+var baselineCommits = map[string]string{
+	"match": "d6c8e5f",
+	"mine":  "0549b0b",
 }
 
-type entry struct {
-	Name    string       `json:"name"`
-	Current measurement  `json:"current"`
-	Base    *measurement `json:"baseline,omitempty"`
-	// Speedup is baseline ns/op divided by current ns/op (higher is
-	// better); AllocReduction likewise for allocs/op, with a zero current
-	// count treated as 1 so the ratio is a well-defined lower bound
-	// (ZeroAllocs marks that case). Only present when a baseline is
-	// recorded for the benchmark.
-	Speedup        float64 `json:"speedup,omitempty"`
-	AllocReduction float64 `json:"alloc_reduction,omitempty"`
-	ZeroAllocs     bool    `json:"zero_allocs,omitempty"`
-}
-
-type report struct {
-	GeneratedBy    string  `json:"generated_by"`
-	BaselineCommit string  `json:"baseline_commit"`
-	Benchmarks     []entry `json:"benchmarks"`
-}
+// measurement, entry and report live in internal/benchfmt, shared with
+// cmd/benchguard.
+type (
+	measurement = benchfmt.Measurement
+	entry       = benchfmt.Entry
+	report      = benchfmt.Report
+)
 
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	set := flag.String("set", "match", "baseline set: match or mine")
 	flag.Parse()
+	baseline, ok := baselines[*set]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "benchjson: unknown baseline set %q\n", *set)
+		os.Exit(2)
+	}
 
 	var entries []entry
 	sc := bufio.NewScanner(os.Stdin)
@@ -109,7 +120,7 @@ func main() {
 
 	rep := report{
 		GeneratedBy:    "make bench",
-		BaselineCommit: "d6c8e5f",
+		BaselineCommit: baselineCommits[*set],
 		Benchmarks:     entries,
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")

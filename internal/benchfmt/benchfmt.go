@@ -1,0 +1,33 @@
+// Package benchfmt defines the schema of the tracked BENCH_*.json
+// artifacts, shared by cmd/benchjson (the writer) and cmd/benchguard (the
+// CI regression gate) so the two cannot drift apart.
+package benchfmt
+
+// Measurement is one benchmark's -benchmem triple.
+type Measurement struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Entry is one benchmark joined against its recorded baseline.
+type Entry struct {
+	Name    string       `json:"name"`
+	Current Measurement  `json:"current"`
+	Base    *Measurement `json:"baseline,omitempty"`
+	// Speedup is baseline ns/op divided by current ns/op (higher is
+	// better); AllocReduction likewise for allocs/op, with a zero current
+	// count treated as 1 so the ratio is a well-defined lower bound
+	// (ZeroAllocs marks that case). Only present when a baseline is
+	// recorded for the benchmark.
+	Speedup        float64 `json:"speedup,omitempty"`
+	AllocReduction float64 `json:"alloc_reduction,omitempty"`
+	ZeroAllocs     bool    `json:"zero_allocs,omitempty"`
+}
+
+// Report is one BENCH_*.json file.
+type Report struct {
+	GeneratedBy    string  `json:"generated_by"`
+	BaselineCommit string  `json:"baseline_commit"`
+	Benchmarks     []Entry `json:"benchmarks"`
+}

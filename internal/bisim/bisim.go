@@ -14,8 +14,8 @@
 package bisim
 
 import (
-	"hash/fnv"
-	"sort"
+	"slices"
+	"sync"
 
 	"gpar/internal/pattern"
 )
@@ -44,6 +44,26 @@ func (s Summary) Equal(t Summary) bool {
 	return true
 }
 
+// sumScratch is pooled Summarize state. DMine summarizes every candidate
+// group of every round (in parallel shards), so the refinement must not
+// allocate per call: only the returned Summary escapes.
+type sumScratch struct {
+	colors, next, sig []uint64
+	halfLabel         []uint64 // flat out-adjacency: edge label ...
+	halfTo            []int32  // ... and target, per edge
+	halfOff           []int32  // per-node offsets into halfLabel/halfTo
+	fill              []int32  // arena fill cursors while building
+}
+
+var sumPool = sync.Pool{New: func() any { return new(sumScratch) }}
+
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
 // Summarize computes the bisimulation summary of p. Multiplicities are
 // expanded first; bisimulation ignores copy counts beyond one by definition
 // (bisimilar copies collapse into one color), so the expansion does not
@@ -51,18 +71,33 @@ func (s Summary) Equal(t Summary) bool {
 func Summarize(p *pattern.Pattern) Summary {
 	pe := p.Expand()
 	n := pe.NumNodes()
-	colors := make([]uint64, n)
+	s := sumPool.Get().(*sumScratch)
+	defer sumPool.Put(s)
+	s.colors = grow(s.colors, n)
+	s.next = grow(s.next, n)
+	colors, next := s.colors, s.next
 	for u := 0; u < n; u++ {
 		colors[u] = hash1(uint64(pe.Label(u)), markDesignated(pe, u))
 	}
-	// Out-adjacency with edge labels.
-	type half struct {
-		label uint64
-		to    int
+	// Out-adjacency with edge labels, in flat CSR form.
+	edges := pe.Edges()
+	s.halfOff = grow(s.halfOff, n+1)
+	clear(s.halfOff)
+	for _, e := range edges {
+		s.halfOff[e.From+1]++
 	}
-	out := make([][]half, n)
-	for _, e := range pe.Edges() {
-		out[e.From] = append(out[e.From], half{uint64(e.Label), e.To})
+	for u := 0; u < n; u++ {
+		s.halfOff[u+1] += s.halfOff[u]
+	}
+	s.halfLabel = grow(s.halfLabel, len(edges))
+	s.halfTo = grow(s.halfTo, len(edges))
+	s.fill = grow(s.fill, n)
+	copy(s.fill, s.halfOff[:n])
+	for _, e := range edges {
+		i := s.fill[e.From]
+		s.fill[e.From]++
+		s.halfLabel[i] = uint64(e.Label)
+		s.halfTo[i] = int32(e.To)
 	}
 	// Refine for a fixed number of rounds. The round count must be the same
 	// for every pattern: the color of a node after round r is its depth-r
@@ -71,40 +106,35 @@ func Summarize(p *pattern.Pattern) Summary {
 	// distinguishing depth of any pair of mining-scale patterns; if a pair
 	// of larger non-bisimilar patterns were ever to collide, the only cost
 	// is one wasted exact isomorphism test (the filter stays sound).
-	next := make([]uint64, n)
 	for round := 0; round < refineDepth; round++ {
 		for u := 0; u < n; u++ {
-			sig := make([]uint64, 0, len(out[u]))
-			for _, h := range out[u] {
-				sig = append(sig, hash1(h.label, colors[h.to]))
+			sig := s.sig[:0]
+			for i := s.halfOff[u]; i < s.halfOff[u+1]; i++ {
+				sig = append(sig, hash1(s.halfLabel[i], colors[s.halfTo[i]]))
 			}
-			sort.Slice(sig, func(i, j int) bool { return sig[i] < sig[j] })
+			s.sig = sig
+			slices.Sort(sig)
 			c := colors[u]
 			var prev uint64
-			for i, s := range sig {
+			for i, sv := range sig {
 				// Bisimulation has set semantics: k edges into one
 				// equivalence class count once, so duplicate successor
 				// signatures are folded a single time.
-				if i > 0 && s == prev {
+				if i > 0 && sv == prev {
 					continue
 				}
-				c = hash1(c, s)
-				prev = s
+				c = hash1(c, sv)
+				prev = sv
 			}
 			next[u] = c
 		}
 		colors, next = next, colors
 	}
-	set := make(map[uint64]bool, n)
-	for _, c := range colors {
-		set[c] = true
-	}
-	sum := make(Summary, 0, len(set))
-	for c := range set {
-		sum = append(sum, c)
-	}
-	sort.Slice(sum, func(i, j int) bool { return sum[i] < sum[j] })
-	return sum
+	// Sorted distinct colors; only this result slice escapes.
+	sum := make(Summary, n)
+	copy(sum, colors)
+	slices.Sort(sum)
+	return slices.Compact(sum)
 }
 
 // markDesignated folds the x/y designation into the initial color so that
@@ -127,8 +157,13 @@ func Bisimilar(p, q *pattern.Pattern) bool {
 }
 
 // Cache memoizes summaries by caller-chosen key, supporting the incremental
-// maintenance of the bisimulation relation as new GPARs are discovered.
+// maintenance of the bisimulation relation as new GPARs are discovered. It
+// is safe for concurrent use: DMine's assembly phase summarizes the round's
+// candidate groups from parallel shard workers. A missed key may be
+// summarized by more than one goroutine, which is harmless (Summarize is
+// deterministic), and the first stored value wins.
 type Cache struct {
+	mu   sync.Mutex
 	sums map[string]Summary
 }
 
@@ -139,24 +174,54 @@ func NewCache() *Cache {
 
 // Summary returns the cached summary for key, computing it from p on a miss.
 func (c *Cache) Summary(key string, p *pattern.Pattern) Summary {
-	if s, ok := c.sums[key]; ok {
+	return c.SummaryOf(key, func() *pattern.Pattern { return p })
+}
+
+// SummaryOf is Summary with a lazily built pattern: build runs only on a
+// cache miss, so callers whose pattern is itself derived (e.g. DMine's
+// PR = Q ⊕ q, a clone per call) pay nothing when the key is already known.
+func (c *Cache) SummaryOf(key string, build func() *pattern.Pattern) Summary {
+	c.mu.Lock()
+	s, ok := c.sums[key]
+	c.mu.Unlock()
+	if ok {
 		return s
 	}
-	s := Summarize(p)
-	c.sums[key] = s
+	s = Summarize(build())
+	c.mu.Lock()
+	if prev, ok := c.sums[key]; ok {
+		s = prev
+	} else {
+		c.sums[key] = s
+	}
+	c.mu.Unlock()
 	return s
 }
 
 // Len reports the number of cached summaries.
-func (c *Cache) Len() int { return len(c.sums) }
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.sums)
+}
 
+// hash1 is FNV-1a over the 16 little-endian bytes of (a, b), computed
+// inline: byte-for-byte identical to hash/fnv on the same buffer, but with
+// no hasher or buffer allocation — it runs n·refineDepth·deg times per
+// Summarize, squarely on the mining hot path.
 func hash1(a, b uint64) uint64 {
-	h := fnv.New64a()
-	var buf [16]byte
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
 	for i := 0; i < 8; i++ {
-		buf[i] = byte(a >> (8 * i))
-		buf[8+i] = byte(b >> (8 * i))
+		h ^= (a >> (8 * i)) & 0xff
+		h *= prime64
 	}
-	h.Write(buf[:])
-	return h.Sum64()
+	for i := 0; i < 8; i++ {
+		h ^= (b >> (8 * i)) & 0xff
+		h *= prime64
+	}
+	return h
 }

@@ -1,0 +1,89 @@
+package diversify
+
+import (
+	"math/rand"
+	"testing"
+
+	"gpar/internal/graph"
+)
+
+// TestDiffBitsMatchesDiff is the bitset-vs-sorted-slice differential test:
+// on random sets, DiffBits must return exactly the float64 Diff returns —
+// the intersection and union counts are the same integers, so even the
+// division must be bit-identical.
+func TestDiffBitsMatchesDiff(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	mk := func(universe, density int) []graph.NodeID {
+		var s []graph.NodeID
+		for v := 0; v < universe; v++ {
+			if rng.Intn(density) == 0 {
+				s = append(s, graph.NodeID(v))
+			}
+		}
+		return s
+	}
+	cases := 0
+	for i := 0; i < 2000; i++ {
+		universe := 1 + rng.Intn(300)
+		a := mk(universe, 1+rng.Intn(4))
+		b := mk(universe, 1+rng.Intn(4))
+		slice := Diff(a, b)
+		bits := DiffBits(MakeBits(a), MakeBits(b))
+		if slice != bits {
+			t.Fatalf("Diff=%v DiffBits=%v for a=%v b=%v", slice, bits, a, b)
+		}
+		cases++
+	}
+	if cases == 0 {
+		t.Fatal("no cases exercised")
+	}
+	// Edge cases: both empty, one empty, identical.
+	var empty []graph.NodeID
+	one := []graph.NodeID{4}
+	if got := DiffBits(MakeBits(empty), MakeBits(empty)); got != 0 {
+		t.Errorf("two empty sets: DiffBits=%v want 0", got)
+	}
+	if got := DiffBits(MakeBits(one), MakeBits(empty)); got != 1 {
+		t.Errorf("one empty set: DiffBits=%v want 1", got)
+	}
+	if got := DiffBits(MakeBits(one), MakeBits(one)); got != 0 {
+		t.Errorf("identical sets: DiffBits=%v want 0", got)
+	}
+}
+
+// TestMakeBitsDedup: MakeBits counts distinct members even on unsorted
+// input with duplicates.
+func TestMakeBitsDedup(t *testing.T) {
+	b := MakeBits([]graph.NodeID{9, 2, 9, 2, 70})
+	if !b.Valid() || b.Ones() != 3 {
+		t.Fatalf("MakeBits ones=%d valid=%v want 3, true", b.Ones(), b.Valid())
+	}
+	var zero Bits
+	if zero.Valid() {
+		t.Error("zero Bits must be invalid (absent)")
+	}
+	// The sparse cutoff: a tiny set with a huge maximum ID must decline
+	// the bitset form so diff falls back to the sorted-slice merge.
+	if sparse := MakeBits([]graph.NodeID{5, 1 << 20}); sparse.Valid() {
+		t.Error("MakeBits built a bitset for a pathologically sparse set")
+	}
+}
+
+// TestEntryDiffFallback: entries without bitsets fall back to the slice
+// implementation, mixed pairs too.
+func TestEntryDiffFallback(t *testing.T) {
+	a := Entry{ID: 1, Set: []graph.NodeID{1, 2, 3}}
+	b := Entry{ID: 2, Set: []graph.NodeID{3, 4, 5}}
+	want := Diff(a.Set, b.Set)
+	if got := diff(&a, &b); got != want {
+		t.Errorf("slice fallback diff=%v want %v", got, want)
+	}
+	a.B = MakeBits(a.Set)
+	if got := diff(&a, &b); got != want {
+		t.Errorf("mixed pair diff=%v want %v", got, want)
+	}
+	b.B = MakeBits(b.Set)
+	if got := diff(&a, &b); got != want {
+		t.Errorf("bitset diff=%v want %v", got, want)
+	}
+}

@@ -15,10 +15,17 @@ import (
 
 // Entry is one candidate rule as the diversifier sees it: an identity, a
 // confidence, and the match set PR(x,G) it covers (sorted node IDs).
+//
+// IDs are compact per-run interned rule identifiers (DMine's keySeq); the
+// printable "R%05d" form exists only at API boundaries. B optionally
+// carries the match set in bitset form — when both sides of a comparison
+// have one, the pairwise distance is computed by popcount instead of a
+// slice merge, with bit-identical results.
 type Entry struct {
-	ID   string
+	ID   uint32
 	Conf float64
 	Set  []graph.NodeID // must be sorted ascending
+	B    Bits           // optional bitset form of Set
 }
 
 // SortSet sorts a match set in place so it can be used in an Entry.
@@ -78,10 +85,10 @@ func (p Params) norm() (confW, divW float64) {
 func F(entries []Entry, p Params) float64 {
 	confW, divW := p.norm()
 	var sum float64
-	for i, e := range entries {
-		sum += confW * e.Conf
+	for i := range entries {
+		sum += confW * entries[i].Conf
 		for j := i + 1; j < len(entries); j++ {
-			sum += divW * Diff(e.Set, entries[j].Set)
+			sum += divW * diff(&entries[i], &entries[j])
 		}
 	}
 	return sum
@@ -91,12 +98,17 @@ func F(entries []Entry, p Params) float64 {
 //
 //	F'(R,R') = (1-λ)/(N(k-1)) (conf(R)+conf(R')) + (2λ/(k-1)) diff(R,R').
 func FPrime(a, b Entry, p Params) float64 {
+	return fprime(&a, &b, p, diff(&a, &b))
+}
+
+// fprime is FPrime with the diff already in hand (the queue memoizes it).
+func fprime(a, b *Entry, p Params, d float64) float64 {
 	confW, divW := p.norm()
 	km1 := float64(p.K - 1)
 	if km1 <= 0 {
 		km1 = 1
 	}
-	return confW/km1*(a.Conf+b.Conf) + divW*Diff(a.Set, b.Set)
+	return confW/km1*(a.Conf+b.Conf) + divW*d
 }
 
 // Greedy selects up to k entries by the greedy max-sum dispersion strategy
@@ -159,7 +171,7 @@ func contribution(entries []Entry, picked []int, i int, p Params) float64 {
 	c := confW * entries[i].Conf
 	for _, j := range picked {
 		if j != i {
-			c += divW * Diff(entries[i].Set, entries[j].Set)
+			c += divW * diff(&entries[i], &entries[j])
 		}
 	}
 	return c

@@ -1,7 +1,6 @@
 package diversify
 
 import (
-	"fmt"
 	"math/rand"
 	"testing"
 
@@ -34,7 +33,9 @@ func benchRounds() [][]Entry {
 				}
 			}
 			id++
-			batch[i] = Entry{ID: benchID(id), Conf: rng.Float64(), Set: SortSet(set)}
+			e := Entry{ID: uint32(id), Conf: rng.Float64(), Set: SortSet(set)}
+			e.B = MakeBits(e.Set)
+			batch[i] = e
 		}
 		out[r] = batch
 	}
@@ -61,7 +62,3 @@ func BenchmarkDiversifyUpdate(b *testing.B) {
 		}
 	}
 }
-
-// benchID renders the bench entry identity in the representation the queue
-// currently uses for Entry.ID.
-func benchID(i int) string { return fmt.Sprintf("R%05d", i) }

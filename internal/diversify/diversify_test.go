@@ -1,7 +1,6 @@
 package diversify
 
 import (
-	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -34,9 +33,9 @@ func TestDiff(t *testing.T) {
 // the top-2 set {R7, R8} has F = 0.5*0.8/5 + 1*1 = 1.08.
 func TestExample8Objective(t *testing.T) {
 	p := Params{K: 2, Lambda: 0.5, N: 5 * 1}
-	r1 := Entry{ID: "R1", Conf: 0.6, Set: ids(1, 2, 3)}
-	r7 := Entry{ID: "R7", Conf: 0.6, Set: ids(1, 2, 3)}
-	r8 := Entry{ID: "R8", Conf: 0.2, Set: ids(6)}
+	r1 := Entry{ID: 1, Conf: 0.6, Set: ids(1, 2, 3)}
+	r7 := Entry{ID: 7, Conf: 0.6, Set: ids(1, 2, 3)}
+	r8 := Entry{ID: 8, Conf: 0.2, Set: ids(6)}
 
 	if got := Diff(r1.Set, r7.Set); got != 0 {
 		t.Errorf("diff(R1,R7) = %v want 0", got)
@@ -66,8 +65,8 @@ func TestExample8Objective(t *testing.T) {
 // TestExample9RoundOne pins Example 9's round 1: F'(R5,R6) = 0.92.
 func TestExample9RoundOne(t *testing.T) {
 	p := Params{K: 2, Lambda: 0.5, N: 5}
-	r5 := Entry{ID: "R5", Conf: 0.8, Set: ids(1, 2, 3, 4)}
-	r6 := Entry{ID: "R6", Conf: 0.4, Set: ids(4, 6)}
+	r5 := Entry{ID: 5, Conf: 0.8, Set: ids(1, 2, 3, 4)}
+	r6 := Entry{ID: 6, Conf: 0.4, Set: ids(4, 6)}
 	// diff(R5,R6) = 1 - 1/5 = 0.8.
 	if got := Diff(r5.Set, r6.Set); math.Abs(got-0.8) > 1e-9 {
 		t.Fatalf("diff(R5,R6) = %v want 0.8", got)
@@ -82,7 +81,7 @@ func TestGreedySmallInputs(t *testing.T) {
 	if Greedy(nil, p) != nil {
 		t.Error("Greedy(nil) should be nil")
 	}
-	one := []Entry{{ID: "a", Conf: 1}}
+	one := []Entry{{ID: 1, Conf: 1}}
 	if got := Greedy(one, p); len(got) != 1 {
 		t.Errorf("Greedy with fewer entries than k should return all, got %d", len(got))
 	}
@@ -96,7 +95,7 @@ func TestGreedyOddK(t *testing.T) {
 	var es []Entry
 	for i := 0; i < 6; i++ {
 		es = append(es, Entry{
-			ID:   fmt.Sprintf("e%d", i),
+			ID:   uint32(i),
 			Conf: float64(i),
 			Set:  ids(graph.NodeID(i)),
 		})
@@ -122,7 +121,7 @@ func TestGreedyApproximation(t *testing.T) {
 				}
 			}
 			es = append(es, Entry{
-				ID:   fmt.Sprintf("e%d", i),
+				ID:   uint32(i),
 				Conf: rng.Float64() * 3,
 				Set:  set,
 			})
@@ -140,8 +139,8 @@ func TestGreedyApproximation(t *testing.T) {
 func TestQueueFillAndReplace(t *testing.T) {
 	p := Params{K: 2, Lambda: 0.5, N: 5}
 	q := NewQueue(p)
-	r5 := Entry{ID: "R5", Conf: 0.8, Set: ids(1, 2, 3, 4)}
-	r6 := Entry{ID: "R6", Conf: 0.4, Set: ids(4, 6)}
+	r5 := Entry{ID: 5, Conf: 0.8, Set: ids(1, 2, 3, 4)}
+	r6 := Entry{ID: 6, Conf: 0.4, Set: ids(4, 6)}
 	// Round 1 of Example 9: queue fills with (R5,R6), F' = 0.92.
 	q.Update([]Entry{r5, r6}, []Entry{r5, r6})
 	if q.Len() != 1 {
@@ -151,8 +150,8 @@ func TestQueueFillAndReplace(t *testing.T) {
 		t.Errorf("MinF = %v want 0.92", q.MinF())
 	}
 	// Round 2: R7, R8 arrive and displace (R5,R6), F' = 1.08.
-	r7 := Entry{ID: "R7", Conf: 0.6, Set: ids(1, 2, 3)}
-	r8 := Entry{ID: "R8", Conf: 0.2, Set: ids(6)}
+	r7 := Entry{ID: 7, Conf: 0.6, Set: ids(1, 2, 3)}
+	r8 := Entry{ID: 8, Conf: 0.2, Set: ids(6)}
 	q.Update([]Entry{r7, r8}, []Entry{r5, r6, r7, r8})
 	if math.Abs(q.MinF()-1.08) > 1e-9 {
 		t.Errorf("after round 2 MinF = %v want 1.08", q.MinF())
@@ -161,11 +160,11 @@ func TestQueueFillAndReplace(t *testing.T) {
 	if len(got) != 2 {
 		t.Fatalf("Lk size = %d want 2", len(got))
 	}
-	names := map[string]bool{got[0].ID: true, got[1].ID: true}
-	if !names["R7"] || !names["R8"] {
+	names := map[uint32]bool{got[0].ID: true, got[1].ID: true}
+	if !names[7] || !names[8] {
 		t.Errorf("Lk = %v want {R7,R8}", names)
 	}
-	if !q.Contains("R7") || q.Contains("R5") {
+	if !q.Contains(7) || q.Contains(5) {
 		t.Error("Contains bookkeeping wrong after replacement")
 	}
 }
@@ -182,7 +181,7 @@ func TestQueueOddK(t *testing.T) {
 	q := NewQueue(p)
 	var es []Entry
 	for i := 0; i < 5; i++ {
-		es = append(es, Entry{ID: fmt.Sprintf("e%d", i), Conf: float64(i), Set: ids(graph.NodeID(i))})
+		es = append(es, Entry{ID: uint32(i), Conf: float64(i), Set: ids(graph.NodeID(i))})
 	}
 	q.Update(es, es)
 	if got := q.Entries(); len(got) != 3 {
@@ -204,7 +203,7 @@ func TestQueueMatchesGreedyOnSingleRound(t *testing.T) {
 					set = append(set, graph.NodeID(v))
 				}
 			}
-			es = append(es, Entry{ID: fmt.Sprintf("e%d", i), Conf: rng.Float64(), Set: set})
+			es = append(es, Entry{ID: uint32(i), Conf: rng.Float64(), Set: set})
 		}
 		p := Params{K: 4, Lambda: 0.5, N: 1}
 		q := NewQueue(p)

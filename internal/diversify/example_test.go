@@ -11,8 +11,8 @@ import (
 // N = supp(q)·supp(q̄) = 5, the diversified top-2 set {R7, R8} scores
 // F = 0.5·0.8/5 + 1·1 = 1.08.
 func ExampleF() {
-	r7 := diversify.Entry{ID: "R7", Conf: 0.6, Set: []graph.NodeID{1, 2, 3}}
-	r8 := diversify.Entry{ID: "R8", Conf: 0.2, Set: []graph.NodeID{6}}
+	r7 := diversify.Entry{ID: 7, Conf: 0.6, Set: []graph.NodeID{1, 2, 3}}
+	r8 := diversify.Entry{ID: 8, Conf: 0.2, Set: []graph.NodeID{6}}
 	p := diversify.Params{K: 2, Lambda: 0.5, N: 5}
 	fmt.Printf("F({R7,R8}) = %.2f\n", diversify.F([]diversify.Entry{r7, r8}, p))
 	// Output: F({R7,R8}) = 1.08

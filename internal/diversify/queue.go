@@ -13,7 +13,11 @@ import (
 type Queue struct {
 	p     Params
 	pairs []qpair
-	used  map[string]bool
+	used  map[uint32]bool
+	// memo caches pairwise diffs within one Update: bestFreePair re-scans
+	// the same pool O(k) times and bestPartner once per new rule, so each
+	// distinct pair's distance is computed once per round, not per scan.
+	memo map[uint64]float64
 }
 
 type qpair struct {
@@ -24,7 +28,7 @@ type qpair struct {
 // NewQueue returns an empty incDiv queue with the given objective
 // parameters.
 func NewQueue(p Params) *Queue {
-	return &Queue{p: p, used: make(map[string]bool)}
+	return &Queue{p: p, used: make(map[uint32]bool)}
 }
 
 // capPairs is ⌈k/2⌉.
@@ -46,10 +50,31 @@ func (q *Queue) MinF() float64 {
 }
 
 // Contains reports whether the entry with the given ID sits in some pair.
-func (q *Queue) Contains(id string) bool { return q.used[id] }
+func (q *Queue) Contains(id uint32) bool { return q.used[id] }
 
 // Len reports the number of pairs currently held.
 func (q *Queue) Len() int { return len(q.pairs) }
+
+// pairDiff returns the memoized Jaccard distance of two entries. Entries
+// are identified by ID, so the memo is only valid within one Update (sets
+// are immutable per rule, but IDs are per-run).
+func (q *Queue) pairDiff(a, b *Entry) float64 {
+	lo, hi := a.ID, b.ID
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	key := uint64(lo)<<32 | uint64(hi)
+	if d, ok := q.memo[key]; ok {
+		return d
+	}
+	d := diff(a, b)
+	q.memo[key] = d
+	return d
+}
+
+func (q *Queue) fprime(a, b *Entry) float64 {
+	return fprime(a, b, q.p, q.pairDiff(a, b))
+}
 
 // Update incorporates the round's newly discovered rules deltaE, choosing
 // partners from sigma (all rules known so far, including deltaE). It
@@ -59,6 +84,11 @@ func (q *Queue) Len() int { return len(q.pairs) }
 func (q *Queue) Update(deltaE, sigma []Entry) {
 	all := append(append([]Entry(nil), deltaE...), sigma...)
 	pool := dedupe(all)
+	if q.memo == nil {
+		q.memo = make(map[uint64]float64)
+	} else {
+		clear(q.memo)
+	}
 
 	// Phase 1: fill while below capacity.
 	for len(q.pairs) < q.capPairs() {
@@ -72,7 +102,8 @@ func (q *Queue) Update(deltaE, sigma []Entry) {
 		return
 	}
 	// Phase 2: try to improve the minimum pair with each new rule.
-	for _, e := range deltaE {
+	for i := range deltaE {
+		e := &deltaE[i]
 		if q.used[e.ID] {
 			continue
 		}
@@ -85,7 +116,7 @@ func (q *Queue) Update(deltaE, sigma []Entry) {
 			old := q.pairs[minIx]
 			delete(q.used, old.a.ID)
 			delete(q.used, old.b.ID)
-			q.pairs[minIx] = qpair{a: e, b: pool[partner], f: f}
+			q.pairs[minIx] = qpair{a: *e, b: pool[partner], f: f}
 			q.used[e.ID] = true
 			q.used[pool[partner].ID] = true
 		}
@@ -93,7 +124,7 @@ func (q *Queue) Update(deltaE, sigma []Entry) {
 }
 
 // bestFreePair scans pool for the unused pair maximizing F'. Ties are
-// broken by ID order for determinism.
+// broken by pool order for determinism.
 func (q *Queue) bestFreePair(pool []Entry) (ai, bi int, f float64) {
 	ai, bi, f = -1, -1, math.Inf(-1)
 	for i := range pool {
@@ -104,7 +135,7 @@ func (q *Queue) bestFreePair(pool []Entry) (ai, bi int, f float64) {
 			if q.used[pool[j].ID] {
 				continue
 			}
-			if g := FPrime(pool[i], pool[j], q.p); g > f {
+			if g := q.fprime(&pool[i], &pool[j]); g > f {
 				f, ai, bi = g, i, j
 			}
 		}
@@ -113,13 +144,13 @@ func (q *Queue) bestFreePair(pool []Entry) (ai, bi int, f float64) {
 }
 
 // bestPartner finds the unused pool entry (≠ e) maximizing F'(e, ·).
-func (q *Queue) bestPartner(e Entry, pool []Entry) (int, float64) {
+func (q *Queue) bestPartner(e *Entry, pool []Entry) (int, float64) {
 	best, bf := -1, math.Inf(-1)
 	for i := range pool {
 		if pool[i].ID == e.ID || q.used[pool[i].ID] {
 			continue
 		}
-		if g := FPrime(e, pool[i], q.p); g > bf {
+		if g := q.fprime(e, &pool[i]); g > bf {
 			bf, best = g, i
 		}
 	}
@@ -168,7 +199,7 @@ func (q *Queue) Entries() []Entry {
 
 // dedupe keeps the first occurrence of each ID, preserving order.
 func dedupe(es []Entry) []Entry {
-	seen := make(map[string]bool, len(es))
+	seen := make(map[uint32]bool, len(es))
 	out := es[:0:0]
 	for _, e := range es {
 		if !seen[e.ID] {

@@ -107,7 +107,7 @@ func Mine(g *graph.Graph, rootLabel graph.Label, opts Options) []Frequent {
 // discover enumerates single-edge extensions realized around the supporting
 // roots, like the GPAR miner but without consequent bookkeeping.
 func discover(g *graph.Graph, p *pattern.Pattern, roots []graph.NodeID, embedCap int) []pattern.Extension {
-	seen := map[string]pattern.Extension{}
+	seen := map[pattern.Extension]bool{}
 	mopts := match.Options{MaxMatches: embedCap}
 	for _, vx := range roots {
 		match.EnumerateAnchored(p, g, vx, mopts, func(asgn []graph.NodeID) bool {
@@ -119,37 +119,29 @@ func discover(g *graph.Graph, p *pattern.Pattern, roots []graph.NodeID, embedCap
 				for _, e := range g.Out(dv) {
 					if u2, ok := inv[e.To]; ok {
 						if !p.HasEdge(u, u2, e.Label) {
-							ext := pattern.Extension{Src: u, Outgoing: true, EdgeLabel: e.Label, Close: u2}
-							seen[ext.Key()] = ext
+							seen[pattern.Extension{Src: u, Outgoing: true, EdgeLabel: e.Label, Close: u2}] = true
 						}
 						continue
 					}
-					ext := pattern.Extension{Src: u, Outgoing: true, EdgeLabel: e.Label, NewLabel: g.Label(e.To), Close: pattern.NoNode}
-					seen[ext.Key()] = ext
+					seen[pattern.Extension{Src: u, Outgoing: true, EdgeLabel: e.Label, NewLabel: g.Label(e.To), Close: pattern.NoNode}] = true
 				}
 				for _, e := range g.In(dv) {
 					if u2, ok := inv[e.To]; ok {
 						if !p.HasEdge(u2, u, e.Label) {
-							ext := pattern.Extension{Src: u, Outgoing: false, EdgeLabel: e.Label, Close: u2}
-							seen[ext.Key()] = ext
+							seen[pattern.Extension{Src: u, Outgoing: false, EdgeLabel: e.Label, Close: u2}] = true
 						}
 						continue
 					}
-					ext := pattern.Extension{Src: u, Outgoing: false, EdgeLabel: e.Label, NewLabel: g.Label(e.To), Close: pattern.NoNode}
-					seen[ext.Key()] = ext
+					seen[pattern.Extension{Src: u, Outgoing: false, EdgeLabel: e.Label, NewLabel: g.Label(e.To), Close: pattern.NoNode}] = true
 				}
 			}
 			return true
 		})
 	}
-	keys := make([]string, 0, len(seen))
-	for k := range seen {
-		keys = append(keys, k)
+	out := make([]pattern.Extension, 0, len(seen))
+	for e := range seen {
+		out = append(out, e)
 	}
-	sort.Strings(keys)
-	out := make([]pattern.Extension, 0, len(keys))
-	for _, k := range keys {
-		out = append(out, seen[k])
-	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
 	return out
 }

@@ -1,6 +1,6 @@
 package graph
 
-import "sort"
+import "slices"
 
 // csrIndex is the frozen flat representation of a graph: one contiguous
 // edge arena per direction with per-node offsets (classic CSR), a per-node
@@ -95,11 +95,11 @@ func buildDirection(adj [][]Edge, numE int) (arena []Edge, off []int32, lab []La
 
 // sortAdj orders one adjacency range by (Label, To), the frozen invariant.
 func sortAdj(adj []Edge) {
-	sort.Slice(adj, func(i, j int) bool {
-		if adj[i].Label != adj[j].Label {
-			return adj[i].Label < adj[j].Label
+	slices.SortFunc(adj, func(a, b Edge) int {
+		if a.Label != b.Label {
+			return int(a.Label) - int(b.Label)
 		}
-		return adj[i].To < adj[j].To
+		return int(a.To) - int(b.To)
 	})
 }
 

@@ -3,6 +3,7 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
 )
 
@@ -338,34 +339,66 @@ func (g *Graph) NodeLabels() []Label {
 	return out
 }
 
+// bfsScratch is pooled epoch-stamped BFS state: bumping the epoch clears
+// the visited set in O(1), so undirected BFS over the graph allocates
+// nothing in steady state. Partitioning calls Neighborhood once per
+// candidate per DMine run, which made map-based visited sets a top-three
+// cost of the whole mining loop.
+type bfsScratch struct {
+	stamp          []uint32
+	epoch          uint32
+	frontier, next []NodeID
+}
+
+var bfsPool = sync.Pool{New: func() any { return new(bfsScratch) }}
+
+// acquireBFS returns scratch sized for g with a fresh epoch.
+func acquireBFS(n int) *bfsScratch {
+	s := bfsPool.Get().(*bfsScratch)
+	if len(s.stamp) < n {
+		s.stamp = make([]uint32, n)
+		s.epoch = 0
+	}
+	s.epoch++
+	if s.epoch == 0 {
+		clear(s.stamp)
+		s.epoch = 1
+	}
+	s.frontier = s.frontier[:0]
+	s.next = s.next[:0]
+	return s
+}
+
 // Neighborhood returns the set Nr(v) of all nodes within undirected radius r
 // of v, including v itself, in BFS order (Section 2.1, notation (3)).
 func (g *Graph) Neighborhood(v NodeID, r int) []NodeID {
 	if r < 0 {
 		return nil
 	}
-	visited := map[NodeID]bool{v: true}
-	frontier := []NodeID{v}
+	s := acquireBFS(g.NumNodes())
+	defer bfsPool.Put(s)
+	s.stamp[v] = s.epoch
+	s.frontier = append(s.frontier, v)
 	order := []NodeID{v}
-	for depth := 0; depth < r && len(frontier) > 0; depth++ {
-		var next []NodeID
-		for _, u := range frontier {
+	for depth := 0; depth < r && len(s.frontier) > 0; depth++ {
+		s.next = s.next[:0]
+		for _, u := range s.frontier {
 			for _, e := range g.out[u] {
-				if !visited[e.To] {
-					visited[e.To] = true
-					next = append(next, e.To)
+				if s.stamp[e.To] != s.epoch {
+					s.stamp[e.To] = s.epoch
+					s.next = append(s.next, e.To)
 					order = append(order, e.To)
 				}
 			}
 			for _, e := range g.in[u] {
-				if !visited[e.To] {
-					visited[e.To] = true
-					next = append(next, e.To)
+				if s.stamp[e.To] != s.epoch {
+					s.stamp[e.To] = s.epoch
+					s.next = append(s.next, e.To)
 					order = append(order, e.To)
 				}
 			}
 		}
-		frontier = next
+		s.frontier, s.next = s.next, s.frontier
 	}
 	return order
 }
@@ -377,27 +410,29 @@ func (g *Graph) HasNodeAtDistance(v NodeID, dist int) bool {
 	if dist == 0 {
 		return true
 	}
-	visited := map[NodeID]bool{v: true}
-	frontier := []NodeID{v}
-	for depth := 0; depth < dist && len(frontier) > 0; depth++ {
-		var next []NodeID
-		for _, u := range frontier {
+	s := acquireBFS(g.NumNodes())
+	defer bfsPool.Put(s)
+	s.stamp[v] = s.epoch
+	s.frontier = append(s.frontier, v)
+	for depth := 0; depth < dist && len(s.frontier) > 0; depth++ {
+		s.next = s.next[:0]
+		for _, u := range s.frontier {
 			for _, e := range g.out[u] {
-				if !visited[e.To] {
-					visited[e.To] = true
-					next = append(next, e.To)
+				if s.stamp[e.To] != s.epoch {
+					s.stamp[e.To] = s.epoch
+					s.next = append(s.next, e.To)
 				}
 			}
 			for _, e := range g.in[u] {
-				if !visited[e.To] {
-					visited[e.To] = true
-					next = append(next, e.To)
+				if s.stamp[e.To] != s.epoch {
+					s.stamp[e.To] = s.epoch
+					s.next = append(s.next, e.To)
 				}
 			}
 		}
-		frontier = next
+		s.frontier, s.next = s.next, s.frontier
 		if depth == dist-1 {
-			return len(frontier) > 0
+			return len(s.frontier) > 0
 		}
 	}
 	return false
@@ -419,14 +454,42 @@ func (g *Graph) InducedSubgraph(nodes []NodeID) (sub *Graph, toLocal map[NodeID]
 		toLocal[v] = lv
 		toGlobal = append(toGlobal, v)
 	}
+	// Bulk-build the adjacency: count the induced degrees, carve both
+	// directions out of two arenas, and fill. The source graph holds no
+	// duplicate (from, to, label) triples, so neither does the subgraph —
+	// no AddEdgeL dedup scans, no per-edge slice regrowth. DMine
+	// partitions the graph on every run, so this is a mining hot path.
+	n := len(toGlobal)
+	inDeg := make([]int32, n)
+	numE := 0
 	for _, v := range toGlobal {
-		lv := toLocal[v]
 		for _, e := range g.out[v] {
 			if lw, ok := toLocal[e.To]; ok {
-				sub.AddEdgeL(lv, lw, e.Label)
+				inDeg[lw]++
+				numE++
 			}
 		}
 	}
+	outArena := make([]Edge, 0, numE)
+	inArena := make([]Edge, numE)
+	off := int32(0)
+	for lv := 0; lv < n; lv++ {
+		sub.in[lv] = inArena[off : off : off+inDeg[lv]]
+		off += inDeg[lv]
+	}
+	for _, v := range toGlobal {
+		lv := toLocal[v]
+		start := len(outArena)
+		for _, e := range g.out[v] {
+			if lw, ok := toLocal[e.To]; ok {
+				outArena = append(outArena, Edge{To: lw, Label: e.Label})
+				sub.in[lw] = append(sub.in[lw], Edge{To: lv, Label: e.Label})
+			}
+		}
+		sub.out[lv] = outArena[start:len(outArena):len(outArena)]
+	}
+	sub.numE = numE
+	sub.dirty = true
 	return sub, toLocal, toGlobal
 }
 

@@ -1,99 +1,66 @@
 package mine
 
 import (
-	"fmt"
+	"slices"
 	"sort"
+	"sync"
 
+	"gpar/internal/bisim"
 	"gpar/internal/core"
 	"gpar/internal/diversify"
 	"gpar/internal/graph"
 )
 
-// group accumulates the cross-worker evidence of one candidate rule.
+// group accumulates the cross-worker evidence of one candidate rule. The
+// sets are sorted deduplicated global node IDs, built once at shard-merge
+// time — no per-group hash sets.
 type group struct {
+	key    groupKey
 	rule   *core.Rule
-	q      map[graph.NodeID]bool // Q(x,·) over owned frontier centers
-	r      map[graph.NodeID]bool // PR(x,·)
-	qqb    map[graph.NodeID]bool // Q(x,·) ∩ q̄
-	usupp  map[graph.NodeID]bool // extendable PR matches (Usupp)
+	q      []graph.NodeID // Q(x,·) over owned frontier centers
+	r      []graph.NodeID // PR(x,·)
+	qqb    []graph.NodeID // Q(x,·) ∩ q̄
+	usupp  []graph.NodeID // extendable PR matches (Usupp)
 	flag   bool
-	bucket string // bisimulation bucket (or "" when the prefilter is off)
+	sum    bisim.Summary // Lemma 4 summary (nil when the prefilter is off)
+	bucket bucketID      // interned at the reduce; 0 when prefilter is off
 }
 
 // assemble is the coordinator's barrier-synchronization phase (lines 4-7 of
 // Fig. 4): merge the fragment messages, group automorphic GPARs (with the
 // Lemma 4 bisimulation prefilter when enabled), compute graph-wide supports
 // and confidence, filter by σ and triviality, and register survivors in Σ.
+//
+// Step 1 (structural merge by (parent, extension)) and the bisimulation
+// summaries are computed in parallel shards; steps 2-4 run as one
+// deterministic sequential reduce over the shard results, re-sorted by
+// group key — so the output is byte-identical for any worker count.
 func (m *miner) assemble(msgs []message) []*Mined {
-	// Step 1: merge messages by (parent, extension) — those are the same
-	// rule produced at different workers, so sets union directly.
-	groups := make(map[string]*group)
-	var order []string
-	for i := range msgs {
-		msg := &msgs[i]
-		gk := msg.parentKey + "|" + msg.extKey
-		gr := groups[gk]
-		if gr == nil {
-			gr = &group{
-				rule:  msg.rule,
-				q:     make(map[graph.NodeID]bool),
-				r:     make(map[graph.NodeID]bool),
-				qqb:   make(map[graph.NodeID]bool),
-				usupp: make(map[graph.NodeID]bool),
-			}
-			groups[gk] = gr
-			order = append(order, gk)
-		}
-		for _, v := range msg.qCenters {
-			gr.q[v] = true
-		}
-		for _, v := range msg.rSet {
-			gr.r[v] = true
-		}
-		for _, v := range msg.qqbCenters {
-			gr.qqb[v] = true
-		}
-		for _, v := range msg.usuppCenters {
-			gr.usupp[v] = true
-		}
-		gr.flag = gr.flag || msg.flag
-	}
+	order := m.mergeShards(msgs)
 	m.res.Generated += len(order)
 
 	// Step 2: group automorphic GPARs across generation paths and against
 	// rules already in Σ, bucketing by bisimulation summary first (Lemma 4).
-	type rep struct {
-		gk string // group key of the representative ("" when it lives in Σ)
-	}
-	buckets := make(map[string][]rep) // this round's representatives
-	var uniq []string
-	for _, gk := range order {
-		gr := groups[gk]
-		gr.bucket = m.bucketKey(gr.rule)
-		dup := false
-		// Against this round's reps.
-		cands := buckets[gr.bucket]
-		if !m.opts.BisimFilter {
-			cands = buckets[""]
+	buckets := make(map[bucketID][]*group) // this round's representatives
+	var uniq []*group
+	for _, gr := range order {
+		if m.opts.BisimFilter {
+			gr.bucket = m.buckets.intern(gr.sum)
 		}
+		dup := false
+		// Against this round's reps. With the prefilter off every group
+		// has bucket 0, i.e. one shared bucket, exactly like the legacy
+		// "" key.
+		cands := buckets[gr.bucket]
 		m.res.BisimSkips += m.bisimSkipped(len(uniq), len(cands))
-		for _, rp := range cands {
-			other := groups[rp.gk]
+		for _, other := range cands {
 			m.res.IsoChecks++
 			if gr.rule.Q.IsomorphicTo(other.rule.Q) {
 				// Same rule: merge evidence into the representative.
-				for v := range gr.q {
-					other.q[v] = true
-				}
-				for v := range gr.r {
-					other.r[v] = true
-				}
-				for v := range gr.qqb {
-					other.qqb[v] = true
-				}
-				for v := range gr.usupp {
-					other.usupp[v] = true
-				}
+				other.q = unionSorted(other.q, gr.q)
+				other.r = unionSorted(other.r, gr.r)
+				other.qqb = unionSorted(other.qqb, gr.qqb)
+				other.usupp = unionSorted(other.usupp, gr.usupp)
 				other.flag = other.flag || gr.flag
 				dup = true
 				break
@@ -106,14 +73,13 @@ func (m *miner) assemble(msgs []message) []*Mined {
 		if m.inSigma(gr) {
 			continue
 		}
-		buckets[gr.bucket] = append(buckets[gr.bucket], rep{gk: gk})
-		uniq = append(uniq, gk)
+		buckets[gr.bucket] = append(buckets[gr.bucket], gr)
+		uniq = append(uniq, gr)
 	}
 
 	// Step 3: graph-wide stats, σ and triviality filters.
 	var deltaE []*Mined
-	for _, gk := range uniq {
-		gr := groups[gk]
+	for _, gr := range uniq {
 		stats := core.Stats{
 			SuppR:    len(gr.r),
 			SuppQ:    len(gr.q),
@@ -128,24 +94,23 @@ func (m *miner) assemble(msgs []message) []*Mined {
 			// "if an extension leads to supp(Qq̄) = 0, Sc removes R" (§4.2).
 			continue
 		}
-		m.keySeq++
-		key := fmt.Sprintf("R%05d", m.keySeq)
+		id := m.newRuleID()
 		mined := &Mined{
 			Rule:  gr.rule,
 			Stats: stats,
 			Conf:  stats.Conf(),
-			Set:   setToSorted(gr.r),
-			key:   key,
+			Set:   gr.r,
+			id:    id,
+			bits:  diversify.MakeBits(gr.r),
 		}
 		// Uconf+(R) = Σ Usupp_i(R,Fi) · supp(q̄,G) / supp(q,G) (Lemma 3).
-		m.uconf[key] = float64(len(gr.usupp)) * float64(m.suppQbr) / float64(m.suppQ1)
-		if !gr.flag {
-			m.uconf[key] = 0
+		if gr.flag {
+			m.uconf[id] = float64(len(gr.usupp)) * float64(m.suppQbr) / float64(m.suppQ1)
 		}
 		mined.extendable = gr.flag
-		mined.qCenters = setToSorted(gr.q)
+		mined.qCenters = gr.q
 		deltaE = append(deltaE, mined)
-		m.registerBucket(gr.bucket, mined)
+		m.registerBucket(gr.bucket, id)
 	}
 
 	// Step 4: optional per-round cap, keeping the highest-support rules.
@@ -154,15 +119,81 @@ func (m *miner) assemble(msgs []message) []*Mined {
 			if deltaE[i].Stats.SuppR != deltaE[j].Stats.SuppR {
 				return deltaE[i].Stats.SuppR > deltaE[j].Stats.SuppR
 			}
-			return deltaE[i].key < deltaE[j].key
+			return deltaE[i].id < deltaE[j].id
 		})
 		deltaE = deltaE[:limit]
 	}
 
 	for _, mined := range deltaE {
-		m.sigma[mined.key] = mined
+		m.sigma[mined.id] = mined
 	}
 	return deltaE
+}
+
+// mergeShards is assemble's parallel phase: messages are sharded by group
+// key hash, each shard merges its messages by (parent, extension) — the
+// same rule produced at different workers, so the sets union directly —
+// and summarizes its groups for the Lemma 4 prefilter. The concatenated
+// result is sorted by group key, which erases both the shard assignment
+// and the shard count from everything downstream.
+func (m *miner) mergeShards(msgs []message) []*group {
+	if len(msgs) == 0 {
+		return nil
+	}
+	nsh := len(m.workers)
+	if nsh > len(msgs) {
+		nsh = len(msgs)
+	}
+	shardMsgs := make([][]int32, nsh)
+	for i := range msgs {
+		s := int(groupKey{msgs[i].parent, msgs[i].ext}.hash() % uint32(nsh))
+		shardMsgs[s] = append(shardMsgs[s], int32(i))
+	}
+	shardGroups := make([][]*group, nsh)
+	var wg sync.WaitGroup
+	for s := 0; s < nsh; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			gm := make(map[groupKey]*group)
+			var order []*group
+			for _, i := range shardMsgs[s] {
+				msg := &msgs[i]
+				k := groupKey{msg.parent, msg.ext}
+				gr := gm[k]
+				if gr == nil {
+					// Any message's rule serves as the materialization:
+					// all of them are parent.Q ⊕ ext, built identically.
+					gr = &group{key: k, rule: msg.rule}
+					gm[k] = gr
+					order = append(order, gr)
+				}
+				gr.q = append(gr.q, msg.qCenters...)
+				gr.r = append(gr.r, msg.rSet...)
+				gr.qqb = append(gr.qqb, msg.qqbCenters...)
+				gr.usupp = append(gr.usupp, msg.usuppCenters...)
+				gr.flag = gr.flag || msg.flag
+			}
+			for _, gr := range order {
+				gr.q = sortDedup(gr.q)
+				gr.r = sortDedup(gr.r)
+				gr.qqb = sortDedup(gr.qqb)
+				gr.usupp = sortDedup(gr.usupp)
+				if m.opts.BisimFilter {
+					rule := gr.rule
+					gr.sum = m.bisims.SummaryOf(rule.Q.Signature(), rule.PR)
+				}
+			}
+			shardGroups[s] = order
+		}(s)
+	}
+	wg.Wait()
+	var all []*group
+	for _, sg := range shardGroups {
+		all = append(all, sg...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].key.less(all[j].key) })
+	return all
 }
 
 // bisimSkipped accounts for the pairwise comparisons the prefilter avoided.
@@ -179,14 +210,23 @@ func (m *miner) bisimSkipped(totalReps, bucketReps int) int {
 // inSigma reports whether the candidate duplicates a rule already in Σ
 // (discovered in an earlier round via a different growth path).
 func (m *miner) inSigma(gr *group) bool {
-	keys := m.sigmaBuckets[gr.bucket]
-	if !m.opts.BisimFilter {
-		keys = m.allSigmaKeys()
+	if m.opts.BisimFilter {
+		for _, id := range m.sigmaBuckets[gr.bucket] {
+			old := m.sigma[id]
+			if old == nil {
+				continue // pruned by the reduction rules
+			}
+			m.res.IsoChecks++
+			if gr.rule.Q.IsomorphicTo(old.Rule.Q) {
+				return true
+			}
+		}
+		return false
 	}
-	for _, k := range keys {
-		old, ok := m.sigma[k]
-		if !ok {
-			continue // pruned by the reduction rules
+	for id := seedID + 1; id <= m.lastID; id++ {
+		old := m.sigma[id]
+		if old == nil {
+			continue
 		}
 		m.res.IsoChecks++
 		if gr.rule.Q.IsomorphicTo(old.Rule.Q) {
@@ -196,30 +236,12 @@ func (m *miner) inSigma(gr *group) bool {
 	return false
 }
 
-func (m *miner) allSigmaKeys() []string {
-	keys := make([]string, 0, len(m.sigma))
-	for k := range m.sigma {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	return keys
-}
-
-// bucketKey computes the Lemma 4 bucket for a rule's pattern PR.
-func (m *miner) bucketKey(r *core.Rule) string {
-	if !m.opts.BisimFilter {
-		return ""
-	}
-	sum := m.bisims.Summary(r.Q.Signature(), r.PR())
-	return fmt.Sprintf("%x", sum)
-}
-
 // registerBucket records a new Σ member in the bucket index.
-func (m *miner) registerBucket(bucket string, mined *Mined) {
+func (m *miner) registerBucket(bucket bucketID, id ruleID) {
 	if m.sigmaBuckets == nil {
-		m.sigmaBuckets = make(map[string][]string)
+		m.sigmaBuckets = make(map[bucketID][]ruleID)
 	}
-	m.sigmaBuckets[bucket] = append(m.sigmaBuckets[bucket], mined.key)
+	m.sigmaBuckets[bucket] = append(m.sigmaBuckets[bucket], id)
 }
 
 // diversifyAndFilter is lines 8-11 of Fig. 4: update the top-k structure,
@@ -233,9 +255,9 @@ func (m *miner) diversifyAndFilter(deltaE []*Mined, round int) []*Mined {
 		_ = diversify.Greedy(m.allEntries(), m.params)
 	}
 
-	extendable := make(map[string]bool, len(deltaE))
+	extendable := make(map[ruleID]bool, len(deltaE))
 	for _, mined := range deltaE {
-		extendable[mined.key] = mined.extendable
+		extendable[mined.id] = mined.extendable
 	}
 	if m.opts.Reduction && m.opts.Incremental {
 		m.applyReductionRules(deltaE, extendable)
@@ -243,7 +265,7 @@ func (m *miner) diversifyAndFilter(deltaE []*Mined, round int) []*Mined {
 
 	var frontier []*Mined
 	for _, mined := range deltaE {
-		if !extendable[mined.key] {
+		if !extendable[mined.id] {
 			continue
 		}
 		frontier = append(frontier, mined)
@@ -257,7 +279,7 @@ func (m *miner) diversifyAndFilter(deltaE []*Mined, round int) []*Mined {
 					locals = append(locals, lv)
 				}
 			}
-			w.centersFor[mined.key] = locals
+			w.centersFor[mined.id] = locals
 		}
 	})
 	return frontier
@@ -265,42 +287,42 @@ func (m *miner) diversifyAndFilter(deltaE []*Mined, round int) []*Mined {
 
 // applyReductionRules repeatedly applies the two rules of Lemma 3 until no
 // more GPARs can be removed from Σ or stopped from extension.
-func (m *miner) applyReductionRules(deltaE []*Mined, extendable map[string]bool) {
+func (m *miner) applyReductionRules(deltaE []*Mined, extendable map[ruleID]bool) {
 	fm := m.queue.MinF()
 	confW, divW := reductionWeights(m.params)
 	for {
 		changed := false
 		maxU := 0.0
 		for _, mined := range deltaE {
-			if extendable[mined.key] && m.uconf[mined.key] > maxU {
-				maxU = m.uconf[mined.key]
+			if extendable[mined.id] && m.uconf[mined.id] > maxU {
+				maxU = m.uconf[mined.id]
 			}
 		}
 		maxConf := 0.0
-		for _, mm := range m.sigma {
-			if mm.Conf > maxConf {
+		for id := seedID + 1; id <= m.lastID; id++ {
+			if mm := m.sigma[id]; mm != nil && mm.Conf > maxConf {
 				maxConf = mm.Conf
 			}
 		}
 		// Rule 1: Σ members that can never enter Lk.
-		for _, k := range m.allSigmaKeys() {
-			mm := m.sigma[k]
-			if m.queue.Contains(k) {
+		for id := seedID + 1; id <= m.lastID; id++ {
+			mm := m.sigma[id]
+			if mm == nil || m.queue.Contains(uint32(id)) {
 				continue
 			}
 			if confW*(mm.Conf+maxU)+divW <= fm {
-				delete(m.sigma, k)
+				m.sigma[id] = nil
 				m.res.Pruned++
 				changed = true
 			}
 		}
 		// Rule 2: ∆E members whose extensions can never enter Lk.
 		for _, mined := range deltaE {
-			if !extendable[mined.key] {
+			if !extendable[mined.id] {
 				continue
 			}
-			if confW*(m.uconf[mined.key]+maxConf)+divW <= fm {
-				extendable[mined.key] = false
+			if confW*(m.uconf[mined.id]+maxConf)+divW <= fm {
+				extendable[mined.id] = false
 				m.res.Pruned++
 				changed = true
 			}
@@ -328,16 +350,52 @@ func reductionWeights(p diversify.Params) (confW, divW float64) {
 func entriesOf(deltaE []*Mined) []diversify.Entry {
 	out := make([]diversify.Entry, 0, len(deltaE))
 	for _, mm := range deltaE {
-		out = append(out, diversify.Entry{ID: mm.key, Conf: mm.Conf, Set: mm.Set})
+		out = append(out, diversify.Entry{ID: uint32(mm.id), Conf: mm.Conf, Set: mm.Set, B: mm.bits})
 	}
 	return out
 }
 
-func setToSorted(s map[graph.NodeID]bool) []graph.NodeID {
-	out := make([]graph.NodeID, 0, len(s))
-	for v := range s {
-		out = append(out, v)
+// sortDedup sorts s ascending and removes duplicates in place.
+func sortDedup(s []graph.NodeID) []graph.NodeID {
+	if len(s) < 2 {
+		return s
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(s)
+	out := s[:1]
+	for _, v := range s[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// unionSorted merges two sorted deduplicated slices into a new sorted
+// deduplicated slice.
+func unionSorted(a, b []graph.NodeID) []graph.NodeID {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		return append([]graph.NodeID(nil), b...)
+	}
+	out := make([]graph.NodeID, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		default:
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
 	return out
 }

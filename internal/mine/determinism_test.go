@@ -1,0 +1,104 @@
+package mine
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"gpar/internal/gen"
+	"gpar/internal/graph"
+)
+
+// fingerprint serializes everything a caller can observe about a result —
+// rounds, counters, objective, and for every rule its key, stats, conf and
+// full match set — so two results compare byte-identically.
+func fingerprint(res *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "rounds=%d generated=%d kept=%d pruned=%d F=%.17g\n",
+		res.Rounds, res.Generated, res.Kept, res.Pruned, res.F)
+	dump := func(name string, ms []Mined) {
+		fmt.Fprintf(&b, "%s %d\n", name, len(ms))
+		for _, mm := range ms {
+			fmt.Fprintf(&b, "  %s stats=%+v conf=%.17g set=%v q=%v ext=%v\n",
+				mm.Key(), mm.Stats, mm.Conf, mm.Set, mm.qCenters, mm.extendable)
+		}
+	}
+	dump("topk", res.TopK)
+	dump("all", res.All)
+	return b.String()
+}
+
+// TestDMineDeterministicAcrossWorkerCounts is the safety net for the
+// sharded-assembly refactor: on fixed seeds, DMine must return byte-
+// identical results — keys, stats, sets, rounds — for any worker count.
+// EmbedCap is raised beyond every center's embedding count because cap
+// truncation is fragment-layout-dependent by design (see Options.EmbedCap).
+func TestDMineDeterministicAcrossWorkerCounts(t *testing.T) {
+	for _, wl := range []struct {
+		name  string
+		users int
+		seed  int64
+		sigma int
+	}{
+		{"pokec-300-seed5", 300, 5, 3},
+		{"pokec-200-seed9", 200, 9, 2},
+	} {
+		t.Run(wl.name, func(t *testing.T) {
+			syms := graph.NewSymbols()
+			g := gen.Pokec(syms, gen.DefaultPokec(wl.users, wl.seed))
+			pred := gen.PokecPredicates(syms)[0]
+			opts := Options{
+				K: 6, Sigma: wl.sigma, D: 2, Lambda: 0.5,
+				MaxEdges: 2, EmbedCap: 1 << 20,
+			}.WithOptimizations()
+
+			var base string
+			for _, n := range []int{1, 2, 3, 8} {
+				o := opts
+				o.N = n
+				got := fingerprint(DMine(g, pred, o))
+				if n == 1 {
+					base = got
+					continue
+				}
+				if got != base {
+					t.Fatalf("N=%d result differs from N=1:\n--- N=1 ---\n%s--- N=%d ---\n%s",
+						n, base, n, got)
+				}
+			}
+			// DMineNo must be equally deterministic across worker counts.
+			var noBase string
+			for _, n := range []int{1, 3} {
+				o := opts
+				o.N = n
+				got := fingerprint(DMineNo(g, pred, o))
+				if n == 1 {
+					noBase = got
+				} else if got != noBase {
+					t.Fatalf("DMineNo N=%d result differs from N=1", n)
+				}
+			}
+		})
+	}
+}
+
+// TestDMineDeterministicAcrossWorkerCountsG1 covers the paper's restaurant
+// fixture with the same cross-N contract.
+func TestDMineDeterministicAcrossWorkerCountsG1(t *testing.T) {
+	syms := graph.NewSymbols()
+	f := gen.G1(syms)
+	pred := gen.VisitPredicate(syms)
+	opts := baseOpts()
+	opts.EmbedCap = 1 << 20
+	var base string
+	for _, n := range []int{1, 2, 3, 8} {
+		o := opts
+		o.N = n
+		got := fingerprint(DMine(f.G, pred, o))
+		if n == 1 {
+			base = got
+		} else if got != base {
+			t.Fatalf("N=%d result differs from N=1:\n%s\nvs\n%s", n, base, got)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package mine
 
 import (
+	"slices"
 	"sort"
 
 	"gpar/internal/core"
@@ -13,6 +14,11 @@ import (
 // Fig. 4): every worker extends each frontier rule by one edge discovered in
 // the data around its owned centers, verifies local supports, and emits one
 // message per candidate extension.
+//
+// No coordinator-side sort is needed: each worker emits in deterministic
+// (frontier, extension) order, the concatenation below is by worker id, and
+// the sharded assembly re-establishes a global deterministic group order in
+// its reduce.
 func (m *miner) generate(frontier []*Mined) []message {
 	results := make([][]message, len(m.workers))
 	m.parallel(func(w *worker) {
@@ -22,26 +28,18 @@ func (m *miner) generate(frontier []*Mined) []message {
 	for _, r := range results {
 		msgs = append(msgs, r...)
 	}
-	// Deterministic processing order at the coordinator. The sort keys were
-	// computed once at emission; rebuilding ext.Key() inside the comparator
-	// would cost O(M log M) string builds per round.
-	sort.Slice(msgs, func(i, j int) bool {
-		if msgs[i].parentKey != msgs[j].parentKey {
-			return msgs[i].parentKey < msgs[j].parentKey
-		}
-		if msgs[i].extKey != msgs[j].extKey {
-			return msgs[i].extKey < msgs[j].extKey
-		}
-		return msgs[i].worker < msgs[j].worker
-	})
 	return msgs
 }
 
 // extAcc accumulates one candidate extension's local evidence at a worker.
+// Accumulators are pooled on the worker and recycled every parent.
 type extAcc struct {
 	ext     pattern.Extension
 	centers []graph.NodeID // local owned centers supporting the extended Q
-	seen    map[graph.NodeID]bool
+	// lastVx deduplicates center appends: a center's embeddings are
+	// enumerated consecutively, so "already counted vx" is just "the last
+	// center appended is vx" — no per-accumulator seen map.
+	lastVx graph.NodeID
 }
 
 // localMine extends every frontier rule at this worker and verifies local
@@ -50,38 +48,39 @@ func (w *worker) localMine(m *miner, frontier []*Mined) []message {
 	var out []message
 	opts := match.Options{}
 	for _, parent := range frontier {
-		centers := w.centersFor[parent.key]
+		centers := w.centersFor[parent.id]
 		if len(centers) == 0 {
 			continue
 		}
+		// Keep the frontier sorted ascending once, so every accumulator's
+		// center list is built already sorted.
+		slices.Sort(centers)
 		accs := w.discoverExtensions(m, parent, centers, opts)
-		// Deterministic order of candidate emission.
-		keys := make([]string, 0, len(accs))
-		for k := range accs {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			acc := accs[k]
-			child := parent.Rule.Clone()
-			child.Q = parent.Rule.Q.Apply(acc.ext)
+		for _, acc := range accs {
+			child := &core.Rule{Q: parent.Rule.Q.Apply(acc.ext), Pred: parent.Rule.Pred}
 			if child.Q == nil {
 				continue
 			}
-			if !m.admissible(child) {
+			// PR is cloned once and reused for the admissibility check, the
+			// radius and the matcher (it used to be built three times).
+			pr := child.PR()
+			if !admissible(m.pred, child.Q, pr, m.opts.D) {
 				continue
 			}
 			msg := message{
-				worker:    w.id,
-				parentKey: parent.key,
-				ext:       acc.ext,
-				extKey:    k,
-				rule:      child,
+				worker: w.id,
+				parent: parent.id,
+				ext:    acc.ext,
+				rule:   child,
+				// Every supporting center lands in qCenters, so its
+				// capacity is exact; the three subset slices stay nil and
+				// grow on demand (presizing them to the upper bound would
+				// triple the memory pinned until the round's assembly).
+				qCenters: make([]graph.NodeID, 0, len(acc.centers)),
 			}
 			// One pooled matcher per child rule, reused across all centers.
-			prm := match.NewMatcher(child.PR(), w.frag.G, opts)
+			prm := match.NewMatcher(pr, w.frag.G, opts)
 			radius := child.Q.RadiusAt(child.Q.X)
-			sort.Slice(acc.centers, func(i, j int) bool { return acc.centers[i] < acc.centers[j] })
 			for _, c := range acc.centers {
 				msg.qCenters = append(msg.qCenters, w.frag.Global(c))
 				if w.pqbar[c] {
@@ -92,7 +91,7 @@ func (w *worker) localMine(m *miner, frontier []*Mined) []message {
 					if prm.HasMatchAt(c) {
 						msg.rSet = append(msg.rSet, w.frag.Global(c))
 						// Usupp_i: PR matches that still have room to grow.
-						if w.hasNodeAtDistance(c, radius+1) {
+						if w.hasNodeAtDistance(w.frag.Global(c), radius+1) {
 							msg.usuppCenters = append(msg.usuppCenters, w.frag.Global(c))
 						}
 					}
@@ -112,39 +111,57 @@ func (w *worker) localMine(m *miner, frontier []*Mined) []message {
 // 4.2). Injectivity and the radius bound are respected; the supporting
 // centers of each extension are collected exactly (up to EmbedCap embeddings
 // per center).
-func (w *worker) discoverExtensions(m *miner, parent *Mined, centers []graph.NodeID, opts match.Options) map[string]*extAcc {
+//
+// The returned accumulators are sorted by Extension.Compare and owned by
+// the worker: they are recycled on the next call.
+func (w *worker) discoverExtensions(m *miner, parent *Mined, centers []graph.NodeID, opts match.Options) []*extAcc {
 	q := parent.Rule.Q
 	distX := q.DistancesFrom(q.X)
-	accs := make(map[string]*extAcc)
-	add := func(ext pattern.Extension, vx graph.NodeID) {
-		key := ext.Key()
-		acc := accs[key]
+	w.resetAccs()
+	if n := w.frag.G.NumNodes(); len(w.invEpoch) < n {
+		w.inv = make([]int32, n)
+		w.invEpoch = make([]uint32, n)
+		w.epoch = 0
+	}
+	curVx := graph.NodeID(-1)
+	add := func(ext pattern.Extension) {
+		code := w.extCode(ext)
+		acc := w.accs[code]
 		if acc == nil {
-			acc = &extAcc{ext: ext, seen: make(map[graph.NodeID]bool)}
-			accs[key] = acc
+			acc = w.newAcc(code, ext)
 		}
-		if !acc.seen[vx] {
-			acc.seen[vx] = true
-			acc.centers = append(acc.centers, vx)
+		if acc.lastVx != curVx {
+			acc.lastVx = curVx
+			acc.centers = append(acc.centers, curVx)
 		}
 	}
 	embedOpts := opts
 	embedOpts.MaxMatches = m.opts.EmbedCap
 	for _, vx := range centers {
 		w.ops++
+		curVx = vx
 		w.enumerateAnchored(q, vx, embedOpts, func(asgn []graph.NodeID) {
-			inv := make(map[graph.NodeID]int, len(asgn))
+			// Stamp the inverse embedding into the epoch scratch: one
+			// epoch bump invalidates the previous embedding's entries.
+			w.epoch++
+			if w.epoch == 0 { // uint32 wraparound: rewind the stamps
+				clear(w.invEpoch)
+				w.epoch = 1
+			}
+			epoch := w.epoch
 			for u, dv := range asgn {
-				inv[dv] = u
+				w.inv[dv] = int32(u)
+				w.invEpoch[dv] = epoch
 			}
 			for u, dv := range asgn {
 				// The new node would sit at distance distX[u]+1 from x;
 				// enforce the antecedent radius bound r(Q, x) <= d.
 				canGrow := distX[u] >= 0 && distX[u]+1 <= m.opts.D
 				for _, e := range w.frag.G.Out(dv) {
-					if u2, ok := inv[e.To]; ok {
+					if w.invEpoch[e.To] == epoch {
+						u2 := int(w.inv[e.To])
 						if !q.HasEdge(u, u2, e.Label) {
-							add(pattern.Extension{Src: u, Outgoing: true, EdgeLabel: e.Label, Close: u2}, vx)
+							add(pattern.Extension{Src: u, Outgoing: true, EdgeLabel: e.Label, Close: u2})
 						}
 						continue
 					}
@@ -152,15 +169,16 @@ func (w *worker) discoverExtensions(m *miner, parent *Mined, centers []graph.Nod
 						continue
 					}
 					l := w.frag.G.Label(e.To)
-					add(pattern.Extension{Src: u, Outgoing: true, EdgeLabel: e.Label, NewLabel: l, Close: pattern.NoNode}, vx)
+					add(pattern.Extension{Src: u, Outgoing: true, EdgeLabel: e.Label, NewLabel: l, Close: pattern.NoNode})
 					if q.Y == pattern.NoNode && l == m.pred.YLabel {
-						add(pattern.Extension{Src: u, Outgoing: true, EdgeLabel: e.Label, NewLabel: l, Close: pattern.NoNode, AsY: true}, vx)
+						add(pattern.Extension{Src: u, Outgoing: true, EdgeLabel: e.Label, NewLabel: l, Close: pattern.NoNode, AsY: true})
 					}
 				}
 				for _, e := range w.frag.G.In(dv) {
-					if u2, ok := inv[e.To]; ok {
+					if w.invEpoch[e.To] == epoch {
+						u2 := int(w.inv[e.To])
 						if !q.HasEdge(u2, u, e.Label) {
-							add(pattern.Extension{Src: u, Outgoing: false, EdgeLabel: e.Label, Close: u2}, vx)
+							add(pattern.Extension{Src: u, Outgoing: false, EdgeLabel: e.Label, Close: u2})
 						}
 						continue
 					}
@@ -168,15 +186,48 @@ func (w *worker) discoverExtensions(m *miner, parent *Mined, centers []graph.Nod
 						continue
 					}
 					l := w.frag.G.Label(e.To)
-					add(pattern.Extension{Src: u, Outgoing: false, EdgeLabel: e.Label, NewLabel: l, Close: pattern.NoNode}, vx)
+					add(pattern.Extension{Src: u, Outgoing: false, EdgeLabel: e.Label, NewLabel: l, Close: pattern.NoNode})
 					if q.Y == pattern.NoNode && l == m.pred.YLabel {
-						add(pattern.Extension{Src: u, Outgoing: false, EdgeLabel: e.Label, NewLabel: l, Close: pattern.NoNode, AsY: true}, vx)
+						add(pattern.Extension{Src: u, Outgoing: false, EdgeLabel: e.Label, NewLabel: l, Close: pattern.NoNode, AsY: true})
 					}
 				}
 			}
 		})
 	}
-	return accs
+	// Deterministic order of candidate emission.
+	sort.Slice(w.accList, func(i, j int) bool {
+		return w.accList[i].ext.Compare(w.accList[j].ext) < 0
+	})
+	return w.accList
+}
+
+// resetAccs recycles the previous call's accumulators into the pool.
+func (w *worker) resetAccs() {
+	if w.accs == nil {
+		w.accs = make(map[uint64]*extAcc)
+		return
+	}
+	clear(w.accs)
+	w.accPool = append(w.accPool, w.accList...)
+	w.accList = w.accList[:0]
+}
+
+// newAcc takes an accumulator from the pool (or allocates one), registers
+// it under the packed code and returns it.
+func (w *worker) newAcc(code uint64, ext pattern.Extension) *extAcc {
+	var acc *extAcc
+	if n := len(w.accPool); n > 0 {
+		acc = w.accPool[n-1]
+		w.accPool = w.accPool[:n-1]
+		acc.centers = acc.centers[:0]
+	} else {
+		acc = &extAcc{}
+	}
+	acc.ext = ext
+	acc.lastVx = -1
+	w.accs[code] = acc
+	w.accList = append(w.accList, acc)
+	return acc
 }
 
 // enumerateAnchored enumerates embeddings of q anchored at vx (h(x) = vx),
@@ -194,13 +245,11 @@ func (w *worker) enumerateAnchored(q *pattern.Pattern, vx graph.NodeID, opts mat
 
 // admissible applies the structural constraints a candidate must meet
 // before being sent to the coordinator: the radius bound r(PR,x) ≤ d and
-// "q(x,y) does not appear in Q".
-func (m *miner) admissible(r *core.Rule) bool {
-	q := r.Q
-	if q.Y != pattern.NoNode && q.HasEdge(q.X, q.Y, m.pred.EdgeLabel) {
+// "q(x,y) does not appear in Q". The caller passes the already-built PR.
+func admissible(pred core.Predicate, q, pr *pattern.Pattern, d int) bool {
+	if q.Y != pattern.NoNode && q.HasEdge(q.X, q.Y, pred.EdgeLabel) {
 		return false
 	}
-	pr := r.PR()
 	rad := pr.RadiusAt(pr.X)
-	return rad >= 0 && rad <= m.opts.D
+	return rad >= 0 && rad <= d
 }

@@ -1,0 +1,109 @@
+package mine
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"gpar/internal/bisim"
+	"gpar/internal/pattern"
+)
+
+// This file holds the per-run identity interning of the mining loop. The
+// levelwise BSP computation used to address everything by strings — rule
+// keys "R%05d", extension keys "src|o3|7|-1", bisimulation buckets rendered
+// as hex — built and hashed millions of times per run. All of those are now
+// compact comparable values; the string forms survive only at API
+// boundaries (Mined.Key, serve's cache keys, logs).
+
+// ruleID identifies one candidate rule within a single DMine run. IDs are
+// dense: the coordinator assigns them in deterministic discovery order, so
+// Σ, Uconf and the diversifier index by them directly. 0 is the seed rule
+// (the empty antecedent), never reported.
+type ruleID uint32
+
+const seedID ruleID = 0
+
+// String renders the legacy boundary form.
+func (id ruleID) String() string {
+	if id == seedID {
+		return "seed"
+	}
+	return fmt.Sprintf("R%05d", uint32(id))
+}
+
+// groupKey identifies one candidate rule of a round structurally: the
+// parent it grew from plus the extension applied. pattern.Extension is
+// comparable with equality matching Extension.Key() equality, so the pair
+// is directly usable as a map key and as the shard-assignment hash input.
+type groupKey struct {
+	parent ruleID
+	ext    pattern.Extension
+}
+
+// less orders group keys deterministically: by parent ID, then by the
+// extension's total order. The sharded assembly sorts the merged groups
+// with it, which is what keeps results independent of the shard count.
+func (k groupKey) less(o groupKey) bool {
+	if k.parent != o.parent {
+		return k.parent < o.parent
+	}
+	return k.ext.Compare(o.ext) < 0
+}
+
+// hash maps the key to an assembly shard. Any deterministic function works
+// (the reduce re-sorts), but FNV-1a spreads the dense parent IDs well.
+func (k groupKey) hash() uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	mix := func(v uint32) {
+		for i := 0; i < 4; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= prime32
+		}
+	}
+	mix(uint32(k.parent))
+	mix(uint32(k.ext.Src))
+	v := uint32(k.ext.EdgeLabel)<<2 | uint32(k.ext.NewLabel)<<12 // cheap fold; exactness irrelevant
+	if k.ext.Outgoing {
+		v |= 1
+	}
+	if k.ext.AsY {
+		v |= 2
+	}
+	mix(v)
+	mix(uint32(int32(k.ext.Close)))
+	return h
+}
+
+// bucketID is an interned Lemma 4 bisimulation bucket. 0 means "no bucket"
+// — the value every rule gets when the prefilter is off, so all candidates
+// land in one bucket exactly like the legacy "" key.
+type bucketID uint32
+
+// bucketInterner assigns dense IDs to distinct bisimulation summaries. The
+// miner interns at the sequential reduce, so no locking; the scratch buffer
+// makes the common hit path allocation-free (map lookup on string([]byte)
+// does not allocate).
+type bucketInterner struct {
+	ids map[string]bucketID
+	buf []byte
+}
+
+func (bi *bucketInterner) intern(sum bisim.Summary) bucketID {
+	if bi.ids == nil {
+		bi.ids = make(map[string]bucketID)
+	}
+	bi.buf = bi.buf[:0]
+	for _, w := range sum {
+		bi.buf = binary.LittleEndian.AppendUint64(bi.buf, w)
+	}
+	if id, ok := bi.ids[string(bi.buf)]; ok {
+		return id
+	}
+	id := bucketID(len(bi.ids) + 1)
+	bi.ids[string(bi.buf)] = id
+	return id
+}

@@ -20,6 +20,7 @@
 package mine
 
 import (
+	"runtime"
 	"sort"
 	"sync"
 
@@ -42,7 +43,10 @@ type Options struct {
 
 	MaxEdges int // antecedent edge budget; also the number of BSP rounds
 	EmbedCap int // cap on embeddings enumerated per center when discovering
-	// extensions (0 = 64); a safety valve on dense neighborhoods
+	// extensions (0 = 64); a safety valve on dense neighborhoods. When the
+	// cap bites, which embeddings are seen depends on the fragment layout,
+	// so results are only guaranteed identical across worker counts when no
+	// center exceeds it.
 
 	// Optimization toggles — the three DMine optimizations of Section 6
 	// ("incremental, reductions and bisimilarity checking"). DMine sets all
@@ -56,10 +60,12 @@ type Options struct {
 	MaxCandidatesPerRound int
 }
 
-// Defaults fills unset tunables.
+// Defaults fills unset tunables. N defaults to the machine's parallelism —
+// mining results are deterministic across worker counts, so using every
+// core is free.
 func (o Options) Defaults() Options {
 	if o.N <= 0 {
-		o.N = 4
+		o.N = runtime.GOMAXPROCS(0)
 	}
 	if o.MaxEdges <= 0 {
 		o.MaxEdges = 2 * o.D
@@ -92,8 +98,11 @@ type Mined struct {
 	// Set is PR(x,G): the distinct matches of x, as global node IDs,
 	// sorted. It feeds diff() and is the rule's "social group".
 	Set []graph.NodeID
-	// key identifies the rule across rounds (bisimulation bucket + index).
-	key string
+	// id identifies the rule across rounds within this run.
+	id ruleID
+	// bits is Set in popcount form, built once and shared with every
+	// diversify.Entry the rule appears in.
+	bits diversify.Bits
 	// extendable mirrors the flag of the rule's assembled message.
 	extendable bool
 	// qCenters is Q(x,G) over the mining frontier (global IDs, sorted); it
@@ -101,8 +110,9 @@ type Mined struct {
 	qCenters []graph.NodeID
 }
 
-// Key returns the rule's stable identity within one run.
-func (m *Mined) Key() string { return m.key }
+// Key returns the rule's stable identity within one run, in the printable
+// "R%05d" boundary form.
+func (m *Mined) Key() string { return m.id.String() }
 
 // Result is the outcome of a DMine run.
 type Result struct {
@@ -146,22 +156,71 @@ func DMineNo(g *graph.Graph, pred core.Predicate, opts Options) *Result {
 // ---------------------------------------------------------------------------
 // Worker state
 
-// worker holds one fragment plus its per-round caches.
+// worker holds one fragment plus its per-round caches and scratch. All
+// scratch is owned by the worker goroutine; nothing here is shared.
 type worker struct {
 	id   int
 	frag *partition.Fragment
+	g    *graph.Graph // the whole graph, read-only (extendability probes)
 
-	pq    map[graph.NodeID]bool // local centers in Pq(x,Fi)
-	pqbar map[graph.NodeID]bool // local centers in q̄ set
-	// centersFor caches, per rule key, the owned centers (local IDs) whose
-	// Q still matches — the mining frontier.
-	centersFor map[string][]graph.NodeID
+	pq     []bool // pq[local] : center is in Pq(x,Fi)
+	pqbar  []bool // pqbar[local] : center is in the q̄ set
+	npq    int    // |Pq(x,Fi)|
+	npqbar int    // local q̄ count
+	// centersFor caches, per rule, the owned centers (local IDs, sorted)
+	// whose Q still matches — the mining frontier.
+	centersFor map[ruleID][]graph.NodeID
 
-	ops       int64 // match operations (work accounting)
-	centerSet map[graph.NodeID]bool
-	// distCache memoizes HasNodeAtDistance per (center, dist): the same
-	// extendability probe recurs across rules and rounds.
+	ops       int64  // match operations (work accounting)
+	centerSet []bool // centerSet[local] : node is an owned candidate center
+
+	// distCache memoizes hasNodeAtDistance per (global center, dist): the
+	// same extendability probe recurs across rules and rounds. Owned
+	// centers are disjoint across workers, so caches never duplicate work.
 	distCache map[distKey]bool
+
+	// Extension-discovery scratch (discoverExtensions): an epoch-stamped
+	// dense inverse-embedding index in the style of the matcher's used-set
+	// — bumping the epoch invalidates the whole array in O(1), so no map
+	// is allocated per embedding — plus a pooled extension-accumulator set
+	// reused across parents and rounds.
+	inv      []int32  // inv[local data node] = pattern node, iff stamped
+	invEpoch []uint32 // invEpoch[local data node] == epoch ⇒ inv is valid
+	epoch    uint32
+	accs     map[uint64]*extAcc // keyed by packed extension code
+	accList  []*extAcc          // discovery order; re-sorted deterministically
+	accPool  []*extAcc          // recycled accumulators
+	// extOverflow interns the (pathological) extensions whose fields do not
+	// fit the packed code: huge label spaces or patterns beyond 127 nodes.
+	extOverflow map[pattern.Extension]uint64
+}
+
+// extCode packs an extension into a uint64 key for the accumulator map —
+// two orders of magnitude cheaper to hash than the struct. Equal codes ⟺
+// equal extensions: in-range extensions pack injectively (disjoint bit
+// fields, bit 63 clear); out-of-range ones are interned with bit 63 set.
+func (w *worker) extCode(e pattern.Extension) uint64 {
+	src, cl := uint64(e.Src), uint64(int64(e.Close)+1)
+	el, nl := uint64(e.EdgeLabel), uint64(e.NewLabel)
+	if src < 1<<7 && cl < 1<<7 && el < 1<<23 && nl < 1<<23 {
+		v := src | cl<<7 | el<<14 | nl<<37
+		if e.Outgoing {
+			v |= 1 << 60
+		}
+		if e.AsY {
+			v |= 1 << 61
+		}
+		return v
+	}
+	if w.extOverflow == nil {
+		w.extOverflow = make(map[pattern.Extension]uint64)
+	}
+	id, ok := w.extOverflow[e]
+	if !ok {
+		id = uint64(len(w.extOverflow)) | 1<<63
+		w.extOverflow[e] = id
+	}
+	return id
 }
 
 type distKey struct {
@@ -169,16 +228,22 @@ type distKey struct {
 	d int
 }
 
-// hasNodeAtDistance is a memoized graph.HasNodeAtDistance on the fragment.
-func (w *worker) hasNodeAtDistance(v graph.NodeID, d int) bool {
+// hasNodeAtDistance is a memoized graph.HasNodeAtDistance on the whole
+// graph, keyed by global node ID. Probing the whole graph rather than the
+// fragment matters for determinism: a fragment holds the d-neighborhoods
+// of its own centers, so a radius-d probe at distance d+1 would see more
+// or fewer nodes depending on which other centers share the fragment —
+// i.e. on the worker count. The global answer is the same for every
+// partitioning (and is the tighter reading of the Lemma 3 upper bound).
+func (w *worker) hasNodeAtDistance(gv graph.NodeID, d int) bool {
 	if w.distCache == nil {
 		w.distCache = make(map[distKey]bool)
 	}
-	k := distKey{v, d}
+	k := distKey{gv, d}
 	if r, ok := w.distCache[k]; ok {
 		return r
 	}
-	r := w.frag.G.HasNodeAtDistance(v, d)
+	r := w.g.HasNodeAtDistance(gv, d)
 	w.distCache[k] = r
 	return r
 }
@@ -187,7 +252,7 @@ func (w *worker) hasNodeAtDistance(v graph.NodeID, d int) bool {
 // candidate centers.
 func (w *worker) ownsCenter(v graph.NodeID) bool {
 	if w.centerSet == nil {
-		w.centerSet = make(map[graph.NodeID]bool, len(w.frag.Centers))
+		w.centerSet = make([]bool, w.frag.G.NumNodes())
 		for _, c := range w.frag.Centers {
 			w.centerSet[c] = true
 		}
@@ -199,11 +264,10 @@ func (w *worker) ownsCenter(v graph.NodeID) bool {
 // DMine's coordinator needs: local support counters and the local match
 // sets whose union forms PR(x,G) and the extension frontier.
 type message struct {
-	worker    int
-	parentKey string
-	ext       pattern.Extension
-	extKey    string     // ext.Key(), computed once at emission
-	rule      *core.Rule // materialized candidate (parent ⊕ ext)
+	worker int
+	parent ruleID
+	ext    pattern.Extension
+	rule   *core.Rule // materialized candidate (parent ⊕ ext)
 
 	qCenters   []graph.NodeID // global IDs: owned centers matching the new Q
 	rSet       []graph.NodeID // global IDs: owned centers matching PR
@@ -225,15 +289,19 @@ type miner struct {
 	suppQ1  int // supp(q,G)
 	suppQbr int // supp(q̄,G)
 
-	sigma        map[string]*Mined   // Σ: all retained rules by key
-	sigmaBuckets map[string][]string // Lemma 4 bucket -> Σ keys
+	// sigma is Σ, all retained rules indexed by ruleID (nil = never kept,
+	// or pruned by the reduction rules). Index 0 is the seed slot.
+	sigma []*Mined
+	// uconf tracks Uconf+(R) per extendable candidate (Lemma 3), indexed
+	// like sigma.
+	uconf        []float64
+	sigmaBuckets map[bucketID][]ruleID // Lemma 4 bucket -> Σ ids
 	queue        *diversify.Queue
 	params       diversify.Params
 	bisims       *bisim.Cache
-	keySeq       int
+	buckets      bucketInterner
+	lastID       ruleID
 	res          *Result
-	// uconf tracks Uconf+(R) per extendable candidate (Lemma 3).
-	uconf map[string]float64
 }
 
 func newMiner(g *graph.Graph, pred core.Predicate, opts Options) *miner {
@@ -241,11 +309,19 @@ func newMiner(g *graph.Graph, pred core.Predicate, opts Options) *miner {
 		g:      g,
 		pred:   pred,
 		opts:   opts,
-		sigma:  make(map[string]*Mined),
+		sigma:  make([]*Mined, 1), // slot 0: seed
+		uconf:  make([]float64, 1),
 		bisims: bisim.NewCache(),
-		uconf:  make(map[string]float64),
 		res:    &Result{},
 	}
+}
+
+// newRuleID appends a fresh Σ/uconf slot and returns its id.
+func (m *miner) newRuleID() ruleID {
+	m.lastID++
+	m.sigma = append(m.sigma, nil)
+	m.uconf = append(m.uconf, 0)
+	return m.lastID
 }
 
 func (m *miner) run() *Result {
@@ -259,21 +335,22 @@ func (m *miner) run() *Result {
 		m.workers[i] = &worker{
 			id:         i,
 			frag:       f,
-			centersFor: make(map[string][]graph.NodeID),
+			g:          m.g,
+			centersFor: make(map[ruleID][]graph.NodeID),
 		}
 	}
 
 	// Round 0: compute Pq, q̄ and their supports once (they never change).
+	// The q-edge scan walks the frozen fragment's CSR label range for the
+	// predicate's edge label instead of the full out-adjacency.
 	m.parallel(func(w *worker) {
-		w.pq = make(map[graph.NodeID]bool)
-		w.pqbar = make(map[graph.NodeID]bool)
+		n := w.frag.G.NumNodes()
+		w.pq = make([]bool, n)
+		w.pqbar = make([]bool, n)
 		for _, c := range w.frag.Centers {
-			hasQ, hasMatch := false, false
-			for _, e := range w.frag.G.Out(c) {
-				if e.Label != m.pred.EdgeLabel {
-					continue
-				}
-				hasQ = true
+			qEdges := w.frag.G.OutRangeL(c, m.pred.EdgeLabel)
+			hasMatch := false
+			for _, e := range qEdges {
 				if w.frag.G.Label(e.To) == m.pred.YLabel {
 					hasMatch = true
 					break
@@ -281,14 +358,16 @@ func (m *miner) run() *Result {
 			}
 			if hasMatch {
 				w.pq[c] = true
-			} else if hasQ {
+				w.npq++
+			} else if len(qEdges) > 0 {
 				w.pqbar[c] = true
+				w.npqbar++
 			}
 		}
 	})
 	for _, w := range m.workers {
-		m.suppQ1 += len(w.pq)
-		m.suppQbr += len(w.pqbar)
+		m.suppQ1 += w.npq
+		m.suppQbr += w.npqbar
 	}
 	// Trivial case 1: q(x,y) specifies no user in G.
 	if m.suppQ1 == 0 {
@@ -308,12 +387,12 @@ func (m *miner) run() *Result {
 	seedQ.X = seedQ.AddNodeL(m.pred.XLabel)
 	seed := &Mined{
 		Rule: &core.Rule{Q: seedQ, Pred: m.pred},
-		key:  "seed",
+		id:   seedID,
 	}
 	frontier := []*Mined{seed}
 	for _, w := range m.workers {
 		// All owned centers match the empty antecedent.
-		w.centersFor["seed"] = append([]graph.NodeID(nil), w.frag.Centers...)
+		w.centersFor[seedID] = append([]graph.NodeID(nil), w.frag.Centers...)
 	}
 
 	for r := 1; r <= m.opts.MaxEdges && len(frontier) > 0; r++ {
@@ -350,7 +429,7 @@ func (m *miner) finish() {
 		entries = diversify.Greedy(m.allEntries(), m.params)
 	}
 	for _, e := range entries {
-		if mined, ok := m.sigma[e.ID]; ok {
+		if mined := m.sigmaByID(ruleID(e.ID)); mined != nil {
 			m.res.TopK = append(m.res.TopK, *mined)
 		}
 	}
@@ -358,18 +437,20 @@ func (m *miner) finish() {
 		if m.res.TopK[i].Conf != m.res.TopK[j].Conf {
 			return m.res.TopK[i].Conf > m.res.TopK[j].Conf
 		}
-		return m.res.TopK[i].key < m.res.TopK[j].key
+		return m.res.TopK[i].id < m.res.TopK[j].id
 	})
 	m.res.F = diversify.F(entries, m.params)
-	m.res.Kept = len(m.sigma)
-	for _, k := range m.allSigmaKeys() {
-		m.res.All = append(m.res.All, *m.sigma[k])
+	for id := seedID + 1; id <= m.lastID; id++ {
+		if mined := m.sigma[id]; mined != nil {
+			m.res.Kept++
+			m.res.All = append(m.res.All, *mined)
+		}
 	}
 	sort.Slice(m.res.All, func(i, j int) bool {
 		if m.res.All[i].Conf != m.res.All[j].Conf {
 			return m.res.All[i].Conf > m.res.All[j].Conf
 		}
-		return m.res.All[i].key < m.res.All[j].key
+		return m.res.All[i].id < m.res.All[j].id
 	})
 	for _, w := range m.workers {
 		m.res.WorkerOps = append(m.res.WorkerOps, w.ops)
@@ -379,16 +460,23 @@ func (m *miner) finish() {
 	}
 }
 
-func (m *miner) allEntries() []diversify.Entry {
-	keys := make([]string, 0, len(m.sigma))
-	for k := range m.sigma {
-		keys = append(keys, k)
+// sigmaByID returns the Σ member with the given id, or nil.
+func (m *miner) sigmaByID(id ruleID) *Mined {
+	if int(id) >= len(m.sigma) {
+		return nil
 	}
-	sort.Strings(keys)
-	out := make([]diversify.Entry, 0, len(keys))
-	for _, k := range keys {
-		mm := m.sigma[k]
-		out = append(out, diversify.Entry{ID: k, Conf: mm.Conf, Set: mm.Set})
+	return m.sigma[id]
+}
+
+// allEntries lists Σ as diversifier entries in ascending id order.
+func (m *miner) allEntries() []diversify.Entry {
+	out := make([]diversify.Entry, 0, len(m.sigma))
+	for id := seedID + 1; id <= m.lastID; id++ {
+		mm := m.sigma[id]
+		if mm == nil {
+			continue
+		}
+		out = append(out, diversify.Entry{ID: uint32(id), Conf: mm.Conf, Set: mm.Set, B: mm.bits})
 	}
 	return out
 }

@@ -307,13 +307,13 @@ func TestAdmissibleRejectsConsequentInQ(t *testing.T) {
 		EdgeLabel: syms.Intern("visit"),
 		YLabel:    syms.Intern("rest"),
 	}
-	m := newMiner(graph.New(syms), pred, baseOpts())
 	q := pattern.New(syms)
 	x := q.AddNode("cust")
 	y := q.AddNode("rest")
 	q.AddEdge(x, y, "visit")
 	q.X, q.Y = x, y
-	if m.admissible(&core.Rule{Q: q, Pred: pred}) {
+	r := &core.Rule{Q: q, Pred: pred}
+	if admissible(pred, q, r.PR(), baseOpts().D) {
 		t.Error("rule with q(x,y) in Q admitted")
 	}
 }

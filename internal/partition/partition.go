@@ -28,7 +28,14 @@ type Fragment struct {
 	// ToGlobal maps local node IDs back to the original graph.
 	ToGlobal []graph.NodeID
 
-	toLocal map[graph.NodeID]graph.NodeID
+	// The inverse of ToGlobal. The miner translates every frontier center
+	// every round, so fragments covering a meaningful share of the graph
+	// (the common DMine shape: d-neighborhood closures overlap heavily)
+	// use a dense array over the original ID space (-1 = absent); tiny
+	// fragments of huge graphs fall back to a map so that n workers never
+	// pin O(n·|V|) memory for the lifetime of a serving snapshot.
+	toLocalDense []graph.NodeID
+	toLocalMap   map[graph.NodeID]graph.NodeID
 }
 
 // Global translates a local node ID to the original graph's ID.
@@ -37,8 +44,31 @@ func (f *Fragment) Global(v graph.NodeID) graph.NodeID { return f.ToGlobal[v] }
 // Local translates an original-graph ID to this fragment's local ID. The
 // second result is false when the node is not present in the fragment.
 func (f *Fragment) Local(v graph.NodeID) (graph.NodeID, bool) {
-	lv, ok := f.toLocal[v]
+	if f.toLocalDense != nil {
+		if int(v) >= len(f.toLocalDense) || f.toLocalDense[v] < 0 {
+			return 0, false
+		}
+		return f.toLocalDense[v], true
+	}
+	lv, ok := f.toLocalMap[v]
 	return lv, ok
+}
+
+// setToLocal installs the inverse mapping, choosing dense form when the
+// fragment holds at least 1/16 of the original graph's nodes.
+func (f *Fragment) setToLocal(n int, toGlobal []graph.NodeID, m map[graph.NodeID]graph.NodeID) {
+	if len(toGlobal)*16 < n {
+		f.toLocalMap = m
+		return
+	}
+	inv := make([]graph.NodeID, n)
+	for i := range inv {
+		inv[i] = -1
+	}
+	for lv, gv := range toGlobal {
+		inv[gv] = graph.NodeID(lv)
+	}
+	f.toLocalDense = inv
 }
 
 // Size reports |F| = |V| + |E| of the fragment graph.
@@ -55,12 +85,12 @@ func Partition(g *graph.Graph, cands []graph.NodeID, n, d int) []*Fragment {
 	// Bucket candidates by load.
 	type bucket struct {
 		cands []graph.NodeID
-		seen  map[graph.NodeID]bool
+		seen  []bool
 		order []graph.NodeID // fragment nodes in first-seen order
 	}
 	buckets := make([]*bucket, n)
 	for i := range buckets {
-		buckets[i] = &bucket{seen: make(map[graph.NodeID]bool)}
+		buckets[i] = &bucket{seen: make([]bool, g.NumNodes())}
 	}
 	for _, vx := range cands {
 		hood := g.Neighborhood(vx, d)
@@ -83,7 +113,8 @@ func Partition(g *graph.Graph, cands []graph.NodeID, n, d int) []*Fragment {
 	frags := make([]*Fragment, n)
 	for i, b := range buckets {
 		sub, toLocal, toGlobal := g.InducedSubgraph(b.order)
-		f := &Fragment{G: sub, ToGlobal: toGlobal, toLocal: toLocal}
+		f := &Fragment{G: sub, ToGlobal: toGlobal}
+		f.setToLocal(g.NumNodes(), toGlobal, toLocal)
 		for _, vx := range b.cands {
 			f.Centers = append(f.Centers, toLocal[vx])
 		}
@@ -96,17 +127,16 @@ func Partition(g *graph.Graph, cands []graph.NodeID, n, d int) []*Fragment {
 // (the n = 1 degenerate case, used by sequential baselines).
 func Whole(g *graph.Graph, cands []graph.NodeID) *Fragment {
 	toGlobal := make([]graph.NodeID, g.NumNodes())
-	toLocal := make(map[graph.NodeID]graph.NodeID, g.NumNodes())
 	for v := 0; v < g.NumNodes(); v++ {
 		toGlobal[v] = graph.NodeID(v)
-		toLocal[graph.NodeID(v)] = graph.NodeID(v)
 	}
-	return &Fragment{
+	f := &Fragment{
 		G:        g,
 		Centers:  append([]graph.NodeID(nil), cands...),
 		ToGlobal: toGlobal,
-		toLocal:  toLocal,
 	}
+	f.setToLocal(g.NumNodes(), toGlobal, nil)
+	return f
 }
 
 // Balance reports the max/min/mean fragment sizes and the skew

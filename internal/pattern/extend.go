@@ -13,6 +13,11 @@ import (
 // The new edge touches existing node Src. If Close == NoNode the other
 // endpoint is a fresh node labeled NewLabel; otherwise the edge closes onto
 // the existing node Close.
+//
+// The struct is comparable and its field equality coincides exactly with
+// Key() string equality, so hot paths use Extension values directly as map
+// keys and order them with Compare; Key() survives only at boundaries that
+// need a printable form.
 type Extension struct {
 	Src       int         // existing pattern node
 	Outgoing  bool        // true: Src -> target; false: target -> Src
@@ -41,6 +46,51 @@ func (e Extension) Key() string {
 		buf = append(buf, 'y')
 	}
 	return string(buf)
+}
+
+// Compare totally orders extensions by (Src, direction, EdgeLabel,
+// NewLabel, Close, AsY), incoming before outgoing and plain before AsY.
+// Compare(f) == 0 iff the structs are equal iff the Key strings are equal.
+// The order is not the lexicographic order of Key() — it compares numeric
+// fields numerically — but any fixed total order serves the deterministic
+// processing the miner needs, without building a string per comparison.
+func (e Extension) Compare(f Extension) int {
+	if e.Src != f.Src {
+		return cmpInt(e.Src, f.Src)
+	}
+	if e.Outgoing != f.Outgoing {
+		if !e.Outgoing {
+			return -1
+		}
+		return 1
+	}
+	if e.EdgeLabel != f.EdgeLabel {
+		return cmpInt(int(e.EdgeLabel), int(f.EdgeLabel))
+	}
+	if e.NewLabel != f.NewLabel {
+		return cmpInt(int(e.NewLabel), int(f.NewLabel))
+	}
+	if e.Close != f.Close {
+		return cmpInt(e.Close, f.Close)
+	}
+	if e.AsY != f.AsY {
+		if !e.AsY {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+func cmpInt(a, b int) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
 }
 
 // Apply returns a copy of p grown by the extension. It returns nil when the

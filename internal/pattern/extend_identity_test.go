@@ -1,0 +1,66 @@
+package pattern
+
+import (
+	"math/rand"
+	"testing"
+
+	"gpar/internal/graph"
+)
+
+// randExt draws extensions from a small enough space that collisions are
+// common, so the ⟺ in the identity property is exercised in both
+// directions.
+func randExt(rng *rand.Rand) Extension {
+	e := Extension{
+		Src:       rng.Intn(4),
+		Outgoing:  rng.Intn(2) == 0,
+		EdgeLabel: graph.Label(rng.Intn(3)),
+	}
+	if rng.Intn(2) == 0 {
+		e.Close = rng.Intn(3)
+	} else {
+		e.Close = NoNode
+		e.NewLabel = graph.Label(rng.Intn(3))
+		e.AsY = rng.Intn(4) == 0
+	}
+	return e
+}
+
+// TestExtensionIdentityMatchesKey is the interned-identity property test:
+// the comparable struct (the mining loop's identity) collides exactly when
+// the legacy Key() string collides, and Compare is a total order consistent
+// with that identity.
+func TestExtensionIdentityMatchesKey(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 20000; i++ {
+		a, b := randExt(rng), randExt(rng)
+		structEq := a == b
+		keyEq := a.Key() == b.Key()
+		if structEq != keyEq {
+			t.Fatalf("identity mismatch: %+v vs %+v: struct=%v key=%v (%q, %q)",
+				a, b, structEq, keyEq, a.Key(), b.Key())
+		}
+		cab, cba := a.Compare(b), b.Compare(a)
+		if (cab == 0) != structEq {
+			t.Fatalf("Compare==0 disagrees with equality: %+v vs %+v -> %d", a, b, cab)
+		}
+		if cab != -cba && !(cab == 0 && cba == 0) {
+			t.Fatalf("Compare not antisymmetric: %+v vs %+v -> %d, %d", a, b, cab, cba)
+		}
+	}
+	// Transitivity spot check on a sorted sample.
+	exts := make([]Extension, 300)
+	for i := range exts {
+		exts[i] = randExt(rng)
+	}
+	for i := 0; i < len(exts); i++ {
+		for j := i + 1; j < len(exts); j++ {
+			for k := j + 1; k < len(exts); k++ {
+				a, b, c := exts[i], exts[j], exts[k]
+				if a.Compare(b) <= 0 && b.Compare(c) <= 0 && a.Compare(c) > 0 {
+					t.Fatalf("Compare not transitive on %+v, %+v, %+v", a, b, c)
+				}
+			}
+		}
+	}
+}

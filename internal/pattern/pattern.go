@@ -166,20 +166,10 @@ func (p *Pattern) Expand() *Pattern {
 	return out
 }
 
-// undirected adjacency over node indexes.
-func (p *Pattern) adj() [][]int {
-	a := make([][]int, len(p.labels))
-	for _, e := range p.edges {
-		a[e.From] = append(a[e.From], e.To)
-		if e.From != e.To {
-			a[e.To] = append(a[e.To], e.From)
-		}
-	}
-	return a
-}
-
 // DistancesFrom returns undirected hop distances from u; unreachable nodes
-// get -1.
+// get -1. Patterns are tiny, so instead of materializing an adjacency list
+// it relaxes the edge list to a fixpoint (at most |Vp| passes): one
+// allocation — the result — on a path the miner hits once per candidate.
 func (p *Pattern) DistancesFrom(u int) []int {
 	dist := make([]int, len(p.labels))
 	for i := range dist {
@@ -188,16 +178,18 @@ func (p *Pattern) DistancesFrom(u int) []int {
 	if u < 0 || u >= len(p.labels) {
 		return dist
 	}
-	adj := p.adj()
 	dist[u] = 0
-	queue := []int{u}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		for _, w := range adj[v] {
-			if dist[w] < 0 {
-				dist[w] = dist[v] + 1
-				queue = append(queue, w)
+	for changed := true; changed; {
+		changed = false
+		for _, e := range p.edges {
+			df, dt := dist[e.From], dist[e.To]
+			if df >= 0 && (dt < 0 || dt > df+1) {
+				dist[e.To] = df + 1
+				changed = true
+			}
+			if dt >= 0 && (df < 0 || df > dt+1) {
+				dist[e.From] = dt + 1
+				changed = true
 			}
 		}
 	}

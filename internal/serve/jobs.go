@@ -14,6 +14,14 @@ import (
 // MineParams is the body of POST /v1/mine: a DMine run over the resident
 // graph. Label names must already exist in the graph (they are resolved
 // with the read-only Symbols.Lookup, never interned).
+//
+// Workers = 0 inherits mine.Options' default — one worker per core
+// (runtime.GOMAXPROCS) — so an unconfigured mine job uses the whole
+// machine. Mining results are deterministic for a fixed worker count, and
+// identical across worker counts as long as mine.Options.EmbedCap does not
+// truncate any center's embeddings (see that field's doc); pin Workers for
+// bit-for-bit reproducibility across differently sized machines on dense
+// graphs.
 type MineParams struct {
 	XLabel    string  `json:"xLabel"`
 	EdgeLabel string  `json:"edgeLabel"`
