@@ -2,7 +2,7 @@ GO ?= go
 BIN := bin
 
 .PHONY: all build vet test race bench bench-match bench-mine bench-short \
-	bench-mine-short bench-guard serve clean
+	bench-mine-short bench-guard docs-check serve clean
 
 all: vet build test
 
@@ -34,6 +34,8 @@ bench-match:
 bench-mine:
 	$(GO) test -run '^$$' -bench 'BenchmarkDMine$$|BenchmarkDMineNo$$|BenchmarkDiscoverExtensions|BenchmarkDiversifyUpdate' \
 	    -benchmem -benchtime=2s ./internal/mine/ ./internal/diversify/ > bench.out
+	$(GO) test -run '^$$' -bench 'BenchmarkMineJob' \
+	    -benchmem -benchtime=2s ./internal/serve/ >> bench.out
 	$(GO) run ./cmd/benchjson -set mine -o BENCH_mine.json < bench.out
 	@rm -f bench.out
 
@@ -48,6 +50,8 @@ bench-short:
 bench-mine-short:
 	$(GO) test -run '^$$' -bench 'BenchmarkDMine$$|BenchmarkDiscoverExtensions|BenchmarkDiversifyUpdate' \
 	    -benchmem -benchtime=3x ./internal/mine/ ./internal/diversify/ > bench.out
+	$(GO) test -run '^$$' -bench 'BenchmarkMineJob' \
+	    -benchmem -benchtime=3x ./internal/serve/ >> bench.out
 	$(GO) run ./cmd/benchjson -set mine < bench.out
 	@rm -f bench.out
 
@@ -55,6 +59,11 @@ bench-mine-short:
 # regression gate CI runs on every push.
 bench-guard:
 	$(GO) run ./cmd/benchguard BENCH_match.json BENCH_mine.json
+
+# Fail if any internal package lacks a package-level doc comment — the
+# documentation gate CI runs on every push.
+docs-check:
+	$(GO) run ./cmd/docscheck internal
 
 # Start the serving daemon on a generated Pokec-like graph, mining a
 # starter rule set for the Disco predicate (see DESIGN.md quickstart).
@@ -64,3 +73,4 @@ serve: build
 
 clean:
 	rm -rf $(BIN)
+	find . -name '*.test' -type f -delete

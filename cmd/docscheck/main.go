@@ -1,0 +1,102 @@
+// Command docscheck is the documentation gate wired into `make docs-check`
+// and CI: it walks the given directory trees and fails (exit 1, one line
+// per offender) if any Go package lacks a package-level doc comment. Test
+// files and *_test packages are ignored; a package passes when at least one
+// of its files carries a doc comment on the package clause.
+//
+// Usage: docscheck DIR ...
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: docscheck DIR ...")
+		os.Exit(2)
+	}
+	var missing []string
+	for _, root := range os.Args[1:] {
+		dirs, err := goDirs(root)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "docscheck:", err)
+			os.Exit(2)
+		}
+		for _, dir := range dirs {
+			ok, err := hasPackageDoc(dir)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "docscheck:", err)
+				os.Exit(2)
+			}
+			if !ok {
+				missing = append(missing, dir)
+			}
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		for _, dir := range missing {
+			fmt.Fprintf(os.Stderr, "docscheck: %s: package has no package-level doc comment\n", dir)
+		}
+		os.Exit(1)
+	}
+}
+
+// goDirs lists every directory under root that contains at least one
+// non-test Go file.
+func goDirs(root string) ([]string, error) {
+	seen := map[string]bool{}
+	var out []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		if !seen[dir] {
+			seen[dir] = true
+			out = append(out, dir)
+		}
+		return nil
+	})
+	return out, err
+}
+
+// hasPackageDoc reports whether any non-test file of the directory's
+// primary package documents the package clause.
+func hasPackageDoc(dir string) (bool, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments|parser.PackageClauseOnly)
+	if err != nil {
+		return false, fmt.Errorf("%s: %w", dir, err)
+	}
+	for name, pkg := range pkgs {
+		if strings.HasSuffix(name, "_test") {
+			continue
+		}
+		for _, f := range pkg.Files {
+			if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+				return true, nil
+			}
+		}
+	}
+	return false, nil
+}

@@ -10,12 +10,19 @@
 //
 // The implementation lives under internal/ (see DESIGN.md for the system
 // inventory); runnable entry points are the commands under cmd/ and the
-// programs under examples/. Beyond the paper's batch algorithms, the
-// internal/serve subsystem and the gpard daemon (cmd/gpard) turn the
-// reproduction into a mine-once/match-many serving system: a resident
-// graph + rule-set snapshot with atomic hot-swap, a per-rule match-set
-// cache, single-flight request batching and a bounded matching worker
-// pool behind a JSON HTTP API. The root package exists to carry
-// module-level documentation and the figure-by-figure benchmarks in
-// bench_test.go.
+// programs under examples/. The substrate is a flat CSR graph core
+// (internal/graph: Freeze compiles per-direction edge arenas with label
+// range and candidate indexes) driving an allocation-free pooled matcher
+// (internal/match) and an interned, allocation-lean mining loop
+// (internal/mine) whose results are byte-identical across worker counts.
+//
+// Beyond the paper's batch algorithms, the internal/serve subsystem and the
+// gpard daemon (cmd/gpard) turn the reproduction into a mine-once/match-many
+// serving system: a resident graph + rule-set snapshot with atomic hot-swap,
+// a per-rule match-set cache, a mine-context cache (partitioned, frozen
+// fragment preambles reused across mine jobs and shared across the
+// predicates of one DMineMulti call), single-flight request batching and a
+// bounded matching worker pool behind a JSON HTTP API — endpoint reference
+// in API.md. The root package exists to carry module-level documentation
+// and the figure-by-figure benchmarks in bench_test.go.
 package gpar

@@ -1,0 +1,169 @@
+package mine
+
+import (
+	"sync"
+	"testing"
+
+	"gpar/internal/core"
+	"gpar/internal/gen"
+	"gpar/internal/graph"
+)
+
+// contextFixture is the shared differential workload: a seeded Pokec-like
+// graph and every Pokec predicate (all over the same x-label "user"), so
+// the shared-accumulator path is exercised across multiple predicates.
+func contextFixture(t testing.TB) (*graph.Graph, []core.Predicate, Options) {
+	t.Helper()
+	syms := graph.NewSymbols()
+	g := gen.Pokec(syms, gen.DefaultPokec(250, 11))
+	opts := Options{
+		K: 5, Sigma: 2, D: 2, Lambda: 0.5, N: 3,
+		MaxEdges: 2, EmbedCap: 1 << 20,
+	}.WithOptimizations()
+	preds := gen.PokecPredicates(syms)
+	if len(preds) < 2 {
+		t.Fatal("fixture needs at least two predicates")
+	}
+	return g, preds, opts
+}
+
+// TestDMineCtxMatchesDMine is the differential half of the mine-context
+// cache contract: a run on a prebuilt (cached) Context must be
+// byte-identical to a fresh DMine, and the same Context must be reusable
+// for repeated runs without drift — exactly what the serving cache does
+// when the same mine job is posted twice.
+func TestDMineCtxMatchesDMine(t *testing.T) {
+	g, preds, opts := contextFixture(t)
+	for _, pred := range preds[:2] {
+		want := fingerprint(DMine(g, pred, opts))
+		ctx := NewContext(g, pred.XLabel, opts)
+		for run := 0; run < 2; run++ {
+			got := fingerprint(DMineCtx(ctx, pred, opts))
+			if got != want {
+				t.Fatalf("run %d on cached context differs from fresh DMine:\n--- fresh ---\n%s--- cached ---\n%s",
+					run, want, got)
+			}
+		}
+	}
+}
+
+// TestSharedAccumulatorByteIdentical pins the cross-predicate half: mining
+// a sequence of predicates through one Shared accumulator (reused workers,
+// extendability memos, interning tables) must match mining each predicate
+// independently from scratch.
+func TestSharedAccumulatorByteIdentical(t *testing.T) {
+	g, preds, opts := contextFixture(t)
+	xl := preds[0].XLabel
+	sh := NewShared(NewContext(g, xl, opts))
+	for i, pred := range preds {
+		if pred.XLabel != xl {
+			continue
+		}
+		want := fingerprint(DMine(g, pred, opts))
+		got := fingerprint(sh.DMine(pred, opts))
+		if got != want {
+			t.Fatalf("predicate %d: shared-accumulator result differs from fresh DMine:\n--- fresh ---\n%s--- shared ---\n%s",
+				i, want, got)
+		}
+	}
+}
+
+// TestDMineMultiMatchesIndependentRuns checks DMineMulti end to end: the
+// per-x-label context + accumulator sharing must not change any result
+// relative to independent DMine calls, and the result list must still
+// deduplicate predicates preserving first-occurrence order.
+func TestDMineMultiMatchesIndependentRuns(t *testing.T) {
+	g, preds, opts := contextFixture(t)
+	// Duplicate the first predicate to exercise the dedup path too.
+	input := append(append([]core.Predicate(nil), preds...), preds[0])
+
+	got := DMineMulti(g, input, opts)
+	var wantOrder []core.Predicate
+	seen := map[core.Predicate]bool{}
+	for _, p := range input {
+		if !seen[p] {
+			seen[p] = true
+			wantOrder = append(wantOrder, p)
+		}
+	}
+	if len(got) != len(wantOrder) {
+		t.Fatalf("DMineMulti returned %d results, want %d", len(got), len(wantOrder))
+	}
+	for i, mr := range got {
+		if mr.Pred != wantOrder[i] {
+			t.Fatalf("result %d is for %+v, want %+v", i, mr.Pred, wantOrder[i])
+		}
+		want := fingerprint(DMine(g, mr.Pred, opts))
+		if fp := fingerprint(mr.Result); fp != want {
+			t.Fatalf("DMineMulti result %d differs from independent DMine:\n--- independent ---\n%s--- multi ---\n%s",
+				i, want, fp)
+		}
+	}
+}
+
+// TestConcurrentDMineSharedContext stresses the Context immutability
+// contract: many concurrent DMineCtx runs over one shared Context (each
+// with its own miner state) must all produce the byte-identical result.
+// CI runs this package under -race, which is the real assertion.
+func TestConcurrentDMineSharedContext(t *testing.T) {
+	g, preds, opts := contextFixture(t)
+	pred := preds[0]
+	want := fingerprint(DMine(g, pred, opts))
+	ctx := NewContext(g, pred.XLabel, opts)
+
+	const goroutines = 8
+	results := make([]string, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = fingerprint(DMineCtx(ctx, pred, opts))
+		}(i)
+	}
+	wg.Wait()
+	for i, got := range results {
+		if got != want {
+			t.Fatalf("goroutine %d result differs from fresh DMine", i)
+		}
+	}
+}
+
+// TestDMineCtxRejectsMismatchedContext pins the guard: running against a
+// context built for different parameters is a programming error.
+func TestDMineCtxRejectsMismatchedContext(t *testing.T) {
+	g, preds, opts := contextFixture(t)
+	pred := preds[0]
+	ctx := NewContext(g, pred.XLabel, opts)
+	bad := opts
+	bad.D = opts.D + 1
+	defer func() {
+		if recover() == nil {
+			t.Fatal("DMineCtx with mismatched d did not panic")
+		}
+	}()
+	DMineCtx(ctx, pred, bad)
+}
+
+// TestContextAccessors covers the read-only surface the serving layer and
+// its stats rely on.
+func TestContextAccessors(t *testing.T) {
+	g, preds, opts := contextFixture(t)
+	pred := preds[0]
+	ctx := NewContext(g, pred.XLabel, opts)
+	if ctx.Graph() != g {
+		t.Error("Graph() is not the input graph")
+	}
+	if ctx.XLabel() != pred.XLabel {
+		t.Errorf("XLabel() = %d, want %d", ctx.XLabel(), pred.XLabel)
+	}
+	if ctx.D() != opts.D || ctx.N() != opts.N {
+		t.Errorf("(D, N) = (%d, %d), want (%d, %d)", ctx.D(), ctx.N(), opts.D, opts.N)
+	}
+	if want := len(g.NodesWithLabel(pred.XLabel)); ctx.NumCandidates() != want {
+		t.Errorf("NumCandidates() = %d, want %d", ctx.NumCandidates(), want)
+	}
+	if sh := NewShared(ctx); sh.Context() != ctx {
+		t.Error("Shared.Context() does not round-trip")
+	}
+}

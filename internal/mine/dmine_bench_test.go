@@ -58,7 +58,7 @@ func BenchmarkDMineNo(b *testing.B) {
 func BenchmarkDiscoverExtensions(b *testing.B) {
 	g, pred, opts := dmineBenchInput()
 	g.Freeze()
-	m := newMiner(g, pred, opts.Defaults())
+	m := newMiner(NewContext(g, pred.XLabel, opts), pred, opts.Defaults(), nil)
 	cands := g.NodesWithLabel(pred.XLabel)
 	frag := partition.Whole(g, cands)
 	frag.G.Freeze()

@@ -134,10 +134,13 @@ type Result struct {
 }
 
 // DMine mines diversified top-k GPARs for pred on g. It implements Fig. 4
-// of the paper with all optimizations per opts.
+// of the paper with all optimizations per opts. The partition + freeze
+// preamble is built from scratch; callers that mine repeatedly over the
+// same graph should build a Context once and use DMineCtx (or, across the
+// predicates of one job, Shared.DMine) — results are byte-identical.
 func DMine(g *graph.Graph, pred core.Predicate, opts Options) *Result {
 	opts = opts.Defaults()
-	m := newMiner(g, pred, opts)
+	m := newMiner(NewContext(g, pred.XLabel, opts), pred, opts, nil)
 	return m.run()
 }
 
@@ -149,7 +152,7 @@ func DMineNo(g *graph.Graph, pred core.Predicate, opts Options) *Result {
 	opts.Incremental = false
 	opts.Reduction = false
 	opts.BisimFilter = false
-	m := newMiner(g, pred, opts)
+	m := newMiner(NewContext(g, pred.XLabel, opts), pred, opts, nil)
 	return m.run()
 }
 
@@ -281,9 +284,12 @@ type message struct {
 
 // miner is the coordinator.
 type miner struct {
+	ctx  *Context
 	g    *graph.Graph
 	pred core.Predicate
 	opts Options
+	// shared is the cross-predicate accumulator, nil for standalone runs.
+	shared *Shared
 
 	workers []*worker
 	suppQ1  int // supp(q,G)
@@ -299,21 +305,33 @@ type miner struct {
 	queue        *diversify.Queue
 	params       diversify.Params
 	bisims       *bisim.Cache
-	buckets      bucketInterner
+	buckets      *bucketInterner
 	lastID       ruleID
 	res          *Result
 }
 
-func newMiner(g *graph.Graph, pred core.Predicate, opts Options) *miner {
-	return &miner{
-		g:      g,
+// newMiner wires a coordinator over a prebuilt context. With a Shared
+// accumulator, the interning tables and summary caches come from it (and
+// outlive this run); otherwise they are fresh.
+func newMiner(ctx *Context, pred core.Predicate, opts Options, sh *Shared) *miner {
+	m := &miner{
+		ctx:    ctx,
+		g:      ctx.g,
 		pred:   pred,
 		opts:   opts,
+		shared: sh,
 		sigma:  make([]*Mined, 1), // slot 0: seed
 		uconf:  make([]float64, 1),
-		bisims: bisim.NewCache(),
 		res:    &Result{},
 	}
+	if sh != nil {
+		m.bisims = sh.bisimsFor(pred)
+		m.buckets = &sh.buckets
+	} else {
+		m.bisims = bisim.NewCache()
+		m.buckets = new(bucketInterner)
+	}
+	return m
 }
 
 // newRuleID appends a fresh Σ/uconf slot and returns its id.
@@ -325,18 +343,19 @@ func (m *miner) newRuleID() ruleID {
 }
 
 func (m *miner) run() *Result {
-	cands := m.g.NodesWithLabel(m.pred.XLabel)
-	frags := partition.Partition(m.g, cands, m.opts.N, m.opts.D)
-	for _, f := range frags {
-		f.G.Freeze() // fragments are per-worker; freeze before the BSP loop
-	}
-	m.workers = make([]*worker, len(frags))
-	for i, f := range frags {
-		m.workers[i] = &worker{
-			id:         i,
-			frag:       f,
-			g:          m.g,
-			centersFor: make(map[ruleID][]graph.NodeID),
+	// The partition + freeze preamble lives on the context; a cached or
+	// shared context skips it entirely.
+	if m.shared != nil {
+		m.workers = m.shared.attachWorkers()
+	} else {
+		m.workers = make([]*worker, len(m.ctx.frags))
+		for i, f := range m.ctx.frags {
+			m.workers[i] = &worker{
+				id:         i,
+				frag:       f,
+				g:          m.g,
+				centersFor: make(map[ruleID][]graph.NodeID),
+			}
 		}
 	}
 
@@ -345,8 +364,13 @@ func (m *miner) run() *Result {
 	// predicate's edge label instead of the full out-adjacency.
 	m.parallel(func(w *worker) {
 		n := w.frag.G.NumNodes()
-		w.pq = make([]bool, n)
-		w.pqbar = make([]bool, n)
+		if len(w.pq) == n { // shared worker: reuse the classification buffers
+			clear(w.pq)
+			clear(w.pqbar)
+		} else {
+			w.pq = make([]bool, n)
+			w.pqbar = make([]bool, n)
+		}
 		for _, c := range w.frag.Centers {
 			qEdges := w.frag.G.OutRangeL(c, m.pred.EdgeLabel)
 			hasMatch := false
@@ -390,9 +414,15 @@ func (m *miner) run() *Result {
 		id:   seedID,
 	}
 	frontier := []*Mined{seed}
-	for _, w := range m.workers {
-		// All owned centers match the empty antecedent.
-		w.centersFor[seedID] = append([]graph.NodeID(nil), w.frag.Centers...)
+	for i, w := range m.workers {
+		// All owned centers match the empty antecedent. With a shared
+		// accumulator the pre-sorted seed frontier is reused across
+		// predicates; localMine only ever re-sorts it in place.
+		if m.shared != nil {
+			w.centersFor[seedID] = m.shared.seed(i)
+		} else {
+			w.centersFor[seedID] = append([]graph.NodeID(nil), w.frag.Centers...)
+		}
 	}
 
 	for r := 1; r <= m.opts.MaxEdges && len(frontier) > 0; r++ {

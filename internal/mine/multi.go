@@ -21,15 +21,28 @@ type MultiResult struct {
 // each distinct q(x,y), as the paper's remark prescribes. Duplicate
 // predicates are collapsed; results preserve the input order of their first
 // occurrence.
+//
+// Predicates over the same x-label share one mining Context (the candidate
+// centers, partition and fragment freeze are built once, not per predicate)
+// and one Shared accumulator, so worker scratch, extendability memos and
+// interning tables survive across the runs. Results are byte-identical to
+// mining each predicate independently with DMine.
 func DMineMulti(g *graph.Graph, preds []core.Predicate, opts Options) []MultiResult {
+	opts = opts.Defaults()
 	seen := make(map[core.Predicate]bool, len(preds))
+	shared := make(map[graph.Label]*Shared)
 	var out []MultiResult
 	for _, p := range preds {
 		if seen[p] {
 			continue
 		}
 		seen[p] = true
-		out = append(out, MultiResult{Pred: p, Result: DMine(g, p, opts)})
+		sh := shared[p.XLabel]
+		if sh == nil {
+			sh = NewShared(NewContext(g, p.XLabel, opts))
+			shared[p.XLabel] = sh
+		}
+		out = append(out, MultiResult{Pred: p, Result: sh.DMine(p, opts)})
 	}
 	return out
 }

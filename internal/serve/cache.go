@@ -1,31 +1,17 @@
 package serve
 
-import (
-	"container/list"
-	"sync"
-)
+import "sync"
 
 // Cache is the bounded LRU match-set cache. Keys are "g<generation>|<rule
 // key>", so a snapshot swap implicitly orphans every old entry; Purge on
 // swap reclaims them eagerly rather than waiting for LRU pressure.
 type Cache struct {
-	mu    sync.Mutex
-	cap   int
-	ll    *list.List // front = most recently used
-	byKey map[string]*list.Element
-
-	hits      int64
-	misses    int64
-	evictions int64
-	purges    int64
+	mu  sync.Mutex
+	lru *lru[string, *RuleEval]
 }
 
-type cacheEntry struct {
-	key string
-	val *RuleEval
-}
-
-// CacheStats is a point-in-time counter snapshot for /stats.
+// CacheStats is a point-in-time counter snapshot for /stats, shared by the
+// match-set cache and the mine-context cache.
 type CacheStats struct {
 	Entries   int   `json:"entries"`
 	Capacity  int   `json:"capacity"`
@@ -37,14 +23,7 @@ type CacheStats struct {
 
 // NewCache returns a cache bounded to capacity entries (minimum 1).
 func NewCache(capacity int) *Cache {
-	if capacity < 1 {
-		capacity = 1
-	}
-	return &Cache{
-		cap:   capacity,
-		ll:    list.New(),
-		byKey: make(map[string]*list.Element),
-	}
+	return &Cache{lru: newLRU[string, *RuleEval](capacity)}
 }
 
 // Get returns the cached evaluation for key, if present, marking it most
@@ -52,14 +31,7 @@ func NewCache(capacity int) *Cache {
 func (c *Cache) Get(key string) (*RuleEval, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	el, ok := c.byKey[key]
-	if !ok {
-		c.misses++
-		return nil, false
-	}
-	c.hits++
-	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).val, true
+	return c.lru.get(key)
 }
 
 // Put inserts or refreshes key, evicting the least recently used entry
@@ -67,18 +39,7 @@ func (c *Cache) Get(key string) (*RuleEval, bool) {
 func (c *Cache) Put(key string, val *RuleEval) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if el, ok := c.byKey[key]; ok {
-		el.Value.(*cacheEntry).val = val
-		c.ll.MoveToFront(el)
-		return
-	}
-	c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
-	for c.ll.Len() > c.cap {
-		oldest := c.ll.Back()
-		c.ll.Remove(oldest)
-		delete(c.byKey, oldest.Value.(*cacheEntry).key)
-		c.evictions++
-	}
+	c.lru.put(key, val)
 }
 
 // Purge drops every entry (snapshot swap) and returns how many were
@@ -86,25 +47,12 @@ func (c *Cache) Put(key string, val *RuleEval) {
 func (c *Cache) Purge() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	n := c.ll.Len()
-	c.ll.Init()
-	c.byKey = make(map[string]*list.Element)
-	if n > 0 {
-		c.purges++
-	}
-	return n
+	return c.lru.purge()
 }
 
 // Stats returns current counters.
 func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{
-		Entries:   c.ll.Len(),
-		Capacity:  c.cap,
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
-		Purges:    c.purges,
-	}
+	return c.lru.stats()
 }

@@ -98,6 +98,9 @@ type StatsResponse struct {
 	Fragments int        `json:"fragments"`
 	PoolSize  int        `json:"poolSize"`
 	Cache     CacheStats `json:"cache"`
+	// MineCache counts mine-context reuse: hits are mine jobs that skipped
+	// the partition+freeze preamble entirely.
+	MineCache CacheStats `json:"mineCache"`
 	Batch     BatchStats `json:"batch"`
 	Requests  struct {
 		Identify int64 `json:"identify"`
@@ -352,6 +355,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	resp.PoolSize = s.pool.Size()
 	resp.Cache = s.cache.Stats()
+	resp.MineCache = s.mineCtx.Stats()
 	resp.Batch = s.batch.Stats()
 	resp.Requests.Identify = s.nIdentify.Load()
 	resp.Requests.Rules = s.nRules.Load()

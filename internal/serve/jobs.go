@@ -67,6 +67,10 @@ type Job struct {
 	Installed bool     `json:"installed,omitempty"`
 	// Generation is the snapshot generation after install (0 otherwise).
 	Generation uint64 `json:"generation,omitempty"`
+	// ContextCached reports whether the job reused a cached mine context
+	// (the partitioned, frozen fragments), skipping the partition+freeze
+	// preamble. Results are byte-identical either way.
+	ContextCached bool `json:"contextCached,omitempty"`
 }
 
 // maxJobs bounds the registry: when exceeded, the oldest finished jobs are
@@ -188,11 +192,24 @@ func (s *Server) runMine(id string, snap *Snapshot, pred core.Predicate, p MineP
 		j.Status = JobRunning
 		j.Started = time.Now()
 	})
+	// Defaults are resolved here (not left to DMine) because the resolved
+	// (D, N) pair is part of the context-cache key.
 	opts := mine.Options{
 		K: p.K, Sigma: p.Sigma, D: p.D, Lambda: p.Lambda, N: p.Workers,
 		MaxEdges: p.MaxEdges, MaxCandidatesPerRound: p.Cap,
-	}.WithOptimizations()
-	res := mine.DMine(snap.G, pred, opts)
+	}.WithOptimizations().Defaults()
+	key := MineCtxKey{Gen: snap.Gen, XLabel: pred.XLabel, D: opts.D, N: opts.N}
+	ctx, ctxHit := s.mineCtx.GetOrBuild(key, func() *mine.Context {
+		return mine.NewContext(snap.G, pred.XLabel, opts)
+	})
+	if s.gen.Load() != key.Gen {
+		// A swap raced the build. Its Purge may have run before this key
+		// was inserted, and no future job keys this generation, so the
+		// entry would only pin the retired snapshot's fragments. This run
+		// still mines on ctx — the snapshot it was admitted against.
+		s.mineCtx.Discard(key)
+	}
+	res := mine.DMineCtx(ctx, pred, opts)
 
 	rules := make([]*core.Rule, 0, len(res.TopK))
 	keys := make([]string, 0, len(res.TopK))
@@ -222,6 +239,7 @@ func (s *Server) runMine(id string, snap *Snapshot, pred core.Predicate, p MineP
 		j.RuleKeys = keys
 		j.Installed = installed
 		j.Generation = gen
+		j.ContextCached = ctxHit
 		if installErr != nil {
 			j.Status = JobFailed
 			j.Error = installErr.Error()

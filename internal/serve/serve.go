@@ -4,7 +4,7 @@
 // "mine once, match many" shape of the paper's two headline use cases
 // (identifying potential customers, Section 1, and EIP, Section 5).
 //
-// The subsystem is built from four pieces:
+// The subsystem is built from five pieces:
 //
 //   - Snapshot: an immutable unit of serving state — the frozen graph, the
 //     rule set with precomputed keys and renderings, the partition fragments
@@ -14,6 +14,12 @@
 //     state they started with.
 //   - Cache: a bounded LRU of per-rule match-set evaluations keyed by rule
 //     Key() + graph generation; a swap bumps the generation and purges.
+//   - MineContextCache: a bounded LRU of mine.Context values — the
+//     partitioned, frozen fragment preamble of a DMine run — keyed by
+//     (generation, xLabel, d, n) with single-flight builds, so repeated
+//     mine jobs over one snapshot skip partition.Partition and fragment
+//     Freeze() entirely. Swaps purge it; the generation in the key makes
+//     stale entries unreachable regardless.
 //   - Batcher: single-flight coalescing of concurrent identify calls for
 //     the same rule into one match execution.
 //   - Pool: a bounded worker pool shared by all requests; per-rule
@@ -55,6 +61,10 @@ type Config struct {
 	SketchK int
 	// CacheCap bounds the number of cached per-rule evaluations. Default 256.
 	CacheCap int
+	// MineCacheCap bounds the number of cached mine contexts (partitioned,
+	// frozen fragment sets reused across mine jobs). Contexts are heavy —
+	// each holds the candidates' d-neighborhoods — so the default is 4.
+	MineCacheCap int
 	// BatchWindow is how long the first (leader) identify call for a rule
 	// waits before executing, letting concurrent duplicates coalesce onto
 	// it. Default 0: pure single-flight, no added latency.
@@ -77,6 +87,9 @@ func (c Config) defaults() Config {
 	if c.CacheCap <= 0 {
 		c.CacheCap = 256
 	}
+	if c.MineCacheCap <= 0 {
+		c.MineCacheCap = 4
+	}
 	if c.DefaultEta <= 0 {
 		c.DefaultEta = 1.0
 	}
@@ -87,11 +100,12 @@ func (c Config) defaults() Config {
 // job registry. Create with New, install state with LoadSnapshot, expose
 // with Handler.
 type Server struct {
-	cfg   Config
-	pool  *Pool
-	cache *Cache
-	batch *Batcher[*RuleEval]
-	jobs  *Jobs
+	cfg     Config
+	pool    *Pool
+	cache   *Cache
+	mineCtx *MineContextCache
+	batch   *Batcher[*RuleEval]
+	jobs    *Jobs
 
 	swapMu sync.Mutex // serializes snapshot swaps and symbol interning
 	snap   atomic.Pointer[Snapshot]
@@ -112,12 +126,13 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.defaults()
 	return &Server{
-		cfg:   cfg,
-		pool:  NewPool(cfg.PoolSize),
-		cache: NewCache(cfg.CacheCap),
-		batch: NewBatcher[*RuleEval](cfg.BatchWindow),
-		jobs:  NewJobs(),
-		start: time.Now(),
+		cfg:     cfg,
+		pool:    NewPool(cfg.PoolSize),
+		cache:   NewCache(cfg.CacheCap),
+		mineCtx: NewMineContextCache(cfg.MineCacheCap),
+		batch:   NewBatcher[*RuleEval](cfg.BatchWindow),
+		jobs:    NewJobs(),
+		start:   time.Now(),
 	}
 }
 
@@ -154,6 +169,9 @@ func (s *Server) loadLocked(g *graph.Graph, pred core.Predicate, rules []*core.R
 	snap.Gen = s.gen.Add(1)
 	s.snap.Store(snap)
 	s.cache.Purge()
+	// Mine contexts are keyed by generation, so old entries could never be
+	// served again; purging reclaims their fragment memory eagerly.
+	s.mineCtx.Purge()
 	s.nSwap.Add(1)
 	return snap.Gen, nil
 }
