@@ -1,29 +1,44 @@
 // Command benchguard is the CI regression gate over committed bench
 // artifacts: it reads BENCH_*.json files (as written by cmd/benchjson) and
-// exits nonzero if any recorded speedup has fallen below 1.0 — i.e. if
-// someone commits an artifact showing an optimized path slower than its
-// recorded baseline. Allocation ratios are reported in the artifacts but
-// not gated: some rewrites deliberately trade a few allocations for time
-// (e.g. the diversifier's memoized pair distances).
+// exits nonzero if any recorded speedup — or allocation-reduction ratio —
+// has fallen below 1.0, i.e. if someone commits an artifact showing an
+// optimized path slower, or allocating more, than its recorded baseline.
 //
-// Usage: benchguard BENCH_match.json BENCH_mine.json ...
+// A rewrite may deliberately trade allocations for time (e.g. the
+// diversifier's memoized pair distances); such benchmarks are exempted from
+// the allocation gate — never the speed gate — with -allow-alloc, so the
+// waiver is explicit in the Makefile instead of implicit in the tool.
+//
+// Usage: benchguard [-allow-alloc Name1,Name2] BENCH_match.json BENCH_mine.json ...
 package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"gpar/internal/benchfmt"
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchguard BENCH_*.json ...")
+	allowAlloc := flag.String("allow-alloc", "",
+		"comma-separated benchmark names exempt from the alloc_reduction >= 1.0 gate")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: benchguard [-allow-alloc names] BENCH_*.json ...")
 		os.Exit(2)
 	}
+	waived := make(map[string]bool)
+	for _, name := range strings.Split(*allowAlloc, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			waived[name] = true
+		}
+	}
+
 	failed := false
-	for _, path := range os.Args[1:] {
+	for _, path := range flag.Args() {
 		data, err := os.ReadFile(path)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
@@ -43,6 +58,11 @@ func main() {
 			if e.Speedup < 1.0 {
 				fmt.Fprintf(os.Stderr, "benchguard: %s: %s speedup %.2f < 1.0 vs %s\n",
 					path, e.Name, e.Speedup, rep.BaselineCommit)
+				failed = true
+			}
+			if e.AllocReduction != 0 && e.AllocReduction < 1.0 && !waived[e.Name] {
+				fmt.Fprintf(os.Stderr, "benchguard: %s: %s alloc_reduction %.2f < 1.0 vs %s (allocation regression)\n",
+					path, e.Name, e.AllocReduction, rep.BaselineCommit)
 				failed = true
 			}
 		}

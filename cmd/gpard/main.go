@@ -60,7 +60,8 @@ func main() {
 		maxEd   = flag.Int("max-edges", 3, "antecedent edge budget for -mine")
 		capRd   = flag.Int("cap", 100, "mining candidates per round (0 = unlimited)")
 		workers = flag.Int("n", 4, "graph fragments (partition width)")
-		pool    = flag.Int("pool", 0, "matching concurrency bound (0 = GOMAXPROCS)")
+		pool    = flag.Int("pool", 0, "matching concurrency bound (0 = GOMAXPROCS minus the mine share)")
+		mineCPU = flag.Float64("mine-share", 0, "fraction of GOMAXPROCS mine jobs may occupy together (0 = default 0.5)")
 		cache   = flag.Int("cache", 256, "match-set cache capacity")
 		window  = flag.Duration("batch-window", 0, "identify coalescing window (e.g. 2ms)")
 		eta     = flag.Float64("eta", 1.0, "default confidence bound η")
@@ -119,6 +120,7 @@ func main() {
 
 	srv := serve.New(serve.Config{
 		Workers:     *workers,
+		MineShare:   *mineCPU,
 		PoolSize:    *pool,
 		CacheCap:    *cache,
 		BatchWindow: *window,

@@ -69,6 +69,14 @@ func grow[T any](s []T, n int) []T {
 // (bisimilar copies collapse into one color), so the expansion does not
 // change the answer but keeps the semantics aligned with matching.
 func Summarize(p *pattern.Pattern) Summary {
+	return AppendSummary(nil, p)
+}
+
+// AppendSummary computes p's summary and appends it to dst, returning the
+// extended slice. Callers that summarize one pattern per candidate group
+// (DMine's assembly shards) carve each summary as a view of one recycled
+// buffer instead of allocating a fresh slice per group.
+func AppendSummary(dst Summary, p *pattern.Pattern) Summary {
 	pe := p.Expand()
 	n := pe.NumNodes()
 	s := sumPool.Get().(*sumScratch)
@@ -130,11 +138,13 @@ func Summarize(p *pattern.Pattern) Summary {
 		}
 		colors, next = next, colors
 	}
-	// Sorted distinct colors; only this result slice escapes.
-	sum := make(Summary, n)
-	copy(sum, colors)
-	slices.Sort(sum)
-	return slices.Compact(sum)
+	// Sorted distinct colors; only the appended region escapes.
+	start := len(dst)
+	dst = append(dst, colors[:n]...)
+	region := dst[start:]
+	slices.Sort(region)
+	region = slices.Compact(region)
+	return dst[:start+len(region)]
 }
 
 // markDesignated folds the x/y designation into the initial color so that
@@ -150,59 +160,13 @@ func markDesignated(p *pattern.Pattern, u int) uint64 {
 	}
 }
 
-// Bisimilar reports whether p and q pass the Lemma 4 prefilter. Callers that
-// test one pattern against many should use a Cache instead.
+// Bisimilar reports whether p and q pass the Lemma 4 prefilter. Callers
+// that test one pattern against many should compute each Summary once and
+// compare the results (DMine appends them to a recycled buffer with
+// AppendSummary); an earlier string-keyed summary cache cost more in key
+// rendering than recomputation and was removed.
 func Bisimilar(p, q *pattern.Pattern) bool {
 	return Summarize(p).Equal(Summarize(q))
-}
-
-// Cache memoizes summaries by caller-chosen key, supporting the incremental
-// maintenance of the bisimulation relation as new GPARs are discovered. It
-// is safe for concurrent use: DMine's assembly phase summarizes the round's
-// candidate groups from parallel shard workers. A missed key may be
-// summarized by more than one goroutine, which is harmless (Summarize is
-// deterministic), and the first stored value wins.
-type Cache struct {
-	mu   sync.Mutex
-	sums map[string]Summary
-}
-
-// NewCache returns an empty summary cache.
-func NewCache() *Cache {
-	return &Cache{sums: make(map[string]Summary)}
-}
-
-// Summary returns the cached summary for key, computing it from p on a miss.
-func (c *Cache) Summary(key string, p *pattern.Pattern) Summary {
-	return c.SummaryOf(key, func() *pattern.Pattern { return p })
-}
-
-// SummaryOf is Summary with a lazily built pattern: build runs only on a
-// cache miss, so callers whose pattern is itself derived (e.g. DMine's
-// PR = Q ⊕ q, a clone per call) pay nothing when the key is already known.
-func (c *Cache) SummaryOf(key string, build func() *pattern.Pattern) Summary {
-	c.mu.Lock()
-	s, ok := c.sums[key]
-	c.mu.Unlock()
-	if ok {
-		return s
-	}
-	s = Summarize(build())
-	c.mu.Lock()
-	if prev, ok := c.sums[key]; ok {
-		s = prev
-	} else {
-		c.sums[key] = s
-	}
-	c.mu.Unlock()
-	return s
-}
-
-// Len reports the number of cached summaries.
-func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.sums)
 }
 
 // hash1 is FNV-1a over the 16 little-endian bytes of (a, b), computed

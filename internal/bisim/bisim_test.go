@@ -115,24 +115,24 @@ func TestLemma4Soundness(t *testing.T) {
 	}
 }
 
-func TestSummaryCache(t *testing.T) {
+func TestAppendSummary(t *testing.T) {
 	syms := graph.NewSymbols()
-	c := NewCache()
 	p := twoNode(syms, "a", "b", "e")
-	s1 := c.Summary("k1", p)
-	s2 := c.Summary("k1", p)
-	if &s1[0] != &s2[0] {
-		t.Error("cache did not return the memoized summary")
-	}
-	if c.Len() != 1 {
-		t.Errorf("cache Len = %d want 1", c.Len())
-	}
 	q := twoNode(syms, "a", "c", "e")
-	if c.Summary("k2", q).Equal(s1) {
-		t.Error("different patterns share a summary")
+	// Appending into one recycled buffer must produce the same summaries
+	// as standalone Summarize calls, as independent regions.
+	var buf Summary
+	m1 := len(buf)
+	buf = AppendSummary(buf, p)
+	s1 := buf[m1:len(buf):len(buf)]
+	m2 := len(buf)
+	buf = AppendSummary(buf, q)
+	s2 := buf[m2:len(buf):len(buf)]
+	if !s1.Equal(Summarize(p)) || !s2.Equal(Summarize(q)) {
+		t.Error("appended summaries differ from standalone Summarize")
 	}
-	if c.Len() != 2 {
-		t.Errorf("cache Len = %d want 2", c.Len())
+	if s1.Equal(s2) {
+		t.Error("different patterns share a summary")
 	}
 }
 

@@ -44,7 +44,14 @@ type Rule struct {
 // PR returns the pattern PR of Section 2.2: Q extended with the consequent
 // edge q(x, y). When Q has no designated y, a fresh y node is appended.
 func (r *Rule) PR() *pattern.Pattern {
-	p := r.Q.Clone()
+	return r.PRInto(pattern.New(r.Q.Symbols()))
+}
+
+// PRInto is PR building into dst (reusing its storage), for hot paths that
+// probe PR per candidate and recycle the scratch pattern. dst must not
+// alias r.Q.
+func (r *Rule) PRInto(dst *pattern.Pattern) *pattern.Pattern {
+	p := r.Q.CloneInto(dst)
 	y := p.Y
 	if y == pattern.NoNode {
 		y = p.AddNodeL(r.Pred.YLabel)

@@ -372,14 +372,22 @@ func acquireBFS(n int) *bfsScratch {
 // Neighborhood returns the set Nr(v) of all nodes within undirected radius r
 // of v, including v itself, in BFS order (Section 2.1, notation (3)).
 func (g *Graph) Neighborhood(v NodeID, r int) []NodeID {
+	return g.AppendNeighborhood(nil, v, r)
+}
+
+// AppendNeighborhood is Neighborhood appending to dst, so callers that
+// compute one neighborhood per candidate (the partitioner does this for
+// every candidate on every mine-context build) can recycle one buffer
+// instead of regrowing a fresh slice each time.
+func (g *Graph) AppendNeighborhood(dst []NodeID, v NodeID, r int) []NodeID {
 	if r < 0 {
-		return nil
+		return dst
 	}
 	s := acquireBFS(g.NumNodes())
 	defer bfsPool.Put(s)
 	s.stamp[v] = s.epoch
 	s.frontier = append(s.frontier, v)
-	order := []NodeID{v}
+	order := append(dst, v)
 	for depth := 0; depth < r && len(s.frontier) > 0; depth++ {
 		s.next = s.next[:0]
 		for _, u := range s.frontier {

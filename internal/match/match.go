@@ -45,6 +45,19 @@ type Options struct {
 	// MaxMatches caps enumeration (0 = unlimited). Existence checks ignore
 	// it.
 	MaxMatches int
+	// Canonical makes the candidate source at each search level the first
+	// (in pattern-edge order) mapped neighbor's CSR range instead of the
+	// smallest one. Range lengths depend on which other nodes a fragment
+	// happens to contain, so the smallest-first heuristic makes the
+	// *enumeration order* of matches fragment-layout-dependent even though
+	// the match set never is. With Canonical set — and data graphs whose
+	// local IDs ascend in a globally consistent order, which
+	// partition.Partition guarantees — anchored enumeration visits matches
+	// in an order that is a pure function of the pattern and the global
+	// node IDs. The mining loop relies on this to make Options.EmbedCap
+	// truncation identical for every fragment layout / worker count.
+	// Existence checks gain nothing from it and keep the faster heuristic.
+	Canonical bool
 }
 
 // phalf is one incident pattern edge seen from a node.
@@ -335,11 +348,13 @@ func (m *Matcher) search(idx int, fn func(asgn []graph.NodeID) bool) bool {
 		} else {
 			r = m.g.OutRangeL(w, h.label)
 		}
-		if skip < 0 || len(r) < len(es) {
+		if len(r) == 0 {
+			return false // some mapped neighbor admits no extension
+		}
+		// Canonical mode anchors on the first mapped half; the default picks
+		// the smallest range. Either way consistent() verifies the rest.
+		if skip < 0 || (!m.opts.Canonical && len(r) < len(es)) {
 			es, skip = r, base+int32(i)
-			if len(r) == 0 {
-				return false // some mapped neighbor admits no extension
-			}
 		}
 	}
 	if skip < 0 {

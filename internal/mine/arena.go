@@ -1,0 +1,167 @@
+package mine
+
+import "gpar/internal/graph"
+
+// This file holds the per-worker round arenas of the mining loop. A BSP
+// round produces thousands of short-lived []graph.NodeID center sets — the
+// four lanes of every <R, conf, flag> message, the per-group union buffers
+// of the assembly shards, and the next round's per-rule center frontiers.
+// All of them share one lifecycle: born inside one phase of a round, read
+// until the matching phase of the next round starts, then dead. A nodeArena
+// exploits that: each lane is a flat recycled backing store, individual
+// sets are offset-length views carved from it, and resetting the lane at
+// its phase boundary reclaims everything at once. After the first round
+// has grown the backing stores, a steady-state round allocates nothing.
+//
+// Ownership discipline (see DESIGN.md, "Arena round lifecycle"):
+//
+//   - message lanes (q, r, qqb, usupp) are reset by localMine at the start
+//     of the generate phase; their views live in messages, which assemble
+//     consumes in the same round;
+//   - the assembly shard arena is reset by asmScratch.merge; its views live
+//     in groups, which assemble consumes before returning — any set that
+//     survives into Σ (Mined.Set, Mined.qCenters) is cloned out;
+//   - the frontier lane is reset by diversifyAndFilter; its views live in
+//     worker.centersFor, which the next round's localMine consumes.
+//
+// No view ever escapes a run: everything reachable from a Result is cloned.
+
+// nodeArena is a recycled flat backing store for node-ID sets. Views are
+// carved with mark/take; reset reclaims the whole store in O(1) while the
+// retained capacity keeps future rounds allocation-free.
+//
+// When noRecycle is set the arena degrades to plain allocation: take copies
+// the region out and rewinds the store, so every returned set is an
+// independent heap slice exactly as the pre-arena implementation produced.
+// This is the arenas-off mode behind Options.DisableArenas; the
+// differential tests pin byte-identical mining results in both modes, so
+// any aliasing or lifetime bug in the arena discipline shows up as a diff.
+type nodeArena struct {
+	buf       []graph.NodeID
+	noRecycle bool
+}
+
+// reset reclaims the whole store, keeping capacity.
+func (a *nodeArena) reset() { a.buf = a.buf[:0] }
+
+// mark returns the current fill point; the caller passes it to take after
+// pushing one set's elements.
+func (a *nodeArena) mark() int { return len(a.buf) }
+
+// push appends one element to the set being built.
+func (a *nodeArena) push(v graph.NodeID) { a.buf = append(a.buf, v) }
+
+// pushAll appends a whole slice to the set being built.
+func (a *nodeArena) pushAll(vs []graph.NodeID) { a.buf = append(a.buf, vs...) }
+
+// take finalizes the set started at mark and returns it. The view is
+// capacity-capped so a later append by a confused caller copies out instead
+// of clobbering the neighboring set. Growth between mark and take may have
+// reallocated the backing store; earlier views then point into the old
+// store, which is correct (they are read-only from birth) — only the
+// capacity is wasted until the next reset.
+func (a *nodeArena) take(mark int) []graph.NodeID {
+	view := a.buf[mark:len(a.buf):len(a.buf)]
+	if a.noRecycle {
+		if len(view) == 0 {
+			a.buf = a.buf[:mark]
+			return nil
+		}
+		out := append([]graph.NodeID(nil), view...)
+		a.buf = a.buf[:mark]
+		return out
+	}
+	if len(view) == 0 {
+		return nil
+	}
+	return view
+}
+
+// takeSortedDedup sorts the set started at mark, removes duplicates in
+// place, rewinds the store to the deduplicated length and returns the set.
+func (a *nodeArena) takeSortedDedup(mark int) []graph.NodeID {
+	region := sortDedup(a.buf[mark:])
+	a.buf = a.buf[:mark+len(region)]
+	return a.take(mark)
+}
+
+// unionInto merges two sorted deduplicated sets into a new set carved from
+// the arena. As an optimization it returns the non-empty input unchanged
+// when the other is empty; inputs are read-only so aliasing is safe.
+func (a *nodeArena) unionInto(x, y []graph.NodeID) []graph.NodeID {
+	if len(y) == 0 {
+		return x
+	}
+	if len(x) == 0 {
+		return y
+	}
+	mark := a.mark()
+	i, j := 0, 0
+	for i < len(x) && j < len(y) {
+		switch {
+		case x[i] == y[j]:
+			a.push(x[i])
+			i++
+			j++
+		case x[i] < y[j]:
+			a.push(x[i])
+			i++
+		default:
+			a.push(y[j])
+			j++
+		}
+	}
+	a.pushAll(x[i:])
+	a.pushAll(y[j:])
+	return a.take(mark)
+}
+
+// roundArenas is one worker's set of recycled lanes. The four message lanes
+// reset together at the start of generate; the frontier lane resets at the
+// start of diversifyAndFilter (by which point the previous round's frontier
+// views have all been consumed by localMine).
+type roundArenas struct {
+	q, r, qqb, usupp nodeArena // message center-set lanes
+	frontier         nodeArena // next-round per-rule center lists
+}
+
+// resetMessages reclaims the four message lanes (start of a generate phase).
+func (ar *roundArenas) resetMessages() {
+	ar.q.reset()
+	ar.r.reset()
+	ar.qqb.reset()
+	ar.usupp.reset()
+}
+
+// setMode flips every lane between recycling and plain-allocation mode.
+func (ar *roundArenas) setMode(noRecycle bool) {
+	ar.q.noRecycle = noRecycle
+	ar.r.noRecycle = noRecycle
+	ar.qqb.noRecycle = noRecycle
+	ar.usupp.noRecycle = noRecycle
+	ar.frontier.noRecycle = noRecycle
+}
+
+// Gate bounds how many mining worker goroutines execute simultaneously
+// across any number of runs sharing it. Fragment count N fixes the mining
+// *results* (and is part of the context identity); the gate fixes only how
+// much CPU those N workers may occupy at once, so a server can cap all
+// mine jobs collectively to a share of GOMAXPROCS while identify traffic
+// keeps the rest. A nil *Gate means unbounded (one goroutine per worker).
+type Gate struct {
+	sem chan struct{}
+}
+
+// NewGate returns a gate admitting at most n concurrent workers (minimum 1).
+func NewGate(n int) *Gate {
+	if n < 1 {
+		n = 1
+	}
+	return &Gate{sem: make(chan struct{}, n)}
+}
+
+// Size reports the concurrency bound.
+func (g *Gate) Size() int { return cap(g.sem) }
+
+func (g *Gate) acquire() { g.sem <- struct{}{} }
+func (g *Gate) release() { <-g.sem }

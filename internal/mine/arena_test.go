@@ -1,0 +1,111 @@
+package mine
+
+import (
+	"testing"
+
+	"gpar/internal/gen"
+	"gpar/internal/graph"
+)
+
+// arenaFixture is the differential workload for the arena on/off tests: a
+// seeded Pokec-like graph with enough structure that every arena lane (all
+// four message lanes, assembly unions, frontier lists) carries real data
+// over multiple rounds.
+func arenaFixture(t testing.TB) (*graph.Graph, []Options) {
+	t.Helper()
+	syms := graph.NewSymbols()
+	g := gen.Pokec(syms, gen.DefaultPokec(250, 11))
+	base := Options{
+		K: 6, Sigma: 2, D: 2, Lambda: 0.5,
+		MaxEdges: 2, EmbedCap: 1 << 20,
+	}.WithOptimizations()
+	var opts []Options
+	for _, n := range []int{1, 2, 3, 8} {
+		o := base
+		o.N = n
+		opts = append(opts, o)
+	}
+	return g, opts
+}
+
+// TestDMineArenasOnOffIdentity is the differential half of the arena
+// rewrite's contract: with Options.DisableArenas every center set is a
+// fresh heap slice (the pre-arena behavior), so any aliasing or premature
+// reset in the recycled lanes shows up as a result diff. Byte-identity must
+// hold for every worker count.
+func TestDMineArenasOnOffIdentity(t *testing.T) {
+	g, optsList := arenaFixture(t)
+	pred := gen.PokecPredicates(g.Symbols())[0]
+	for _, on := range optsList {
+		off := on
+		off.DisableArenas = true
+		want := fingerprint(DMine(g, pred, off))
+		got := fingerprint(DMine(g, pred, on))
+		if got != want {
+			t.Fatalf("N=%d: arena result differs from arenas-off:\n--- arenas off ---\n%s--- arenas on ---\n%s",
+				on.N, want, got)
+		}
+	}
+}
+
+// TestDMineMultiArenasOnOffIdentity extends the differential to DMineMulti:
+// the shared accumulator reuses one worker set (arenas and all) across
+// predicates, which is exactly the lifetime the recycling discipline must
+// survive.
+func TestDMineMultiArenasOnOffIdentity(t *testing.T) {
+	g, optsList := arenaFixture(t)
+	preds := gen.PokecPredicates(g.Symbols())
+	on := optsList[1] // N=2: sharded assembly and real message traffic
+	off := on
+	off.DisableArenas = true
+	wants := DMineMulti(g, preds, off)
+	gots := DMineMulti(g, preds, on)
+	if len(wants) != len(gots) {
+		t.Fatalf("result count differs: %d vs %d", len(wants), len(gots))
+	}
+	for i := range wants {
+		if w, g := fingerprint(wants[i].Result), fingerprint(gots[i].Result); w != g {
+			t.Fatalf("predicate %d: arena result differs from arenas-off:\n--- off ---\n%s--- on ---\n%s",
+				i, w, g)
+		}
+	}
+}
+
+// TestEmbedCapDeterministicAcrossWorkerCounts pins the EmbedCap-
+// independence contract: embeddings are enumerated in a canonical global-ID
+// order (match.Options.Canonical over partition's sorted fragment node
+// order), so even a cap of 1 embedding per center — which aggressively
+// truncates discovery — must see the same embeddings, and produce the same
+// result, on every fragment layout.
+func TestEmbedCapDeterministicAcrossWorkerCounts(t *testing.T) {
+	syms := graph.NewSymbols()
+	g := gen.Pokec(syms, gen.DefaultPokec(300, 5))
+	pred := gen.PokecPredicates(syms)[0]
+	base := Options{
+		K: 6, Sigma: 3, D: 2, Lambda: 0.5, MaxEdges: 2, EmbedCap: 1,
+	}.WithOptimizations()
+
+	// Evidence the cap actually bites on this workload: uncapped mining
+	// must see strictly more candidates. Without this the test would pass
+	// vacuously.
+	uncapped := base
+	uncapped.EmbedCap = 1 << 20
+	uncapped.N = 1
+	first := base
+	first.N = 1
+	capRes := DMine(g, pred, first)
+	if full := DMine(g, pred, uncapped); full.Generated <= capRes.Generated {
+		t.Fatalf("EmbedCap=1 did not truncate discovery (capped %d vs uncapped %d candidates)",
+			capRes.Generated, full.Generated)
+	}
+
+	want := fingerprint(capRes)
+	for _, n := range []int{2, 8} {
+		o := base
+		o.N = n
+		if got := fingerprint(DMine(g, pred, o)); got != want {
+			t.Fatalf("EmbedCap=1, N=%d differs from N=1:\n--- N=1 ---\n%s--- N=%d ---\n%s",
+				n, want, n, got)
+		}
+	}
+}

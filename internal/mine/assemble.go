@@ -1,22 +1,26 @@
 package mine
 
 import (
+	"cmp"
 	"slices"
-	"sort"
 	"sync"
 
 	"gpar/internal/bisim"
 	"gpar/internal/core"
 	"gpar/internal/diversify"
 	"gpar/internal/graph"
+	"gpar/internal/pattern"
 )
 
 // group accumulates the cross-worker evidence of one candidate rule. The
-// sets are sorted deduplicated global node IDs, built once at shard-merge
-// time — no per-group hash sets.
+// sets are sorted deduplicated global node IDs carved from the owning
+// shard's arena; rule points at the shard's pooled materialization. A group
+// lives exactly one assemble call — anything that survives into Σ is cloned
+// out in step 3.
 type group struct {
 	key    groupKey
 	rule   *core.Rule
+	msgIdx []int32        // message indices contributing to this group
 	q      []graph.NodeID // Q(x,·) over owned frontier centers
 	r      []graph.NodeID // PR(x,·)
 	qqb    []graph.NodeID // Q(x,·) ∩ q̄
@@ -24,6 +28,24 @@ type group struct {
 	flag   bool
 	sum    bisim.Summary // Lemma 4 summary (nil when the prefilter is off)
 	bucket bucketID      // interned at the reduce; 0 when prefilter is off
+}
+
+// asmScratch is one assembly shard's recycled state: the per-round group
+// map and list, a pool of retired group structs, pooled rule
+// materializations (pattern storage reused round over round), the arena
+// backing every group's four union lanes, the flat buffer bisimulation
+// summaries are appended to, and the scratch pattern PR summaries are built
+// from. Shard s is owned by worker s, so the memory survives exactly as
+// long as the worker does — including across the runs of a Shared
+// accumulator and across the jobs of a serving worker-set pool.
+type asmScratch struct {
+	gm        map[groupKey]*group
+	order     []*group
+	pool      []*group
+	rules     []*core.Rule
+	arena     nodeArena
+	sums      []uint64
+	prScratch *pattern.Pattern
 }
 
 // assemble is the coordinator's barrier-synchronization phase (lines 4-7 of
@@ -35,9 +57,10 @@ type group struct {
 // summaries are computed in parallel shards; steps 2-4 run as one
 // deterministic sequential reduce over the shard results, re-sorted by
 // group key — so the output is byte-identical for any worker count.
-func (m *miner) assemble(msgs []message) []*Mined {
-	order := m.mergeShards(msgs)
+func (m *miner) assemble(frontier []*Mined, msgs []message) []*Mined {
+	order := m.mergeShards(frontier, msgs)
 	m.res.Generated += len(order)
+	m.mergeArena.reset()
 
 	// Step 2: group automorphic GPARs across generation paths and against
 	// rules already in Σ, bucketing by bisimulation summary first (Lemma 4).
@@ -57,10 +80,10 @@ func (m *miner) assemble(msgs []message) []*Mined {
 			m.res.IsoChecks++
 			if gr.rule.Q.IsomorphicTo(other.rule.Q) {
 				// Same rule: merge evidence into the representative.
-				other.q = unionSorted(other.q, gr.q)
-				other.r = unionSorted(other.r, gr.r)
-				other.qqb = unionSorted(other.qqb, gr.qqb)
-				other.usupp = unionSorted(other.usupp, gr.usupp)
+				other.q = m.mergeArena.unionInto(other.q, gr.q)
+				other.r = m.mergeArena.unionInto(other.r, gr.r)
+				other.qqb = m.mergeArena.unionInto(other.qqb, gr.qqb)
+				other.usupp = m.mergeArena.unionInto(other.usupp, gr.usupp)
 				other.flag = other.flag || gr.flag
 				dup = true
 				break
@@ -77,7 +100,9 @@ func (m *miner) assemble(msgs []message) []*Mined {
 		uniq = append(uniq, gr)
 	}
 
-	// Step 3: graph-wide stats, σ and triviality filters.
+	// Step 3: graph-wide stats, σ and triviality filters. Survivors escape
+	// the round (into Σ and ultimately the Result), so their rule and sets
+	// are cloned out of the round-recycled storage here.
 	var deltaE []*Mined
 	for _, gr := range uniq {
 		stats := core.Stats{
@@ -95,31 +120,32 @@ func (m *miner) assemble(msgs []message) []*Mined {
 			continue
 		}
 		id := m.newRuleID()
+		set := slices.Clone(gr.r)
 		mined := &Mined{
-			Rule:  gr.rule,
+			Rule:  &core.Rule{Q: gr.rule.Q.Clone(), Pred: gr.rule.Pred},
 			Stats: stats,
 			Conf:  stats.Conf(),
-			Set:   gr.r,
+			Set:   set,
 			id:    id,
-			bits:  diversify.MakeBits(gr.r),
+			bits:  diversify.MakeBits(set),
 		}
 		// Uconf+(R) = Σ Usupp_i(R,Fi) · supp(q̄,G) / supp(q,G) (Lemma 3).
 		if gr.flag {
 			m.uconf[id] = float64(len(gr.usupp)) * float64(m.suppQbr) / float64(m.suppQ1)
 		}
 		mined.extendable = gr.flag
-		mined.qCenters = gr.q
+		mined.qCenters = slices.Clone(gr.q)
 		deltaE = append(deltaE, mined)
 		m.registerBucket(gr.bucket, id)
 	}
 
 	// Step 4: optional per-round cap, keeping the highest-support rules.
 	if limit := m.opts.MaxCandidatesPerRound; limit > 0 && len(deltaE) > limit {
-		sort.SliceStable(deltaE, func(i, j int) bool {
-			if deltaE[i].Stats.SuppR != deltaE[j].Stats.SuppR {
-				return deltaE[i].Stats.SuppR > deltaE[j].Stats.SuppR
+		slices.SortStableFunc(deltaE, func(a, b *Mined) int {
+			if a.Stats.SuppR != b.Stats.SuppR {
+				return cmp.Compare(b.Stats.SuppR, a.Stats.SuppR)
 			}
-			return deltaE[i].id < deltaE[j].id
+			return cmp.Compare(a.id, b.id)
 		})
 		deltaE = deltaE[:limit]
 	}
@@ -133,67 +159,171 @@ func (m *miner) assemble(msgs []message) []*Mined {
 // mergeShards is assemble's parallel phase: messages are sharded by group
 // key hash, each shard merges its messages by (parent, extension) — the
 // same rule produced at different workers, so the sets union directly —
-// and summarizes its groups for the Lemma 4 prefilter. The concatenated
-// result is sorted by group key, which erases both the shard assignment
-// and the shard count from everything downstream.
-func (m *miner) mergeShards(msgs []message) []*group {
+// materializes one rule per group (the workers only ship (parent, ext)
+// plus center sets; scratch patterns never cross the wire), and summarizes
+// its groups for the Lemma 4 prefilter. The concatenated result is sorted
+// by group key, which erases both the shard assignment and the shard count
+// from everything downstream.
+func (m *miner) mergeShards(frontier []*Mined, msgs []message) []*group {
 	if len(msgs) == 0 {
 		return nil
 	}
+	// Frontier lookup for materializing group rules at the reduce side.
+	if m.parents == nil {
+		m.parents = make(map[ruleID]*Mined, len(frontier))
+	}
+	clear(m.parents)
+	for _, p := range frontier {
+		m.parents[p.id] = p
+	}
+
 	nsh := len(m.workers)
 	if nsh > len(msgs) {
 		nsh = len(msgs)
 	}
-	shardMsgs := make([][]int32, nsh)
+	if cap(m.shardIdx) < nsh {
+		m.shardIdx = make([][]int32, nsh)
+	}
+	shardMsgs := m.shardIdx[:nsh]
+	for s := range shardMsgs {
+		shardMsgs[s] = shardMsgs[s][:0]
+	}
 	for i := range msgs {
 		s := int(groupKey{msgs[i].parent, msgs[i].ext}.hash() % uint32(nsh))
 		shardMsgs[s] = append(shardMsgs[s], int32(i))
 	}
-	shardGroups := make([][]*group, nsh)
 	var wg sync.WaitGroup
+	gate := m.opts.Gate
 	for s := 0; s < nsh; s++ {
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
-			gm := make(map[groupKey]*group)
-			var order []*group
-			for _, i := range shardMsgs[s] {
-				msg := &msgs[i]
-				k := groupKey{msg.parent, msg.ext}
-				gr := gm[k]
-				if gr == nil {
-					// Any message's rule serves as the materialization:
-					// all of them are parent.Q ⊕ ext, built identically.
-					gr = &group{key: k, rule: msg.rule}
-					gm[k] = gr
-					order = append(order, gr)
-				}
-				gr.q = append(gr.q, msg.qCenters...)
-				gr.r = append(gr.r, msg.rSet...)
-				gr.qqb = append(gr.qqb, msg.qqbCenters...)
-				gr.usupp = append(gr.usupp, msg.usuppCenters...)
-				gr.flag = gr.flag || msg.flag
+			if gate != nil {
+				gate.acquire()
+				defer gate.release()
 			}
-			for _, gr := range order {
-				gr.q = sortDedup(gr.q)
-				gr.r = sortDedup(gr.r)
-				gr.qqb = sortDedup(gr.qqb)
-				gr.usupp = sortDedup(gr.usupp)
-				if m.opts.BisimFilter {
-					rule := gr.rule
-					gr.sum = m.bisims.SummaryOf(rule.Q.Signature(), rule.PR)
-				}
-			}
-			shardGroups[s] = order
+			m.workers[s].asm.merge(m, msgs, shardMsgs[s])
 		}(s)
 	}
 	wg.Wait()
-	var all []*group
-	for _, sg := range shardGroups {
-		all = append(all, sg...)
+	all := m.allGroups[:0]
+	for s := 0; s < nsh; s++ {
+		all = append(all, m.workers[s].asm.order...)
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i].key.less(all[j].key) })
+	slices.SortFunc(all, func(a, b *group) int { return a.key.compare(b.key) })
+	m.allGroups = all
 	return all
+}
+
+// merge builds one shard's groups: pass 1 buckets message indices by group
+// key; pass 2 materializes each group's rule, builds its four union lanes
+// contiguously in the shard arena, and appends its bisimulation summary to
+// the shard's summary buffer. Everything is recycled from the previous
+// round — in steady state the only allocations are map growth on
+// first-seen group keys.
+func (s *asmScratch) merge(m *miner, msgs []message, idx []int32) {
+	s.pool = append(s.pool, s.order...)
+	s.order = s.order[:0]
+	s.arena.reset()
+	s.sums = s.sums[:0]
+	if s.gm == nil {
+		s.gm = make(map[groupKey]*group)
+	}
+	clear(s.gm)
+
+	for _, i := range idx {
+		msg := &msgs[i]
+		k := groupKey{msg.parent, msg.ext}
+		gr := s.gm[k]
+		if gr == nil {
+			gr = s.newGroup(k)
+		}
+		gr.msgIdx = append(gr.msgIdx, i)
+		gr.flag = gr.flag || msg.flag
+	}
+
+	noRecycle := m.opts.DisableArenas
+	for gi, gr := range s.order {
+		gr.rule = s.materialize(m, gr.key, gi, noRecycle)
+		gr.q = s.lane(msgs, gr.msgIdx, msgQ)
+		gr.r = s.lane(msgs, gr.msgIdx, msgR)
+		gr.qqb = s.lane(msgs, gr.msgIdx, msgQqb)
+		gr.usupp = s.lane(msgs, gr.msgIdx, msgUsupp)
+		if m.opts.BisimFilter {
+			if noRecycle {
+				gr.sum = bisim.Summarize(gr.rule.PR())
+			} else {
+				if s.prScratch == nil {
+					s.prScratch = pattern.New(gr.rule.Q.Symbols())
+				}
+				pr := gr.rule.PRInto(s.prScratch)
+				mark := len(s.sums)
+				s.sums = bisim.AppendSummary(s.sums, pr)
+				gr.sum = bisim.Summary(s.sums[mark:len(s.sums):len(s.sums)])
+			}
+		}
+	}
+}
+
+// Message lane selectors, named (not closures) so lane calls don't allocate.
+func msgQ(msg *message) []graph.NodeID     { return msg.qCenters }
+func msgR(msg *message) []graph.NodeID     { return msg.rSet }
+func msgQqb(msg *message) []graph.NodeID   { return msg.qqbCenters }
+func msgUsupp(msg *message) []graph.NodeID { return msg.usuppCenters }
+
+// lane builds one group's sorted deduplicated union of one message field,
+// carved contiguously from the shard arena.
+func (s *asmScratch) lane(msgs []message, idx []int32, get func(*message) []graph.NodeID) []graph.NodeID {
+	mark := s.arena.mark()
+	for _, i := range idx {
+		s.arena.pushAll(get(&msgs[i]))
+	}
+	return s.arena.takeSortedDedup(mark)
+}
+
+// newGroup takes a group from the pool (or allocates one), resets it and
+// registers it under the key.
+func (s *asmScratch) newGroup(k groupKey) *group {
+	var gr *group
+	if n := len(s.pool); n > 0 {
+		gr = s.pool[n-1]
+		s.pool = s.pool[:n-1]
+	} else {
+		gr = &group{}
+	}
+	*gr = group{key: k, msgIdx: gr.msgIdx[:0]}
+	s.gm[k] = gr
+	s.order = append(s.order, gr)
+	return gr
+}
+
+// materialize produces the group's candidate rule, parent.Q ⊕ ext. Workers
+// only emit messages for extensions they successfully applied, and Apply is
+// deterministic, so the application cannot fail here. With arenas on, the
+// pattern storage is pooled per shard ordinal and recycled every round;
+// survivors are cloned out of it in assemble's step 3.
+func (s *asmScratch) materialize(m *miner, k groupKey, gi int, noRecycle bool) *core.Rule {
+	parent := m.parents[k.parent]
+	if parent == nil {
+		panic("mine: assembled message references a rule outside the frontier")
+	}
+	if noRecycle {
+		q := parent.Rule.Q.Apply(k.ext)
+		if q == nil {
+			panic("mine: extension inapplicable at assembly")
+		}
+		return &core.Rule{Q: q, Pred: parent.Rule.Pred}
+	}
+	for len(s.rules) <= gi {
+		s.rules = append(s.rules, &core.Rule{Q: pattern.New(parent.Rule.Q.Symbols())})
+	}
+	r := s.rules[gi]
+	q := parent.Rule.Q.ApplyInto(r.Q, k.ext)
+	if q == nil {
+		panic("mine: extension inapplicable at assembly")
+	}
+	r.Q, r.Pred = q, parent.Rule.Pred
+	return r
 }
 
 // bisimSkipped accounts for the pairwise comparisons the prefilter avoided.
@@ -246,7 +376,9 @@ func (m *miner) registerBucket(bucket bucketID, id ruleID) {
 
 // diversifyAndFilter is lines 8-11 of Fig. 4: update the top-k structure,
 // apply the Lemma 3 reduction rules, pick the rules to extend next round,
-// and hand each worker its refreshed center frontier.
+// and hand each worker its refreshed center frontier (carved from the
+// worker's frontier lane, whose previous round's views localMine has
+// already consumed).
 func (m *miner) diversifyAndFilter(deltaE []*Mined, round int) []*Mined {
 	if m.opts.Incremental {
 		m.queue.Update(entriesOf(deltaE), m.allEntries())
@@ -270,16 +402,20 @@ func (m *miner) diversifyAndFilter(deltaE []*Mined, round int) []*Mined {
 		}
 		frontier = append(frontier, mined)
 	}
-	// Hand the frontier's Q-match centers back to the workers.
+	// Hand the frontier's Q-match centers back to the workers. Entries for
+	// retired rules are dropped: they would otherwise alias the recycled
+	// lane (and pin the map forever).
 	m.parallel(func(w *worker) {
+		clear(w.centersFor)
+		w.ar.frontier.reset()
 		for _, mined := range frontier {
-			var locals []graph.NodeID
+			mark := w.ar.frontier.mark()
 			for _, gv := range mined.qCenters {
 				if lv, ok := w.frag.Local(gv); ok && w.ownsCenter(lv) {
-					locals = append(locals, lv)
+					w.ar.frontier.push(lv)
 				}
 			}
-			w.centersFor[mined.id] = locals
+			w.centersFor[mined.id] = w.ar.frontier.take(mark)
 		}
 	})
 	return frontier
@@ -367,35 +503,5 @@ func sortDedup(s []graph.NodeID) []graph.NodeID {
 			out = append(out, v)
 		}
 	}
-	return out
-}
-
-// unionSorted merges two sorted deduplicated slices into a new sorted
-// deduplicated slice.
-func unionSorted(a, b []graph.NodeID) []graph.NodeID {
-	if len(b) == 0 {
-		return a
-	}
-	if len(a) == 0 {
-		return append([]graph.NodeID(nil), b...)
-	}
-	out := make([]graph.NodeID, 0, len(a)+len(b))
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] == b[j]:
-			out = append(out, a[i])
-			i++
-			j++
-		case a[i] < b[j]:
-			out = append(out, a[i])
-			i++
-		default:
-			out = append(out, b[j])
-			j++
-		}
-	}
-	out = append(out, a[i:]...)
-	out = append(out, b[j:]...)
 	return out
 }

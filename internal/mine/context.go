@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"slices"
 
-	"gpar/internal/bisim"
 	"gpar/internal/core"
 	"gpar/internal/graph"
 	"gpar/internal/partition"
@@ -31,6 +30,10 @@ type Context struct {
 	d, n   int
 	cands  []graph.NodeID
 	frags  []*partition.Fragment
+	// borrowed marks a context built over caller-owned fragments
+	// (ContextFromFragments) rather than a fresh partition — the serving
+	// layer surfaces it as the "fragment reuse" bit of a mine job.
+	borrowed bool
 }
 
 // NewContext builds the mining preamble for x-label candidates on g with
@@ -48,6 +51,33 @@ func NewContext(g *graph.Graph, xLabel graph.Label, opts Options) *Context {
 	}
 	return &Context{g: g, xLabel: xLabel, d: opts.D, n: opts.N, cands: cands, frags: frags}
 }
+
+// ContextFromFragments builds a Context over fragments the caller already
+// owns — the zero-partition, zero-Freeze path of "mine once, match many":
+// when a serving snapshot's partition layout coincides with a mine job's
+// (xLabel, d, n), the snapshot's frozen fragments serve both and the whole
+// mining preamble disappears.
+//
+// The caller guarantees the sharing invariant: frags must be exactly what
+// partition.Partition(g, g.NodesWithLabel(xLabel), n, d) would return for
+// the frozen g — same fragment count, same owned-center assignment, same
+// canonical node order — and every fragment graph must already be frozen.
+// partition.Partition is deterministic, so any fragments produced from the
+// same (g, xLabel, n, d) satisfy this by construction; the differential
+// tests in internal/serve pin byte-identical mining results against a
+// freshly partitioned context.
+func ContextFromFragments(g *graph.Graph, xLabel graph.Label, d, n int, frags []*partition.Fragment) *Context {
+	if len(frags) != n {
+		panic(fmt.Sprintf("mine: ContextFromFragments got %d fragments for n=%d", len(frags), n))
+	}
+	g.Freeze()
+	cands := g.NodesWithLabel(xLabel)
+	return &Context{g: g, xLabel: xLabel, d: d, n: n, cands: cands, frags: frags, borrowed: true}
+}
+
+// Borrowed reports whether the context shares caller-owned fragments
+// (ContextFromFragments) instead of a private partition.
+func (c *Context) Borrowed() bool { return c.borrowed }
 
 // Graph returns the (frozen) data graph the context was built over.
 func (c *Context) Graph() *graph.Graph { return c.g }
@@ -94,19 +124,19 @@ func DMineCtx(ctx *Context, pred core.Predicate, opts Options) *Result {
 // Shared is the cross-predicate accumulator of DMineMulti: everything that
 // is a pure function of the graph and the fragment layout — the worker
 // goroutine states with their memoized extendability probes (distCache),
-// owned-center sets, epoch-stamped discovery scratch and extension intern
-// tables, the pre-sorted seed frontiers, and the bisimulation-bucket
-// interner — survives from one predicate's run to the next instead of
-// being rebuilt per predicate. Bisimulation summaries are cached per
-// predicate (a rule's PR embeds the consequent edge, so summaries are not
-// predicate-independent).
+// owned-center sets, epoch-stamped discovery scratch, extension intern
+// tables and round arenas, the pre-sorted seed frontiers, and the
+// bisimulation-bucket interner — survives from one predicate's run to the
+// next instead of being rebuilt per predicate. The serving layer also pools
+// Shared values across mine jobs, so a steady stream of jobs over one
+// snapshot reuses the same grown arenas round after round.
 //
 // Sharing is determinism-safe: every retained structure is either a memo
-// of a pure function (distCache, bisim summaries) or an interning table
-// whose concrete IDs never influence results (bucket IDs only group equal
-// summaries; extension-overflow codes only key accumulators that are
-// re-sorted by the extension's total order). The differential tests pin
-// byte-identity against fresh runs.
+// of a pure function (distCache) or an interning table whose concrete IDs
+// never influence results (bucket IDs only group equal summaries;
+// extension-overflow codes only key accumulators that are re-sorted by the
+// extension's total order), and the arenas are reset at their phase
+// boundaries. The differential tests pin byte-identity against fresh runs.
 //
 // A Shared belongs to one mining job at a time: unlike Context it is
 // mutable and must not be used by concurrent runs. Concurrent jobs share
@@ -116,12 +146,11 @@ type Shared struct {
 	workers []*worker
 	seeds   [][]graph.NodeID // per-worker owned centers, sorted once: every run's seed frontier
 	buckets bucketInterner
-	bisims  map[core.Predicate]*bisim.Cache
 }
 
 // NewShared returns an empty accumulator over ctx.
 func NewShared(ctx *Context) *Shared {
-	return &Shared{ctx: ctx, bisims: make(map[core.Predicate]*bisim.Cache)}
+	return &Shared{ctx: ctx}
 }
 
 // Context returns the context the accumulator mines over.
@@ -136,16 +165,6 @@ func (sh *Shared) DMine(pred core.Predicate, opts Options) *Result {
 	}
 	m := newMiner(sh.ctx, pred, opts, sh)
 	return m.run()
-}
-
-// bisimsFor returns the predicate's summary cache, creating it on first use.
-func (sh *Shared) bisimsFor(pred core.Predicate) *bisim.Cache {
-	c := sh.bisims[pred]
-	if c == nil {
-		c = bisim.NewCache()
-		sh.bisims[pred] = c
-	}
-	return c
 }
 
 // attachWorkers returns the per-fragment workers, creating them on first

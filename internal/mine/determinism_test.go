@@ -31,8 +31,9 @@ func fingerprint(res *Result) string {
 // TestDMineDeterministicAcrossWorkerCounts is the safety net for the
 // sharded-assembly refactor: on fixed seeds, DMine must return byte-
 // identical results — keys, stats, sets, rounds — for any worker count.
-// EmbedCap is raised beyond every center's embedding count because cap
-// truncation is fragment-layout-dependent by design (see Options.EmbedCap).
+// EmbedCap is raised beyond every center's embedding count so this test
+// isolates the assembly path; TestEmbedCapDeterministicAcrossWorkerCounts
+// covers the truncating case.
 func TestDMineDeterministicAcrossWorkerCounts(t *testing.T) {
 	for _, wl := range []struct {
 		name  string

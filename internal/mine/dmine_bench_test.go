@@ -52,6 +52,30 @@ func BenchmarkDMineNo(b *testing.B) {
 	}
 }
 
+// BenchmarkLocalMineRound measures one steady-state generate superstep —
+// the arena-backed message lifecycle of the mining loop — over a prebuilt
+// context: every worker extends the seed frontier, verifies local supports
+// on recycled scratch and emits its messages into recycled round arenas.
+// Near-zero allocs/op is the acceptance criterion of the arena rewrite
+// (the residue is the superstep's goroutine fan-out).
+func BenchmarkLocalMineRound(b *testing.B) {
+	g, pred, opts := dmineBenchInput()
+	opts = opts.Defaults()
+	g.Freeze()
+	m := newMiner(NewContext(g, pred.XLabel, opts), pred, opts, nil)
+	frontier := m.prepare()
+	if frontier == nil {
+		b.Fatal("trivial workload")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if msgs := m.generate(frontier); len(msgs) == 0 {
+			b.Fatal("no messages generated")
+		}
+	}
+}
+
 // BenchmarkDiscoverExtensions isolates the extension-discovery hot loop of
 // localMine: enumerate embeddings around every owned center and accumulate
 // the distinct single-edge extensions with their supporting centers.

@@ -2,7 +2,6 @@ package mine
 
 import (
 	"slices"
-	"sort"
 
 	"gpar/internal/core"
 	"gpar/internal/graph"
@@ -20,14 +19,14 @@ import (
 // the sharded assembly re-establishes a global deterministic group order in
 // its reduce.
 func (m *miner) generate(frontier []*Mined) []message {
-	results := make([][]message, len(m.workers))
 	m.parallel(func(w *worker) {
-		results[w.id] = w.localMine(m, frontier)
+		w.localMine(m, frontier)
 	})
-	var msgs []message
-	for _, r := range results {
-		msgs = append(msgs, r...)
+	msgs := m.msgBuf[:0]
+	for _, w := range m.workers {
+		msgs = append(msgs, w.msgs...)
 	}
+	m.msgBuf = msgs
 	return msgs
 }
 
@@ -43,9 +42,17 @@ type extAcc struct {
 }
 
 // localMine extends every frontier rule at this worker and verifies local
-// support. The returned messages use global node IDs.
-func (w *worker) localMine(m *miner, frontier []*Mined) []message {
-	var out []message
+// support, leaving the round's messages in w.msgs (global node IDs, views
+// into the worker's message lanes). Candidate rules are materialized into
+// per-worker scratch patterns — only the coordinator materializes one
+// heap rule per distinct candidate, at assembly.
+func (w *worker) localMine(m *miner, frontier []*Mined) {
+	out := w.msgs[:0]
+	w.ar.resetMessages()
+	if w.qScratch == nil {
+		w.qScratch = pattern.New(m.g.Symbols())
+		w.prScratch = pattern.New(m.g.Symbols())
+	}
 	opts := match.Options{}
 	for _, parent := range frontier {
 		centers := w.centersFor[parent.id]
@@ -57,52 +64,94 @@ func (w *worker) localMine(m *miner, frontier []*Mined) []message {
 		slices.Sort(centers)
 		accs := w.discoverExtensions(m, parent, centers, opts)
 		for _, acc := range accs {
-			child := &core.Rule{Q: parent.Rule.Q.Apply(acc.ext), Pred: parent.Rule.Pred}
-			if child.Q == nil {
+			// Materialize the candidate into recycled scratch (fresh heap
+			// copies under DisableArenas); the scratch is dead once the
+			// matcher below releases.
+			var q, pr *pattern.Pattern
+			if w.noRecycle {
+				q = parent.Rule.Q.Apply(acc.ext)
+			} else {
+				q = parent.Rule.Q.ApplyInto(w.qScratch, acc.ext)
+			}
+			if q == nil {
 				continue
 			}
-			// PR is cloned once and reused for the admissibility check, the
-			// radius and the matcher (it used to be built three times).
-			pr := child.PR()
-			if !admissible(m.pred, child.Q, pr, m.opts.D) {
+			child := core.Rule{Q: q, Pred: parent.Rule.Pred}
+			if w.noRecycle {
+				pr = child.PR()
+			} else {
+				pr = child.PRInto(w.prScratch)
+			}
+			// Admissibility: q(x,y) ∉ Q and the radius bound r(PR, x) ≤ d.
+			if q.Y != pattern.NoNode && q.HasEdge(q.X, q.Y, m.pred.EdgeLabel) {
 				continue
 			}
-			msg := message{
-				worker: w.id,
-				parent: parent.id,
-				ext:    acc.ext,
-				rule:   child,
-				// Every supporting center lands in qCenters, so its
-				// capacity is exact; the three subset slices stay nil and
-				// grow on demand (presizing them to the upper bound would
-				// triple the memory pinned until the round's assembly).
-				qCenters: make([]graph.NodeID, 0, len(acc.centers)),
+			w.distBuf = pr.DistancesInto(w.distBuf, pr.X)
+			if rad := radiusFrom(w.distBuf); rad < 0 || rad > m.opts.D {
+				continue
 			}
+			w.distBuf = q.DistancesInto(w.distBuf, q.X)
+			radius := radiusFrom(w.distBuf)
+
+			msg := message{worker: w.id, parent: parent.id, ext: acc.ext}
+			mq, mr, mqb, mu := w.ar.q.mark(), w.ar.r.mark(), w.ar.qqb.mark(), w.ar.usupp.mark()
 			// One pooled matcher per child rule, reused across all centers.
 			prm := match.NewMatcher(pr, w.frag.G, opts)
-			radius := child.Q.RadiusAt(child.Q.X)
 			for _, c := range acc.centers {
-				msg.qCenters = append(msg.qCenters, w.frag.Global(c))
+				gv := w.frag.Global(c)
+				w.ar.q.push(gv)
 				if w.pqbar[c] {
-					msg.qqbCenters = append(msg.qqbCenters, w.frag.Global(c))
+					w.ar.qqb.push(gv)
 				}
 				if w.pq[c] {
 					w.ops++
 					if prm.HasMatchAt(c) {
-						msg.rSet = append(msg.rSet, w.frag.Global(c))
+						w.ar.r.push(gv)
 						// Usupp_i: PR matches that still have room to grow.
-						if w.hasNodeAtDistance(w.frag.Global(c), radius+1) {
-							msg.usuppCenters = append(msg.usuppCenters, w.frag.Global(c))
+						if w.hasNodeAtDistance(gv, radius+1) {
+							w.ar.usupp.push(gv)
 						}
 					}
 				}
 			}
 			prm.Release()
+			msg.qCenters = w.ar.q.take(mq)
+			msg.rSet = w.ar.r.take(mr)
+			msg.qqbCenters = w.ar.qqb.take(mqb)
+			msg.usuppCenters = w.ar.usupp.take(mu)
 			msg.flag = len(msg.qCenters) > 0
 			out = append(out, msg)
 		}
 	}
-	return out
+	w.msgs = out
+}
+
+// admissible applies the structural constraints a candidate must meet
+// before being sent to the coordinator: the radius bound r(PR,x) ≤ d and
+// "q(x,y) does not appear in Q". localMine inlines the same checks on its
+// recycled distance buffer; this standalone form serves callers without
+// scratch.
+func admissible(pred core.Predicate, q, pr *pattern.Pattern, d int) bool {
+	if q.Y != pattern.NoNode && q.HasEdge(q.X, q.Y, pred.EdgeLabel) {
+		return false
+	}
+	rad := pr.RadiusAt(pr.X)
+	return rad >= 0 && rad <= d
+}
+
+// radiusFrom reduces a DistancesInto result to the pattern radius, with the
+// RadiusAt convention: -1 when some node is unreachable.
+func radiusFrom(dist []int) int {
+	r := 0
+	for _, d := range dist {
+		if d < 0 {
+			return -1
+		}
+		if d > r {
+			r = d
+		}
+	}
+	return r
 }
 
 // discoverExtensions enumerates, for each owned center still matching the
@@ -110,13 +159,16 @@ func (w *worker) localMine(m *miner, frontier []*Mined) []message {
 // edges around its embeddings ("expand Q by including a new edge", Section
 // 4.2). Injectivity and the radius bound are respected; the supporting
 // centers of each extension are collected exactly (up to EmbedCap embeddings
-// per center).
+// per center). Embeddings are enumerated canonically (match.Options.
+// Canonical over the fragment's globally sorted node order), so EmbedCap
+// truncation sees the same embeddings on every fragment layout.
 //
 // The returned accumulators are sorted by Extension.Compare and owned by
 // the worker: they are recycled on the next call.
 func (w *worker) discoverExtensions(m *miner, parent *Mined, centers []graph.NodeID, opts match.Options) []*extAcc {
 	q := parent.Rule.Q
-	distX := q.DistancesFrom(q.X)
+	w.distXBuf = q.DistancesInto(w.distXBuf, q.X)
+	distX := w.distXBuf
 	w.resetAccs()
 	if n := w.frag.G.NumNodes(); len(w.invEpoch) < n {
 		w.inv = make([]int32, n)
@@ -137,6 +189,7 @@ func (w *worker) discoverExtensions(m *miner, parent *Mined, centers []graph.Nod
 	}
 	embedOpts := opts
 	embedOpts.MaxMatches = m.opts.EmbedCap
+	embedOpts.Canonical = true
 	for _, vx := range centers {
 		w.ops++
 		curVx = vx
@@ -195,9 +248,7 @@ func (w *worker) discoverExtensions(m *miner, parent *Mined, centers []graph.Nod
 		})
 	}
 	// Deterministic order of candidate emission.
-	sort.Slice(w.accList, func(i, j int) bool {
-		return w.accList[i].ext.Compare(w.accList[j].ext) < 0
-	})
+	slices.SortFunc(w.accList, func(a, b *extAcc) int { return a.ext.Compare(b.ext) })
 	return w.accList
 }
 
@@ -241,15 +292,4 @@ func (w *worker) enumerateAnchored(q *pattern.Pattern, vx graph.NodeID, opts mat
 		w.ops++
 		return opts.MaxMatches == 0 || count < opts.MaxMatches
 	})
-}
-
-// admissible applies the structural constraints a candidate must meet
-// before being sent to the coordinator: the radius bound r(PR,x) ≤ d and
-// "q(x,y) does not appear in Q". The caller passes the already-built PR.
-func admissible(pred core.Predicate, q, pr *pattern.Pattern, d int) bool {
-	if q.Y != pattern.NoNode && q.HasEdge(q.X, q.Y, pred.EdgeLabel) {
-		return false
-	}
-	rad := pr.RadiusAt(pr.X)
-	return rad >= 0 && rad <= d
 }

@@ -40,14 +40,17 @@ type groupKey struct {
 	ext    pattern.Extension
 }
 
-// less orders group keys deterministically: by parent ID, then by the
+// compare orders group keys deterministically: by parent ID, then by the
 // extension's total order. The sharded assembly sorts the merged groups
 // with it, which is what keeps results independent of the shard count.
-func (k groupKey) less(o groupKey) bool {
+func (k groupKey) compare(o groupKey) int {
 	if k.parent != o.parent {
-		return k.parent < o.parent
+		if k.parent < o.parent {
+			return -1
+		}
+		return 1
 	}
-	return k.ext.Compare(o.ext) < 0
+	return k.ext.Compare(o.ext)
 }
 
 // hash maps the key to an assembly shard. Any deterministic function works

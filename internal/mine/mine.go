@@ -20,11 +20,11 @@
 package mine
 
 import (
+	"cmp"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 
-	"gpar/internal/bisim"
 	"gpar/internal/core"
 	"gpar/internal/diversify"
 	"gpar/internal/graph"
@@ -43,10 +43,27 @@ type Options struct {
 
 	MaxEdges int // antecedent edge budget; also the number of BSP rounds
 	EmbedCap int // cap on embeddings enumerated per center when discovering
-	// extensions (0 = 64); a safety valve on dense neighborhoods. When the
-	// cap bites, which embeddings are seen depends on the fragment layout,
-	// so results are only guaranteed identical across worker counts when no
-	// center exceeds it.
+	// extensions (0 = 64); a safety valve on dense neighborhoods. A
+	// center's embeddings are enumerated in a canonical global-ID order
+	// (match.Options.Canonical over partition's globally sorted fragment
+	// node order), so even when the cap bites, which embeddings are seen —
+	// and therefore the mining result — is identical for every fragment
+	// layout and worker count.
+
+	// Gate, when non-nil, bounds how many of the N worker goroutines (and
+	// assembly shards) execute simultaneously. Runs sharing one Gate — e.g.
+	// every mine job of a server — collectively respect its bound, so
+	// mining coexists with serve traffic instead of oversubscribing
+	// GOMAXPROCS. Results are independent of the gate.
+	Gate *Gate
+
+	// DisableArenas turns off the per-worker round arenas and scratch
+	// recycling: every message center set, assembly union buffer and
+	// frontier list is then a fresh heap allocation, as before the arena
+	// rewrite. Results are byte-identical either way (pinned by the
+	// differential tests); the switch exists for those tests and for
+	// debugging suspected arena-lifetime bugs.
+	DisableArenas bool
 
 	// Optimization toggles — the three DMine optimizations of Section 6
 	// ("incremental, reductions and bisimilarity checking"). DMine sets all
@@ -177,6 +194,20 @@ type worker struct {
 	ops       int64  // match operations (work accounting)
 	centerSet []bool // centerSet[local] : node is an owned candidate center
 
+	// Round arenas and recycled scratch (see arena.go). msgs is the
+	// worker's reusable message slice; qScratch/prScratch are the candidate
+	// patterns localMine materializes per discovered extension; distBuf is
+	// the radius-probe distance buffer. noRecycle mirrors
+	// Options.DisableArenas for the current run.
+	ar        roundArenas
+	asm       asmScratch
+	msgs      []message
+	qScratch  *pattern.Pattern
+	prScratch *pattern.Pattern
+	distBuf   []int
+	distXBuf  []int
+	noRecycle bool
+
 	// distCache memoizes hasNodeAtDistance per (global center, dist): the
 	// same extendability probe recurs across rules and rounds. Owned
 	// centers are disjoint across workers, so caches never duplicate work.
@@ -265,12 +296,15 @@ func (w *worker) ownsCenter(v graph.NodeID) bool {
 
 // message is the <R, conf, flag> triple of Fig. 4, extended with the data
 // DMine's coordinator needs: local support counters and the local match
-// sets whose union forms PR(x,G) and the extension frontier.
+// sets whose union forms PR(x,G) and the extension frontier. The candidate
+// itself travels structurally as (parent, ext) — workers verify it on
+// recycled scratch patterns and the assembly materializes one rule per
+// distinct candidate — and the center sets are views into the emitting
+// worker's round arena, dead once the round's assembly completes.
 type message struct {
 	worker int
 	parent ruleID
 	ext    pattern.Extension
-	rule   *core.Rule // materialized candidate (parent ⊕ ext)
 
 	qCenters   []graph.NodeID // global IDs: owned centers matching the new Q
 	rSet       []graph.NodeID // global IDs: owned centers matching PR
@@ -304,15 +338,24 @@ type miner struct {
 	sigmaBuckets map[bucketID][]ruleID // Lemma 4 bucket -> Σ ids
 	queue        *diversify.Queue
 	params       diversify.Params
-	bisims       *bisim.Cache
 	buckets      *bucketInterner
 	lastID       ruleID
 	res          *Result
+
+	// Per-round coordinator scratch, recycled across rounds: the frontier
+	// lookup assembly shards materialize group rules from, the shard
+	// assignment index, the concatenated group list, and the arena backing
+	// the cross-path union merges of assemble's step 2.
+	parents    map[ruleID]*Mined
+	shardIdx   [][]int32
+	allGroups  []*group
+	msgBuf     []message
+	mergeArena nodeArena
 }
 
 // newMiner wires a coordinator over a prebuilt context. With a Shared
-// accumulator, the interning tables and summary caches come from it (and
-// outlive this run); otherwise they are fresh.
+// accumulator, the interning tables come from it (and outlive this run);
+// otherwise they are fresh.
 func newMiner(ctx *Context, pred core.Predicate, opts Options, sh *Shared) *miner {
 	m := &miner{
 		ctx:    ctx,
@@ -325,10 +368,8 @@ func newMiner(ctx *Context, pred core.Predicate, opts Options, sh *Shared) *mine
 		res:    &Result{},
 	}
 	if sh != nil {
-		m.bisims = sh.bisimsFor(pred)
 		m.buckets = &sh.buckets
 	} else {
-		m.bisims = bisim.NewCache()
 		m.buckets = new(bucketInterner)
 	}
 	return m
@@ -343,21 +384,45 @@ func (m *miner) newRuleID() ruleID {
 }
 
 func (m *miner) run() *Result {
+	frontier := m.prepare()
+	if frontier == nil {
+		// Trivial case 1: q(x,y) specifies no user in G.
+		return m.res
+	}
+	for r := 1; r <= m.opts.MaxEdges && len(frontier) > 0; r++ {
+		m.res.Rounds = r
+		msgs := m.generate(frontier)
+		deltaE := m.assemble(frontier, msgs)
+		frontier = m.diversifyAndFilter(deltaE, r)
+	}
+
+	m.finish()
+	return m.res
+}
+
+// prepare attaches the workers, classifies every owned center against the
+// predicate (round 0 — Pq, q̄ and their supports never change), and returns
+// the seed frontier. It returns nil when the predicate is trivial on the
+// graph. Factored out of run so the round benchmark can measure a single
+// steady-state generate superstep.
+func (m *miner) prepare() []*Mined {
 	// The partition + freeze preamble lives on the context; a cached or
-	// shared context skips it entirely.
+	// shared context skips it entirely. Standalone runs draw workers from
+	// the global pool (finish returns them), so even a cold DMine reuses
+	// previously grown arenas and scratch.
 	if m.shared != nil {
 		m.workers = m.shared.attachWorkers()
 	} else {
 		m.workers = make([]*worker, len(m.ctx.frags))
 		for i, f := range m.ctx.frags {
-			m.workers[i] = &worker{
-				id:         i,
-				frag:       f,
-				g:          m.g,
-				centersFor: make(map[ruleID][]graph.NodeID),
-			}
+			m.workers[i] = acquireWorker(i, f, m.g)
 		}
 	}
+	// Arena mode is per run (shared workers may alternate between modes).
+	for _, w := range m.workers {
+		w.setRecycleMode(m.opts.DisableArenas)
+	}
+	m.mergeArena.noRecycle = m.opts.DisableArenas
 
 	// Round 0: compute Pq, q̄ and their supports once (they never change).
 	// The q-edge scan walks the frozen fragment's CSR label range for the
@@ -393,9 +458,8 @@ func (m *miner) run() *Result {
 		m.suppQ1 += w.npq
 		m.suppQbr += w.npqbar
 	}
-	// Trivial case 1: q(x,y) specifies no user in G.
 	if m.suppQ1 == 0 {
-		return m.res
+		return nil
 	}
 	m.params = diversify.Params{
 		K:      m.opts.K,
@@ -424,30 +488,71 @@ func (m *miner) run() *Result {
 			w.centersFor[seedID] = append([]graph.NodeID(nil), w.frag.Centers...)
 		}
 	}
-
-	for r := 1; r <= m.opts.MaxEdges && len(frontier) > 0; r++ {
-		m.res.Rounds = r
-		msgs := m.generate(frontier)
-		deltaE := m.assemble(msgs)
-		frontier = m.diversifyAndFilter(deltaE, r)
-	}
-
-	m.finish()
-	return m.res
+	return frontier
 }
 
 // parallel runs fn on every worker concurrently and waits (one BSP
-// superstep).
+// superstep). A configured Gate bounds how many run at once; results never
+// depend on the interleaving, only on the per-worker outputs.
 func (m *miner) parallel(fn func(w *worker)) {
 	var wg sync.WaitGroup
+	gate := m.opts.Gate
 	for _, w := range m.workers {
 		wg.Add(1)
 		go func(w *worker) {
 			defer wg.Done()
+			if gate != nil {
+				gate.acquire()
+				defer gate.release()
+			}
 			fn(w)
 		}(w)
 	}
 	wg.Wait()
+}
+
+// setRecycleMode flips the worker between arena recycling and the plain
+// allocation mode of Options.DisableArenas.
+func (w *worker) setRecycleMode(disable bool) {
+	w.noRecycle = disable
+	w.ar.setMode(disable)
+	w.asm.arena.noRecycle = disable
+}
+
+// workerPool recycles standalone workers across runs. What survives in the
+// pool is exclusively graph-agnostic capacity — round arenas, message
+// slices, extension accumulators, assembly scratch, scratch patterns, the
+// epoch-stamped discovery arrays (safe across graphs because the epoch
+// only moves forward). Everything whose *content* depends on the bound
+// graph is reset in acquireWorker.
+var workerPool = sync.Pool{New: func() any { return new(worker) }}
+
+// acquireWorker binds pooled worker scratch to one fragment of this run.
+func acquireWorker(id int, frag *partition.Fragment, g *graph.Graph) *worker {
+	w := workerPool.Get().(*worker)
+	w.id, w.frag, w.g = id, frag, g
+	if w.centersFor == nil {
+		w.centersFor = make(map[ruleID][]graph.NodeID)
+	} else {
+		clear(w.centersFor)
+	}
+	w.npq, w.npqbar = 0, 0
+	w.ops = 0
+	w.centerSet = nil // fragment-specific; rebuilt lazily by ownsCenter
+	if w.distCache != nil {
+		clear(w.distCache) // memoizes a property of the previous graph
+	}
+	if w.extOverflow != nil {
+		clear(w.extOverflow)
+	}
+	return w
+}
+
+// release parks the worker in the pool, dropping its references into the
+// graph so the pool never pins a retired snapshot.
+func (w *worker) release() {
+	w.frag, w.g = nil, nil
+	workerPool.Put(w)
 }
 
 // finish materializes the final top-k list and objective value.
@@ -463,12 +568,7 @@ func (m *miner) finish() {
 			m.res.TopK = append(m.res.TopK, *mined)
 		}
 	}
-	sort.Slice(m.res.TopK, func(i, j int) bool {
-		if m.res.TopK[i].Conf != m.res.TopK[j].Conf {
-			return m.res.TopK[i].Conf > m.res.TopK[j].Conf
-		}
-		return m.res.TopK[i].id < m.res.TopK[j].id
-	})
+	slices.SortFunc(m.res.TopK, byConfThenID)
 	m.res.F = diversify.F(entries, m.params)
 	for id := seedID + 1; id <= m.lastID; id++ {
 		if mined := m.sigma[id]; mined != nil {
@@ -476,18 +576,30 @@ func (m *miner) finish() {
 			m.res.All = append(m.res.All, *mined)
 		}
 	}
-	sort.Slice(m.res.All, func(i, j int) bool {
-		if m.res.All[i].Conf != m.res.All[j].Conf {
-			return m.res.All[i].Conf > m.res.All[j].Conf
-		}
-		return m.res.All[i].id < m.res.All[j].id
-	})
+	slices.SortFunc(m.res.All, byConfThenID)
 	for _, w := range m.workers {
 		m.res.WorkerOps = append(m.res.WorkerOps, w.ops)
 		if w.ops > m.res.MaxWorkerOp {
 			m.res.MaxWorkerOp = w.ops
 		}
 	}
+	// Standalone workers return to the pool; a Shared accumulator keeps its
+	// workers (their memoized probes are part of the cross-run reuse).
+	if m.shared == nil {
+		for _, w := range m.workers {
+			w.release()
+		}
+	}
+}
+
+// byConfThenID orders result lists by descending confidence, ties broken by
+// discovery id. slices.SortFunc keeps the hot path reflection- and
+// allocation-free where sort.Slice was neither.
+func byConfThenID(a, b Mined) int {
+	if a.Conf != b.Conf {
+		return cmp.Compare(b.Conf, a.Conf)
+	}
+	return cmp.Compare(a.id, b.id)
 }
 
 // sigmaByID returns the Σ member with the given id, or nil.

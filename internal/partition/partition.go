@@ -14,6 +14,7 @@ package partition
 
 import (
 	"fmt"
+	"slices"
 
 	"gpar/internal/graph"
 )
@@ -78,6 +79,12 @@ func (f *Fragment) Size() int { return f.G.Size() }
 // given candidate nodes. It panics if n < 1. Candidates are processed in
 // input order and greedily assigned to the least-loaded fragment, measured
 // by the accumulated d-neighborhood size, so the result is deterministic.
+//
+// Fragment node order is canonical: local IDs ascend in global-ID order,
+// so any iteration that is sorted locally (frozen CSR ranges, the label
+// candidate index) is also sorted globally. Match enumeration order over a
+// fragment is then a pure function of the global graph — the property
+// mine.Options.EmbedCap needs for layout-independent truncation.
 func Partition(g *graph.Graph, cands []graph.NodeID, n, d int) []*Fragment {
 	if n < 1 {
 		panic(fmt.Sprintf("partition: n = %d", n))
@@ -92,8 +99,9 @@ func Partition(g *graph.Graph, cands []graph.NodeID, n, d int) []*Fragment {
 	for i := range buckets {
 		buckets[i] = &bucket{seen: make([]bool, g.NumNodes())}
 	}
+	var hood []graph.NodeID // recycled across candidates
 	for _, vx := range cands {
-		hood := g.Neighborhood(vx, d)
+		hood = g.AppendNeighborhood(hood[:0], vx, d)
 		// Least-loaded fragment; ties broken by index for determinism.
 		best := 0
 		for i := 1; i < n; i++ {
@@ -112,6 +120,8 @@ func Partition(g *graph.Graph, cands []graph.NodeID, n, d int) []*Fragment {
 	}
 	frags := make([]*Fragment, n)
 	for i, b := range buckets {
+		// Canonical local IDs: global-ID ascending, not first-seen order.
+		slices.Sort(b.order)
 		sub, toLocal, toGlobal := g.InducedSubgraph(b.order)
 		f := &Fragment{G: sub, ToGlobal: toGlobal}
 		f.setToLocal(g.NumNodes(), toGlobal, toLocal)

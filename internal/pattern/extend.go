@@ -97,10 +97,19 @@ func cmpInt(a, b int) int {
 // extension is inapplicable (closing edge already present, AsY on a pattern
 // that already has y, or indexes out of range).
 func (p *Pattern) Apply(ext Extension) *Pattern {
+	return p.ApplyInto(New(p.syms), ext)
+}
+
+// ApplyInto is Apply building into dst (which must not alias p), reusing
+// dst's storage. It returns dst, or nil when the extension is inapplicable
+// (dst's contents are then unspecified). Workers in the mining loop apply
+// every discovered extension to the same parent; recycling the destination
+// makes candidate materialization allocation-free.
+func (p *Pattern) ApplyInto(dst *Pattern, ext Extension) *Pattern {
 	if ext.Src < 0 || ext.Src >= p.NumNodes() {
 		return nil
 	}
-	out := p.Clone()
+	out := p.CloneInto(dst)
 	var target int
 	if ext.Close != NoNode {
 		if ext.Close < 0 || ext.Close >= p.NumNodes() || ext.AsY {

@@ -64,3 +64,35 @@ func TestExtensionIdentityMatchesKey(t *testing.T) {
 		}
 	}
 }
+
+// TestApplyIntoMatchesApply is the scratch-reuse property test: applying a
+// stream of random extensions into one recycled destination must render
+// identically to Apply's fresh allocations, including the nil (inapplicable)
+// cases, regardless of what the scratch held before.
+func TestApplyIntoMatchesApply(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	syms := graph.NewSymbols()
+	base := New(syms)
+	x := base.AddNodeL(1)
+	a := base.AddNodeL(2)
+	base.AddEdgeL(x, a, 1)
+	base.X = x
+	scratch := New(syms)
+	for i := 0; i < 5000; i++ {
+		ext := randExt(rng)
+		fresh := base.Apply(ext)
+		reused := base.ApplyInto(scratch, ext)
+		switch {
+		case (fresh == nil) != (reused == nil):
+			t.Fatalf("ext %+v: Apply nil=%v but ApplyInto nil=%v", ext, fresh == nil, reused == nil)
+		case fresh != nil && fresh.String() != reused.String():
+			t.Fatalf("ext %+v: Apply %s != ApplyInto %s", ext, fresh, reused)
+		}
+		// Occasionally grow the base so scratch shrinks and grows too.
+		if i%1000 == 999 {
+			if grown := base.Apply(ext); grown != nil {
+				base = grown
+			}
+		}
+	}
+}

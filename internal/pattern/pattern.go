@@ -114,12 +114,20 @@ func (p *Pattern) Edges() []Edge { return p.edges }
 
 // Clone returns a deep copy sharing the symbol table.
 func (p *Pattern) Clone() *Pattern {
-	c := New(p.syms)
-	c.labels = append([]graph.Label(nil), p.labels...)
-	c.mult = append([]int(nil), p.mult...)
-	c.edges = append([]Edge(nil), p.edges...)
-	c.X, c.Y = p.X, p.Y
-	return c
+	return p.CloneInto(New(p.syms))
+}
+
+// CloneInto copies p into dst, reusing dst's storage, and returns dst. The
+// mining loop materializes thousands of short-lived candidate patterns per
+// round; building them into recycled per-worker scratch is what keeps that
+// path off the allocator. dst must not alias p.
+func (p *Pattern) CloneInto(dst *Pattern) *Pattern {
+	dst.syms = p.syms
+	dst.labels = append(dst.labels[:0], p.labels...)
+	dst.mult = append(dst.mult[:0], p.mult...)
+	dst.edges = append(dst.edges[:0], p.edges...)
+	dst.X, dst.Y = p.X, p.Y
+	return dst
 }
 
 // Expand materializes multiplicities: a node u with C(u) = k is replaced by
@@ -171,7 +179,18 @@ func (p *Pattern) Expand() *Pattern {
 // it relaxes the edge list to a fixpoint (at most |Vp| passes): one
 // allocation — the result — on a path the miner hits once per candidate.
 func (p *Pattern) DistancesFrom(u int) []int {
-	dist := make([]int, len(p.labels))
+	return p.DistancesInto(nil, u)
+}
+
+// DistancesInto is DistancesFrom writing into dst (grown only when its
+// capacity is too small), for callers that probe radii per candidate and
+// recycle the buffer.
+func (p *Pattern) DistancesInto(dst []int, u int) []int {
+	n := len(p.labels)
+	if cap(dst) < n {
+		dst = make([]int, n)
+	}
+	dist := dst[:n]
 	for i := range dist {
 		dist[i] = -1
 	}
@@ -355,10 +374,13 @@ func (p *Pattern) IsomorphicTo(q *Pattern) bool {
 		m[pe.Y] = qe.Y
 		used[qe.Y] = true
 	}
-	return isoBacktrack(pe, qe, m, used, 0)
+	// Degrees are invariant across the search; computing them once here
+	// (instead of at every recursion level) keeps the iso check — run per
+	// candidate group per mining round — to two allocations.
+	return isoBacktrack(pe, qe, degrees(pe), degrees(qe), m, used, 0)
 }
 
-func isoBacktrack(p, q *Pattern, m []int, used []bool, next int) bool {
+func isoBacktrack(p, q *Pattern, deg, qdeg []int, m []int, used []bool, next int) bool {
 	for next < len(m) && m[next] != NoNode {
 		next++
 	}
@@ -374,8 +396,6 @@ func isoBacktrack(p, q *Pattern, m []int, used []bool, next int) bool {
 		}
 		return true
 	}
-	deg := degrees(p)
-	qdeg := degrees(q)
 	for cand := 0; cand < q.NumNodes(); cand++ {
 		if used[cand] || q.labels[cand] != p.labels[next] || deg[next] != qdeg[cand] {
 			continue
@@ -389,7 +409,7 @@ func isoBacktrack(p, q *Pattern, m []int, used []bool, next int) bool {
 				break
 			}
 		}
-		if ok && isoBacktrack(p, q, m, used, next+1) {
+		if ok && isoBacktrack(p, q, deg, qdeg, m, used, next+1) {
 			return true
 		}
 		m[next] = NoNode

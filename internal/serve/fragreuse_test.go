@@ -1,0 +1,236 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"gpar/internal/core"
+	"gpar/internal/gen"
+	"gpar/internal/graph"
+	"gpar/internal/mine"
+	"gpar/internal/pattern"
+)
+
+// resultFingerprint serializes the exported surface of a mining result so
+// the fragment-sharing differential can compare byte-for-byte.
+func resultFingerprint(res *mine.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "rounds=%d generated=%d kept=%d pruned=%d F=%.17g\n",
+		res.Rounds, res.Generated, res.Kept, res.Pruned, res.F)
+	dump := func(name string, ms []mine.Mined) {
+		fmt.Fprintf(&b, "%s %d\n", name, len(ms))
+		for _, mm := range ms {
+			fmt.Fprintf(&b, "  %s %s stats=%+v conf=%.17g set=%v\n",
+				mm.Key(), mm.Rule, mm.Stats, mm.Conf, mm.Set)
+		}
+	}
+	dump("topk", res.TopK)
+	dump("all", res.All)
+	return b.String()
+}
+
+// fragReuseFixture builds a Pokec-like graph plus a radius-2 rule, so a
+// snapshot built from it partitions with d = 2 — the same layout a default
+// mine job over the predicate asks for.
+func fragReuseFixture(t testing.TB) (*graph.Graph, core.Predicate, *core.Rule) {
+	t.Helper()
+	syms := graph.NewSymbols()
+	g := gen.Pokec(syms, gen.DefaultPokec(300, 7))
+	pred := gen.PokecPredicates(syms)[0]
+	q := pattern.New(syms)
+	x := q.AddNode("user")
+	friend := q.AddNode("user")
+	m := q.AddNode("music:Disco")
+	q.AddEdge(x, friend, "follow")
+	q.AddEdge(friend, m, "like_music")
+	q.X = x
+	rule := &core.Rule{Q: q, Pred: pred}
+	if err := rule.Validate(); err != nil {
+		t.Fatalf("fixture rule: %v", err)
+	}
+	return g, pred, rule
+}
+
+// TestSnapshotFragmentReuseIdentity is the differential half of the
+// snapshot↔mine-context fragment-sharing invariant: a context borrowed
+// from the serving snapshot's fragments must mine byte-identically to a
+// context that partitions the graph itself.
+func TestSnapshotFragmentReuseIdentity(t *testing.T) {
+	g, pred, rule := fragReuseFixture(t)
+	snap, err := BuildSnapshot(g, pred, []*core.Rule{rule}, Config{Workers: 3})
+	if err != nil {
+		t.Fatalf("BuildSnapshot: %v", err)
+	}
+	opts := mine.Options{
+		K: 5, Sigma: 2, D: snap.D, Lambda: 0.5, N: len(snap.frags), MaxEdges: 2,
+	}.WithOptimizations().Defaults()
+
+	fresh := mine.NewContext(g, pred.XLabel, opts)
+	borrowed := mine.ContextFromFragments(snap.G, pred.XLabel, snap.D, len(snap.frags), snap.fragmentList())
+	if fresh.Borrowed() || !borrowed.Borrowed() {
+		t.Fatalf("Borrowed() flags wrong: fresh=%v borrowed=%v", fresh.Borrowed(), borrowed.Borrowed())
+	}
+	want := resultFingerprint(mine.DMineCtx(fresh, pred, opts))
+	got := resultFingerprint(mine.DMineCtx(borrowed, pred, opts))
+	if got != want {
+		t.Fatalf("mining on snapshot fragments differs from fresh partition:\n--- fresh ---\n%s--- borrowed ---\n%s",
+			want, got)
+	}
+}
+
+// TestMinePoolRoundReuse is the round-reuse stress of the accumulator pool:
+// two sequential mine jobs over one recycled worker set — the second run
+// inherits the first's grown arenas, memoized probes and intern tables —
+// must both match a fresh run. CI runs this package under -race, which
+// additionally asserts the park/acquire handoff is clean.
+func TestMinePoolRoundReuse(t *testing.T) {
+	g, pred, rule := fragReuseFixture(t)
+	snap, err := BuildSnapshot(g, pred, []*core.Rule{rule}, Config{Workers: 2})
+	if err != nil {
+		t.Fatalf("BuildSnapshot: %v", err)
+	}
+	opts := mine.Options{
+		K: 5, Sigma: 2, D: snap.D, Lambda: 0.5, N: len(snap.frags), MaxEdges: 2,
+	}.WithOptimizations().Defaults()
+	ctx := mine.ContextFromFragments(snap.G, pred.XLabel, snap.D, len(snap.frags), snap.fragmentList())
+	want := resultFingerprint(mine.DMineCtx(ctx, pred, opts))
+
+	pool := newMinePool(2)
+	sh, ep1 := pool.acquire(ctx)
+	if got := resultFingerprint(sh.DMine(pred, opts)); got != want {
+		t.Fatalf("first pooled job differs from fresh run:\n%s\nvs\n%s", got, want)
+	}
+	pool.park(sh, ep1, true)
+	sh2, ep2 := pool.acquire(ctx)
+	if sh2 != sh {
+		t.Fatal("second job did not reuse the parked worker set")
+	}
+	if got := resultFingerprint(sh2.DMine(pred, opts)); got != want {
+		t.Fatalf("recycled-worker-set job differs from fresh run:\n%s\nvs\n%s", got, want)
+	}
+	pool.park(sh2, ep2, true)
+	if st := pool.stats(); st.Gets != 2 || st.Reuses != 1 || st.Parked != 1 {
+		t.Fatalf("pool stats: %+v", st)
+	}
+	// A purge (snapshot swap) must drop the parked set — and a job that was
+	// in flight across the purge must not re-insert its set (stale epoch),
+	// nor may a job whose context the LRU evicted (live=false).
+	sh3, ep3 := pool.acquire(ctx)
+	pool.purge()
+	if st := pool.stats(); st.Parked != 0 {
+		t.Fatalf("parked sets survive purge: %+v", st)
+	}
+	pool.park(sh3, ep3, true)
+	if st := pool.stats(); st.Parked != 0 {
+		t.Fatalf("stale-epoch park was accepted: %+v", st)
+	}
+	sh4, ep4 := pool.acquire(ctx)
+	pool.park(sh4, ep4, false)
+	if st := pool.stats(); st.Parked != 0 {
+		t.Fatalf("park of an evicted context was accepted: %+v", st)
+	}
+}
+
+// TestMineJobFragmentReuseReported drives the full job path: a mine job
+// whose (xLabel, d, n) matches the serving snapshot must report
+// fragmentsReused on /v1/jobs/{id} from its very first run (cold context
+// cache), a repeat must additionally report contextCached, and /stats must
+// count both forms of reuse plus the CPU budget split.
+func TestMineJobFragmentReuseReported(t *testing.T) {
+	g, pred, rule := fragReuseFixture(t)
+	s := New(Config{Workers: 4})
+	if err := s.LoadSnapshot(g, pred, []*core.Rule{rule}); err != nil {
+		t.Fatalf("LoadSnapshot: %v", err)
+	}
+	if snap := s.Snapshot(); snap.D != 2 {
+		t.Fatalf("fixture snapshot has d=%d, want 2", snap.D)
+	}
+
+	params := MineParams{
+		XLabel: "user", EdgeLabel: "like_music", YLabel: "music:Disco",
+		K: 5, Sigma: 2, D: 2, MaxEdges: 1, Workers: 4,
+	}
+	runJob := func() Job {
+		t.Helper()
+		job, err := s.StartMine(params)
+		if err != nil {
+			t.Fatalf("StartMine: %v", err)
+		}
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			st, ok := s.jobs.Get(job.ID)
+			if !ok {
+				t.Fatalf("job %s vanished", job.ID)
+			}
+			if st.Status == JobDone {
+				return st
+			}
+			if st.Status == JobFailed {
+				t.Fatalf("job failed: %s", st.Error)
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job stuck in %s", st.Status)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	first := runJob()
+	if !first.FragmentsReused {
+		t.Fatalf("first matching job did not reuse snapshot fragments: %+v", first)
+	}
+	if first.ContextCached {
+		t.Fatalf("first job claims a warm context cache: %+v", first)
+	}
+	second := runJob()
+	if !second.FragmentsReused || !second.ContextCached {
+		t.Fatalf("repeat job lost reuse: %+v", second)
+	}
+	if len(first.RuleKeys) == 0 || fmt.Sprint(first.RuleKeys) != fmt.Sprint(second.RuleKeys) {
+		t.Fatalf("reused-fragment jobs disagree: %v vs %v", first.RuleKeys, second.RuleKeys)
+	}
+
+	// A job with a different d partitions its own fragments.
+	mismatch := params
+	mismatch.D = 1
+	saved := params
+	params = mismatch
+	other := runJob()
+	params = saved
+	if other.FragmentsReused {
+		t.Fatalf("d-mismatched job claims fragment reuse: %+v", other)
+	}
+
+	rec := doStats(t, s)
+	if rec.MineFragReuses < 2 {
+		t.Fatalf("stats mineFragReuses = %d, want >= 2", rec.MineFragReuses)
+	}
+	if rec.MinePool.Gets < 3 || rec.MinePool.Reuses < 1 {
+		t.Fatalf("stats minePool = %+v", rec.MinePool)
+	}
+	if rec.CPUBudget.Procs < 1 || rec.CPUBudget.MineProcs < 1 || rec.CPUBudget.PoolSize < 1 ||
+		rec.CPUBudget.MineShare <= 0 || rec.CPUBudget.MineShare > 1 {
+		t.Fatalf("stats cpuBudget = %+v", rec.CPUBudget)
+	}
+}
+
+// doStats fetches /stats through the real handler.
+func doStats(t *testing.T, s *Server) StatsResponse {
+	t.Helper()
+	req, err := http.NewRequest("GET", "/stats", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rr, req)
+	var resp StatsResponse
+	if err := json.Unmarshal(rr.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("bad /stats JSON: %v", err)
+	}
+	return resp
+}

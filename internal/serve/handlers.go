@@ -7,6 +7,7 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -93,16 +94,31 @@ type StatsResponse struct {
 		Nodes int `json:"nodes"`
 		Edges int `json:"edges"`
 	} `json:"graph"`
-	Pred      string     `json:"pred"`
-	Rules     int        `json:"rules"`
-	Fragments int        `json:"fragments"`
-	PoolSize  int        `json:"poolSize"`
-	Cache     CacheStats `json:"cache"`
+	Pred      string `json:"pred"`
+	Rules     int    `json:"rules"`
+	Fragments int    `json:"fragments"`
+	PoolSize  int    `json:"poolSize"`
+	// CPUBudget is the configured GOMAXPROCS split: identify traffic runs
+	// on at most PoolSize fragment evaluators while all mine jobs together
+	// run at most MineProcs worker goroutines.
+	CPUBudget struct {
+		Procs     int     `json:"procs"`
+		MineShare float64 `json:"mineShare"`
+		MineProcs int     `json:"mineProcs"`
+		PoolSize  int     `json:"poolSize"`
+	} `json:"cpuBudget"`
+	Cache CacheStats `json:"cache"`
 	// MineCache counts mine-context reuse: hits are mine jobs that skipped
 	// the partition+freeze preamble entirely.
 	MineCache CacheStats `json:"mineCache"`
-	Batch     BatchStats `json:"batch"`
-	Requests  struct {
+	// MinePool counts mine.Shared accumulator reuse: a reuse is a job that
+	// mined on a recycled worker set (round arenas already grown).
+	MinePool MinePoolStats `json:"minePool"`
+	// MineFragReuses counts mine jobs whose context shared the serving
+	// snapshot's partition fragments outright (zero partition+freeze).
+	MineFragReuses int64      `json:"mineFragReuses"`
+	Batch          BatchStats `json:"batch"`
+	Requests       struct {
 		Identify int64 `json:"identify"`
 		Rules    int64 `json:"rules"`
 		Mine     int64 `json:"mine"`
@@ -354,8 +370,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.Fragments = len(snap.frags)
 	}
 	resp.PoolSize = s.pool.Size()
+	resp.CPUBudget.Procs = runtime.GOMAXPROCS(0)
+	resp.CPUBudget.MineShare = s.cfg.MineShare
+	resp.CPUBudget.MineProcs = s.mineGate.Size()
+	resp.CPUBudget.PoolSize = s.pool.Size()
 	resp.Cache = s.cache.Stats()
 	resp.MineCache = s.mineCtx.Stats()
+	resp.MinePool = s.minePool.stats()
+	resp.MineFragReuses = s.nFragReuse.Load()
 	resp.Batch = s.batch.Stats()
 	resp.Requests.Identify = s.nIdentify.Load()
 	resp.Requests.Rules = s.nRules.Load()

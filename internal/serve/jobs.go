@@ -16,12 +16,13 @@ import (
 // with the read-only Symbols.Lookup, never interned).
 //
 // Workers = 0 inherits mine.Options' default — one worker per core
-// (runtime.GOMAXPROCS) — so an unconfigured mine job uses the whole
-// machine. Mining results are deterministic for a fixed worker count, and
-// identical across worker counts as long as mine.Options.EmbedCap does not
-// truncate any center's embeddings (see that field's doc); pin Workers for
-// bit-for-bit reproducibility across differently sized machines on dense
-// graphs.
+// (runtime.GOMAXPROCS) — and the server's shared mine.Gate caps how many
+// of those workers across all jobs execute at once (Config.MineShare), so
+// an unconfigured mine job uses its CPU budget, not the whole machine.
+// Mining results are byte-identical across worker counts — including when
+// mine.Options.EmbedCap truncates dense neighborhoods, since embeddings
+// are enumerated in a canonical global-ID order — so Workers only affects
+// the fragment layout's granularity, never the answer.
 type MineParams struct {
 	XLabel    string  `json:"xLabel"`
 	EdgeLabel string  `json:"edgeLabel"`
@@ -71,6 +72,12 @@ type Job struct {
 	// (the partitioned, frozen fragments), skipping the partition+freeze
 	// preamble. Results are byte-identical either way.
 	ContextCached bool `json:"contextCached,omitempty"`
+	// FragmentsReused reports whether the job's context shares the serving
+	// snapshot's partition fragments outright (the job's (xLabel, d, n)
+	// matched the snapshot layout): zero partition and zero Freeze work,
+	// even on the first job of a generation. Results are byte-identical
+	// either way.
+	FragmentsReused bool `json:"fragmentsReused,omitempty"`
 }
 
 // maxJobs bounds the registry: when exceeded, the oldest finished jobs are
@@ -193,13 +200,22 @@ func (s *Server) runMine(id string, snap *Snapshot, pred core.Predicate, p MineP
 		j.Started = time.Now()
 	})
 	// Defaults are resolved here (not left to DMine) because the resolved
-	// (D, N) pair is part of the context-cache key.
+	// (D, N) pair is part of the context-cache key. The shared gate caps
+	// how much of the machine this job's workers (and every other job's)
+	// may occupy at once.
 	opts := mine.Options{
 		K: p.K, Sigma: p.Sigma, D: p.D, Lambda: p.Lambda, N: p.Workers,
 		MaxEdges: p.MaxEdges, MaxCandidatesPerRound: p.Cap,
 	}.WithOptimizations().Defaults()
+	opts.Gate = s.mineGate
 	key := MineCtxKey{Gen: snap.Gen, XLabel: pred.XLabel, D: opts.D, N: opts.N}
 	ctx, ctxHit := s.mineCtx.GetOrBuild(key, func() *mine.Context {
+		// When the job's (xLabel, d, n) matches the serving snapshot's own
+		// partition layout, the snapshot's frozen fragments serve the mine
+		// job as-is: no partition, no Freeze, not even on a cold cache.
+		if pred.XLabel == snap.Pred.XLabel && opts.D == snap.D && opts.N == len(snap.frags) {
+			return mine.ContextFromFragments(snap.G, pred.XLabel, opts.D, opts.N, snap.fragmentList())
+		}
 		return mine.NewContext(snap.G, pred.XLabel, opts)
 	})
 	if s.gen.Load() != key.Gen {
@@ -209,7 +225,17 @@ func (s *Server) runMine(id string, snap *Snapshot, pred core.Predicate, p MineP
 		// still mines on ctx — the snapshot it was admitted against.
 		s.mineCtx.Discard(key)
 	}
-	res := mine.DMineCtx(ctx, pred, opts)
+	if ctx.Borrowed() {
+		s.nFragReuse.Add(1)
+	}
+	// Mine on a pooled accumulator: a recycled worker set brings its grown
+	// round arenas and memoized probes from previous jobs over this
+	// context. Parked again afterwards for the next job — unless a swap
+	// purged the pool mid-run or the LRU evicted this context, in which
+	// case parking would pin a context no future job can be handed.
+	sh, poolEpoch := s.minePool.acquire(ctx)
+	res := sh.DMine(pred, opts)
+	s.minePool.park(sh, poolEpoch, s.mineCtx.Contains(key))
 
 	rules := make([]*core.Rule, 0, len(res.TopK))
 	keys := make([]string, 0, len(res.TopK))
@@ -240,6 +266,7 @@ func (s *Server) runMine(id string, snap *Snapshot, pred core.Predicate, p MineP
 		j.Installed = installed
 		j.Generation = gen
 		j.ContextCached = ctxHit
+		j.FragmentsReused = ctx.Borrowed()
 		if installErr != nil {
 			j.Status = JobFailed
 			j.Error = installErr.Error()

@@ -67,6 +67,13 @@ func (l *lru[K, V]) put(key K, val V) {
 	}
 }
 
+// contains reports whether key is resident, without touching recency or
+// the hit/miss counters (a liveness probe, not an access).
+func (l *lru[K, V]) contains(key K) bool {
+	_, ok := l.byKey[key]
+	return ok
+}
+
 // remove drops key's entry if present, counting an eviction.
 func (l *lru[K, V]) remove(key K) {
 	if el, ok := l.byKey[key]; ok {

@@ -68,6 +68,16 @@ func (c *MineContextCache) GetOrBuild(key MineCtxKey, build func() *mine.Context
 	return e.ctx, false
 }
 
+// Contains reports whether key's context is still resident, without
+// touching recency or the hit/miss counters. The accumulator pool uses it
+// as a liveness probe: worker sets are only parked for contexts the cache
+// can still hand out.
+func (c *MineContextCache) Contains(key MineCtxKey) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.contains(key)
+}
+
 // Discard drops key's entry if present (counted as an eviction). Mine jobs
 // call it when a snapshot swap raced their build: the swap's Purge may
 // have run before the entry was inserted, and a dead-generation context

@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"sync"
+
+	"gpar/internal/mine"
+)
+
+// minePool recycles mine.Shared accumulators — worker sets with their round
+// arenas, memoized extendability probes and interning tables — across the
+// mine jobs of one server. A Shared is exclusive to one running job, so the
+// pool hands each job its own; a job that finds a parked accumulator for
+// its context skips rebuilding worker scratch entirely and mines on arenas
+// already grown by previous jobs. Accumulators are parked per *mine.Context
+// (they embed fragment bindings), so purging the context cache on a
+// snapshot swap also purges the pool — a parked accumulator must never
+// outlive its context's generation.
+type minePool struct {
+	mu   sync.Mutex
+	free map[*mine.Context][]*mine.Shared
+	// perCtx bounds how many accumulators may park per context; beyond it,
+	// finished jobs simply drop theirs. Worker scratch scales with the
+	// fragment set, so a small bound keeps the steady state without letting
+	// a burst of concurrent jobs pin memory forever.
+	perCtx int
+	// epoch guards the purge/park race: a job records the epoch at acquire
+	// and park drops the accumulator when a purge intervened, so a job that
+	// outlives a snapshot swap can never re-insert a worker set whose
+	// context (and graph) the swap just retired.
+	epoch uint64
+
+	gets   int64 // acquisitions handed out
+	reuses int64 // acquisitions served by a parked accumulator
+}
+
+// newMinePool returns a pool keeping at most perCtx idle accumulators per
+// context (minimum 1).
+func newMinePool(perCtx int) *minePool {
+	if perCtx < 1 {
+		perCtx = 1
+	}
+	return &minePool{free: make(map[*mine.Context][]*mine.Shared), perCtx: perCtx}
+}
+
+// acquire returns an accumulator over ctx, recycling a parked one when
+// available, plus the pool epoch to hand back to park.
+func (p *minePool) acquire(ctx *mine.Context) (*mine.Shared, uint64) {
+	p.mu.Lock()
+	p.gets++
+	epoch := p.epoch
+	if list := p.free[ctx]; len(list) > 0 {
+		sh := list[len(list)-1]
+		p.free[ctx] = list[:len(list)-1]
+		p.reuses++
+		p.mu.Unlock()
+		return sh, epoch
+	}
+	p.mu.Unlock()
+	return mine.NewShared(ctx), epoch
+}
+
+// park returns an accumulator after a job, keeping at most perCtx per
+// context. It refuses — dropping the accumulator to the GC instead — when
+// a purge ran since the matching acquire (the context's generation is
+// retired) or when live reports the context no longer resident (LRU
+// eviction): a parked set pins its context's fragments, so only contexts
+// that can still be handed out may hold parked sets.
+func (p *minePool) park(sh *mine.Shared, epoch uint64, live bool) {
+	if !live {
+		return
+	}
+	ctx := sh.Context()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if epoch != p.epoch {
+		return
+	}
+	if len(p.free[ctx]) < p.perCtx {
+		p.free[ctx] = append(p.free[ctx], sh)
+	}
+}
+
+// purge drops every parked accumulator (snapshot swap) and retires the
+// epoch so in-flight jobs cannot park into the new generation.
+func (p *minePool) purge() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.epoch++
+	clear(p.free)
+}
+
+// MinePoolStats is the /stats view of the accumulator pool: how many worker
+// sets (with their arenas) are parked, how many acquisitions jobs made, and
+// how many of those reused a parked set instead of building fresh scratch.
+type MinePoolStats struct {
+	Parked int   `json:"parked"`
+	Gets   int64 `json:"gets"`
+	Reuses int64 `json:"reuses"`
+}
+
+// stats returns current counters.
+func (p *minePool) stats() MinePoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, list := range p.free {
+		n += len(list)
+	}
+	return MinePoolStats{Parked: n, Gets: p.gets, Reuses: p.reuses}
+}

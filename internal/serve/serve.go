@@ -4,7 +4,7 @@
 // "mine once, match many" shape of the paper's two headline use cases
 // (identifying potential customers, Section 1, and EIP, Section 5).
 //
-// The subsystem is built from five pieces:
+// The subsystem is built from these pieces:
 //
 //   - Snapshot: an immutable unit of serving state — the frozen graph, the
 //     rule set with precomputed keys and renderings, the partition fragments
@@ -18,14 +18,24 @@
 //     partitioned, frozen fragment preamble of a DMine run — keyed by
 //     (generation, xLabel, d, n) with single-flight builds, so repeated
 //     mine jobs over one snapshot skip partition.Partition and fragment
-//     Freeze() entirely. Swaps purge it; the generation in the key makes
-//     stale entries unreachable regardless.
+//     Freeze() entirely. When a job's (xLabel, d, n) matches the serving
+//     snapshot's own layout, the context borrows the snapshot's frozen
+//     fragments outright — zero partition work even on a cold cache.
+//     Swaps purge it; the generation in the key makes stale entries
+//     unreachable regardless.
+//   - minePool: parked mine.Shared accumulators (worker sets with their
+//     round arenas), recycled across the jobs of one context so a steady
+//     stream of mine jobs reuses grown scratch instead of rebuilding it.
 //   - Batcher: single-flight coalescing of concurrent identify calls for
 //     the same rule into one match execution.
 //   - Pool: a bounded worker pool shared by all requests; per-rule
 //     evaluation fans out over the snapshot's fragments through it, so
 //     total matching concurrency is bounded no matter how many clients
 //     connect.
+//   - mine.Gate: the mining half of the CPU budget — all mine jobs
+//     together run at most ceil(Config.MineShare × GOMAXPROCS) worker
+//     goroutines, and the Pool defaults to the remainder, so mining and
+//     identify traffic split the machine instead of oversubscribing it.
 //
 // Concurrency discipline: graph.Graph and graph.Symbols are not safe for
 // concurrent mutation, so BuildSnapshot freezes the graph, forces the label
@@ -47,6 +57,7 @@ import (
 
 	"gpar/internal/core"
 	"gpar/internal/graph"
+	"gpar/internal/mine"
 )
 
 // Config tunes a Server. The zero value is usable; defaults fill in.
@@ -54,8 +65,17 @@ type Config struct {
 	// Workers is the number of graph fragments built per snapshot (the n of
 	// partition.Partition). Default 4.
 	Workers int
+	// MineShare splits the machine between mining and serving: all mine
+	// jobs collectively run at most ceil(MineShare × GOMAXPROCS) worker
+	// goroutines (minimum 1), enforced by a mine.Gate every job shares.
+	// Serving keeps the rest (see PoolSize). Must be in (0, 1]; default
+	// 0.5. The split bounds CPU occupancy only — mining results are
+	// independent of it.
+	MineShare float64
 	// PoolSize bounds concurrent fragment-evaluation tasks across all
-	// requests. Default GOMAXPROCS.
+	// requests. Default: GOMAXPROCS minus the mine share (minimum 1), so
+	// identify traffic and mine jobs split the machine instead of
+	// oversubscribing it.
 	PoolSize int
 	// SketchK is the k-hop sketch depth for guided matching. Default 2.
 	SketchK int
@@ -78,8 +98,14 @@ func (c Config) defaults() Config {
 	if c.Workers <= 0 {
 		c.Workers = 4
 	}
+	if c.MineShare <= 0 || c.MineShare > 1 {
+		c.MineShare = 0.5
+	}
 	if c.PoolSize <= 0 {
-		c.PoolSize = runtime.GOMAXPROCS(0)
+		c.PoolSize = runtime.GOMAXPROCS(0) - c.mineProcs()
+		if c.PoolSize < 1 {
+			c.PoolSize = 1
+		}
 	}
 	if c.SketchK <= 0 {
 		c.SketchK = 2
@@ -96,16 +122,35 @@ func (c Config) defaults() Config {
 	return c
 }
 
+// mineProcs is the mining side of the CPU budget: ceil(MineShare × procs),
+// at least 1.
+func (c Config) mineProcs() int {
+	procs := runtime.GOMAXPROCS(0)
+	n := int(c.MineShare * float64(procs))
+	if float64(n) < c.MineShare*float64(procs) {
+		n++
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > procs {
+		n = procs
+	}
+	return n
+}
+
 // Server owns the current Snapshot and the shared cache, batcher, pool and
 // job registry. Create with New, install state with LoadSnapshot, expose
 // with Handler.
 type Server struct {
-	cfg     Config
-	pool    *Pool
-	cache   *Cache
-	mineCtx *MineContextCache
-	batch   *Batcher[*RuleEval]
-	jobs    *Jobs
+	cfg      Config
+	pool     *Pool
+	cache    *Cache
+	mineCtx  *MineContextCache
+	mineGate *mine.Gate // shared CPU budget: all mine jobs together
+	minePool *minePool  // parked mine.Shared worker sets (round arenas)
+	batch    *Batcher[*RuleEval]
+	jobs     *Jobs
 
 	swapMu sync.Mutex // serializes snapshot swaps and symbol interning
 	snap   atomic.Pointer[Snapshot]
@@ -115,10 +160,11 @@ type Server struct {
 	closed atomic.Bool
 	jobWG  sync.WaitGroup
 
-	nIdentify atomic.Int64
-	nRules    atomic.Int64
-	nMine     atomic.Int64
-	nSwap     atomic.Int64
+	nIdentify  atomic.Int64
+	nRules     atomic.Int64
+	nMine      atomic.Int64
+	nSwap      atomic.Int64
+	nFragReuse atomic.Int64 // mine jobs that ran on snapshot fragments
 }
 
 // New returns a Server with no snapshot installed; handlers answer 503
@@ -126,13 +172,15 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.defaults()
 	return &Server{
-		cfg:     cfg,
-		pool:    NewPool(cfg.PoolSize),
-		cache:   NewCache(cfg.CacheCap),
-		mineCtx: NewMineContextCache(cfg.MineCacheCap),
-		batch:   NewBatcher[*RuleEval](cfg.BatchWindow),
-		jobs:    NewJobs(),
-		start:   time.Now(),
+		cfg:      cfg,
+		pool:     NewPool(cfg.PoolSize),
+		cache:    NewCache(cfg.CacheCap),
+		mineCtx:  NewMineContextCache(cfg.MineCacheCap),
+		mineGate: mine.NewGate(cfg.mineProcs()),
+		minePool: newMinePool(2),
+		batch:    NewBatcher[*RuleEval](cfg.BatchWindow),
+		jobs:     NewJobs(),
+		start:    time.Now(),
 	}
 }
 
@@ -170,8 +218,11 @@ func (s *Server) loadLocked(g *graph.Graph, pred core.Predicate, rules []*core.R
 	s.snap.Store(snap)
 	s.cache.Purge()
 	// Mine contexts are keyed by generation, so old entries could never be
-	// served again; purging reclaims their fragment memory eagerly.
+	// served again; purging reclaims their fragment memory eagerly — and
+	// the accumulator pool with them, since parked worker sets bind to
+	// those contexts' fragments.
 	s.mineCtx.Purge()
+	s.minePool.purge()
 	s.nSwap.Add(1)
 	return snap.Gen, nil
 }

@@ -218,6 +218,21 @@ func (s *Snapshot) RuleByKey(key string) (*ServedRule, bool) {
 	return sr, ok
 }
 
+// fragmentList returns the snapshot's partition fragments in build order —
+// exactly what partition.Partition(G, G.NodesWithLabel(Pred.XLabel),
+// len(frags), D) produced, every fragment frozen. A mine job whose
+// (xLabel, d, n) coincides with that layout hands this list to
+// mine.ContextFromFragments and skips the whole partition + freeze
+// preamble; the sharing is sound because both layers call the same
+// deterministic partitioner with the same inputs.
+func (s *Snapshot) fragmentList() []*partition.Fragment {
+	out := make([]*partition.Fragment, len(s.frags))
+	for i, fe := range s.frags {
+		out[i] = fe.frag
+	}
+	return out
+}
+
 // fragPart is one fragment's partial result for one rule.
 type fragPart struct {
 	q   []graph.NodeID // Q-matching owned centers, global IDs
