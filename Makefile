@@ -16,7 +16,8 @@ test:
 	$(GO) build ./... && $(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race ./internal/serve/ ./internal/partition/ ./internal/match/ ./internal/mine/
+	$(GO) test -race ./internal/serve/ ./internal/partition/ ./internal/match/ \
+	    ./internal/mine/ ./internal/mine/wire/ ./internal/mine/remote/
 
 # Run the hot-path benchmarks with -benchmem and record them, joined
 # against their recorded baselines, in BENCH_match.json (matcher, vs
@@ -36,6 +37,8 @@ bench-mine:
 	    -benchmem -benchtime=2s ./internal/mine/ ./internal/diversify/ > bench.out
 	$(GO) test -run '^$$' -bench 'BenchmarkMineJob' \
 	    -benchmem -benchtime=2s ./internal/serve/ >> bench.out
+	$(GO) test -run '^$$' -bench 'BenchmarkDMineDistributed' \
+	    -benchmem -benchtime=2s ./internal/mine/remote/ >> bench.out
 	$(GO) run ./cmd/benchjson -set mine -o BENCH_mine.json < bench.out
 	@rm -f bench.out
 
@@ -52,6 +55,8 @@ bench-mine-short:
 	    -benchmem -benchtime=3x ./internal/mine/ ./internal/diversify/ > bench.out
 	$(GO) test -run '^$$' -bench 'BenchmarkMineJob' \
 	    -benchmem -benchtime=3x ./internal/serve/ >> bench.out
+	$(GO) test -run '^$$' -bench 'BenchmarkDMineDistributed' \
+	    -benchmem -benchtime=3x ./internal/mine/remote/ >> bench.out
 	$(GO) run ./cmd/benchjson -set mine < bench.out
 	@rm -f bench.out
 

@@ -65,6 +65,8 @@ func main() {
 		cache   = flag.Int("cache", 256, "match-set cache capacity")
 		window  = flag.Duration("batch-window", 0, "identify coalescing window (e.g. 2ms)")
 		eta     = flag.Float64("eta", 1.0, "default confidence bound η")
+		fleet   = flag.String("mine-workers", "", "comma-separated gparworker addresses; mine jobs run on this fleet")
+		stepTO  = flag.Duration("mine-step-timeout", 0, "per-superstep worker deadline for -mine-workers (0 = 2m)")
 	)
 	flag.Parse()
 
@@ -118,14 +120,20 @@ func main() {
 		fatal(errors.New("one of -rules or -pred is required"))
 	}
 
-	srv := serve.New(serve.Config{
-		Workers:     *workers,
-		MineShare:   *mineCPU,
-		PoolSize:    *pool,
-		CacheCap:    *cache,
-		BatchWindow: *window,
-		DefaultEta:  *eta,
-	})
+	cfg := serve.Config{
+		Workers:         *workers,
+		MineShare:       *mineCPU,
+		PoolSize:        *pool,
+		CacheCap:        *cache,
+		BatchWindow:     *window,
+		DefaultEta:      *eta,
+		MineStepTimeout: *stepTO,
+	}
+	if *fleet != "" {
+		cfg.MineWorkers = strings.Split(*fleet, ",")
+		log.Printf("mine jobs run on a %d-worker fleet (in-process fallback if unreachable)", len(cfg.MineWorkers))
+	}
+	srv := serve.New(cfg)
 	if err := srv.LoadSnapshot(g, pred, rules); err != nil {
 		fatal(err)
 	}

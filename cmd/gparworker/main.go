@@ -1,0 +1,75 @@
+// Command gparworker is the distributed-DMine worker daemon: it listens for
+// coordinator connections (gpard with -mine-workers, or gparmine -workers)
+// and hosts mining jobs over the binary wire protocol. Each job ships this
+// worker its graph fragment in the setup frame, so the daemon needs no graph
+// file, no configuration beyond an address, and no state between jobs.
+//
+// Usage:
+//
+//	gparworker -addr :9090 [-idle-timeout 5m] [-max-frame 268435456] [-quiet]
+//
+// A fleet is one gparworker per fragment; the coordinator connects to all of
+// them and drives BSP supersteps. See DESIGN.md ("Distributed DMine") for
+// the protocol and failure semantics.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gpar/internal/mine/remote"
+	"gpar/internal/mine/wire"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":9090", "listen address")
+		idle     = flag.Duration("idle-timeout", 5*time.Minute, "drop a connection idle this long (0 = never)")
+		maxFrame = flag.Int("max-frame", wire.DefaultMaxFrame, "largest accepted frame in bytes")
+		quiet    = flag.Bool("quiet", false, "suppress per-connection logging")
+	)
+	flag.Parse()
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	opts := remote.ServerOptions{
+		MaxFrame:    *maxFrame,
+		IdleTimeout: *idle,
+	}
+	if !*quiet {
+		opts.Logf = log.Printf
+	}
+	log.Printf("gparworker: serving on %s", l.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- remote.Serve(l, opts) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fatal(err)
+	case sig := <-sigc:
+		log.Printf("gparworker: received %v; closing", sig)
+		l.Close()
+		// In-flight jobs on accepted connections run to completion or until
+		// the coordinator disconnects; only the accept loop stops.
+		if err := <-errc; err != nil && !errors.Is(err, net.ErrClosed) {
+			log.Printf("gparworker: %v", err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gparworker:", err)
+	os.Exit(1)
+}

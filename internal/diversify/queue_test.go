@@ -1,0 +1,83 @@
+package diversify
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"gpar/internal/graph"
+)
+
+// TestQueueRecycleParity drives two queues — one recycling its per-round
+// structures (the default), one allocating fresh every round (NoRecycle) —
+// through many randomized incDiv rounds and requires identical state after
+// each: same pairs, same MinF, same flattened Lk. This pins that buffer
+// reuse in Update/dedupe/memo never changes results.
+func TestQueueRecycleParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := Params{K: 4, Lambda: 0.5, N: 3}
+	recycled := NewQueue(p)
+	fresh := NewQueue(p)
+	fresh.NoRecycle = true
+
+	var sigma []Entry
+	nextID := uint32(1)
+	for round := 0; round < 25; round++ {
+		// A round delivers 0..6 new rules; sigma accumulates them all.
+		// Occasionally repeat an existing ID inside deltaE to exercise dedupe.
+		var deltaE []Entry
+		for i, n := 0, rng.Intn(7); i < n; i++ {
+			set := make([]graph.NodeID, 0, 4)
+			for v := 0; v < 8; v++ {
+				if rng.Intn(2) == 0 {
+					set = append(set, graph.NodeID(v))
+				}
+			}
+			e := Entry{ID: nextID, Conf: rng.Float64(), Set: set}
+			nextID++
+			deltaE = append(deltaE, e)
+			sigma = append(sigma, e)
+			if rng.Intn(4) == 0 && len(sigma) > 1 {
+				deltaE = append(deltaE, sigma[rng.Intn(len(sigma))])
+			}
+		}
+		recycled.Update(deltaE, sigma)
+		fresh.Update(deltaE, sigma)
+
+		if recycled.Len() != fresh.Len() {
+			t.Fatalf("round %d: Len %d (recycled) vs %d (fresh)", round, recycled.Len(), fresh.Len())
+		}
+		if recycled.MinF() != fresh.MinF() {
+			t.Fatalf("round %d: MinF %v (recycled) vs %v (fresh)", round, recycled.MinF(), fresh.MinF())
+		}
+		if !reflect.DeepEqual(recycled.pairs, fresh.pairs) {
+			t.Fatalf("round %d: pairs diverge:\nrecycled %+v\nfresh    %+v", round, recycled.pairs, fresh.pairs)
+		}
+		if !reflect.DeepEqual(recycled.Entries(), fresh.Entries()) {
+			t.Fatalf("round %d: Entries diverge", round)
+		}
+	}
+}
+
+// TestQueueUpdateDoesNotRetainInputs pins the aliasing contract: the caller
+// may overwrite the deltaE/sigma slices it passed once Update returns.
+func TestQueueUpdateDoesNotRetainInputs(t *testing.T) {
+	p := Params{K: 2, Lambda: 0.5, N: 5}
+	q := NewQueue(p)
+	r5 := Entry{ID: 5, Conf: 0.8, Set: ids(1, 2, 3, 4)}
+	r6 := Entry{ID: 6, Conf: 0.4, Set: ids(4, 6)}
+	deltaE := []Entry{r5, r6}
+	sigma := []Entry{r5, r6}
+	q.Update(deltaE, sigma)
+	// Clobber the inputs; the queue must have copied what it kept.
+	for i := range deltaE {
+		deltaE[i] = Entry{ID: 999, Conf: -1}
+	}
+	for i := range sigma {
+		sigma[i] = Entry{ID: 999, Conf: -1}
+	}
+	got := q.Entries()
+	if len(got) != 2 || got[0].ID != 5 || got[1].ID != 6 {
+		t.Fatalf("queue retained caller storage: Entries = %+v", got)
+	}
+}

@@ -446,6 +446,47 @@ func (g *Graph) HasNodeAtDistance(v NodeID, dist int) bool {
 	return false
 }
 
+// EccentricityCapped returns v's undirected eccentricity — the largest
+// distance from v to any reachable node — capped at max: one BFS, stopped
+// early once depth max is reached. BFS levels are contiguous, so for any
+// d ≤ max, HasNodeAtDistance(v, d) ⟺ d ≤ EccentricityCapped(v, max):
+// the capped eccentricity answers every bounded distance probe. DMine's
+// distributed coordinator ships these per owned center so remote workers —
+// which hold only their fragment — can evaluate the whole-graph
+// extendability test of Lemma 3 exactly.
+func (g *Graph) EccentricityCapped(v NodeID, max int) int {
+	if max <= 0 {
+		return 0
+	}
+	s := acquireBFS(g.NumNodes())
+	defer bfsPool.Put(s)
+	s.stamp[v] = s.epoch
+	s.frontier = append(s.frontier, v)
+	ecc := 0
+	for depth := 1; depth <= max && len(s.frontier) > 0; depth++ {
+		s.next = s.next[:0]
+		for _, u := range s.frontier {
+			for _, e := range g.out[u] {
+				if s.stamp[e.To] != s.epoch {
+					s.stamp[e.To] = s.epoch
+					s.next = append(s.next, e.To)
+				}
+			}
+			for _, e := range g.in[u] {
+				if s.stamp[e.To] != s.epoch {
+					s.stamp[e.To] = s.epoch
+					s.next = append(s.next, e.To)
+				}
+			}
+		}
+		s.frontier, s.next = s.next, s.frontier
+		if len(s.frontier) > 0 {
+			ecc = depth
+		}
+	}
+	return ecc
+}
+
 // InducedSubgraph returns the subgraph induced by nodes (Section 2.1): the
 // nodes plus every edge of g whose endpoints are both in nodes. It also
 // returns toLocal mapping original IDs to IDs in the new graph, and toGlobal

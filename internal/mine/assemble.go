@@ -122,12 +122,14 @@ func (m *miner) assemble(frontier []*Mined, msgs []message) []*Mined {
 		id := m.newRuleID()
 		set := slices.Clone(gr.r)
 		mined := &Mined{
-			Rule:  &core.Rule{Q: gr.rule.Q.Clone(), Pred: gr.rule.Pred},
-			Stats: stats,
-			Conf:  stats.Conf(),
-			Set:   set,
-			id:    id,
-			bits:  diversify.MakeBits(set),
+			Rule:   &core.Rule{Q: gr.rule.Q.Clone(), Pred: gr.rule.Pred},
+			Stats:  stats,
+			Conf:   stats.Conf(),
+			Set:    set,
+			id:     id,
+			bits:   diversify.MakeBits(set),
+			parent: gr.key.parent,
+			ext:    gr.key.ext,
 		}
 		// Uconf+(R) = Σ Usupp_i(R,Fi) · supp(q̄,G) / supp(q,G) (Lemma 3).
 		if gr.flag {
@@ -177,7 +179,7 @@ func (m *miner) mergeShards(frontier []*Mined, msgs []message) []*group {
 		m.parents[p.id] = p
 	}
 
-	nsh := len(m.workers)
+	nsh := m.eng.numWorkers()
 	if nsh > len(msgs) {
 		nsh = len(msgs)
 	}
@@ -202,13 +204,13 @@ func (m *miner) mergeShards(frontier []*Mined, msgs []message) []*group {
 				gate.acquire()
 				defer gate.release()
 			}
-			m.workers[s].asm.merge(m, msgs, shardMsgs[s])
+			m.eng.shard(s).merge(m, msgs, shardMsgs[s])
 		}(s)
 	}
 	wg.Wait()
 	all := m.allGroups[:0]
 	for s := 0; s < nsh; s++ {
-		all = append(all, m.workers[s].asm.order...)
+		all = append(all, m.eng.shard(s).order...)
 	}
 	slices.SortFunc(all, func(a, b *group) int { return a.key.compare(b.key) })
 	m.allGroups = all
@@ -376,12 +378,12 @@ func (m *miner) registerBucket(bucket bucketID, id ruleID) {
 
 // diversifyAndFilter is lines 8-11 of Fig. 4: update the top-k structure,
 // apply the Lemma 3 reduction rules, pick the rules to extend next round,
-// and hand each worker its refreshed center frontier (carved from the
-// worker's frontier lane, whose previous round's views localMine has
-// already consumed).
-func (m *miner) diversifyAndFilter(deltaE []*Mined, round int) []*Mined {
+// and hand each worker its refreshed center frontier through the engine
+// (carved from the worker's frontier lane, whose previous round's views
+// localMine has already consumed).
+func (m *miner) diversifyAndFilter(deltaE []*Mined, round int) ([]*Mined, error) {
 	if m.opts.Incremental {
-		m.queue.Update(entriesOf(deltaE), m.allEntries())
+		m.queue.Update(m.entriesOf(deltaE), m.allEntries())
 	} else {
 		// DMineNo recomputes the diversification from scratch every round.
 		_ = diversify.Greedy(m.allEntries(), m.params)
@@ -402,23 +404,10 @@ func (m *miner) diversifyAndFilter(deltaE []*Mined, round int) []*Mined {
 		}
 		frontier = append(frontier, mined)
 	}
-	// Hand the frontier's Q-match centers back to the workers. Entries for
-	// retired rules are dropped: they would otherwise alias the recycled
-	// lane (and pin the map forever).
-	m.parallel(func(w *worker) {
-		clear(w.centersFor)
-		w.ar.frontier.reset()
-		for _, mined := range frontier {
-			mark := w.ar.frontier.mark()
-			for _, gv := range mined.qCenters {
-				if lv, ok := w.frag.Local(gv); ok && w.ownsCenter(lv) {
-					w.ar.frontier.push(lv)
-				}
-			}
-			w.centersFor[mined.id] = w.ar.frontier.take(mark)
-		}
-	})
-	return frontier
+	if err := m.eng.distribute(m, frontier); err != nil {
+		return nil, err
+	}
+	return frontier, nil
 }
 
 // applyReductionRules repeatedly applies the two rules of Lemma 3 until no
@@ -483,11 +472,17 @@ func reductionWeights(p diversify.Params) (confW, divW float64) {
 	return (1 - p.Lambda) / (n * km1), 2 * p.Lambda / km1
 }
 
-func entriesOf(deltaE []*Mined) []diversify.Entry {
-	out := make([]diversify.Entry, 0, len(deltaE))
+// entriesOf lists ∆E as diversifier entries, in the miner's recycled buffer
+// (valid until the next call; fresh under DisableArenas).
+func (m *miner) entriesOf(deltaE []*Mined) []diversify.Entry {
+	out := m.deltaEntries[:0]
+	if m.opts.DisableArenas || out == nil {
+		out = make([]diversify.Entry, 0, len(deltaE))
+	}
 	for _, mm := range deltaE {
 		out = append(out, diversify.Entry{ID: uint32(mm.id), Conf: mm.Conf, Set: mm.Set, B: mm.bits})
 	}
+	m.deltaEntries = out
 	return out
 }
 

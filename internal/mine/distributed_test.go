@@ -1,0 +1,226 @@
+package mine
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+	"testing"
+
+	"gpar/internal/gen"
+	"gpar/internal/graph"
+	"gpar/internal/mine/wire"
+)
+
+// loopbackConn drives a WorkerRuntime through the full wire codec path —
+// every frame is encoded to bytes and decoded back, exactly as over a
+// socket — without a socket. The TCP layer on top of this is
+// internal/mine/remote; this pins the protocol and runtime semantics.
+type loopbackConn struct {
+	rt *WorkerRuntime
+}
+
+func (c *loopbackConn) Setup(s *wire.JobSetup) (*wire.SetupAck, error) {
+	dec, err := wire.DecodeJobSetup(s.Append(nil))
+	if err != nil {
+		return nil, err
+	}
+	rt, ack, err := NewWorkerRuntime(dec)
+	if err != nil {
+		return nil, err
+	}
+	c.rt = rt
+	return wire.DecodeSetupAck(ack.Append(nil))
+}
+
+func (c *loopbackConn) Mine(rd *wire.Round) (*wire.Messages, error) {
+	dec, err := wire.DecodeRound(rd.Append(nil))
+	if err != nil {
+		return nil, err
+	}
+	ms, err := c.rt.Round(dec)
+	if err != nil {
+		return nil, err
+	}
+	// Encoding before returning is the contract: the reply aliases
+	// runtime-owned storage the next Round overwrites.
+	return wire.DecodeMessages(ms.Append(nil))
+}
+
+func (c *loopbackConn) Finish() error {
+	if c.rt != nil {
+		c.rt.Close()
+		c.rt = nil
+	}
+	return nil
+}
+
+func loopbackConns(n int) []WorkerConn {
+	conns := make([]WorkerConn, n)
+	for i := range conns {
+		conns[i] = &loopbackConn{}
+	}
+	return conns
+}
+
+// TestDMineDistributedMatchesLocal is the distributed engine's differential
+// contract: for every worker count, mining over wire-decoded remote
+// runtimes is byte-identical — result fingerprint and per-worker op counts
+// — to the in-process engine on the same context.
+func TestDMineDistributedMatchesLocal(t *testing.T) {
+	syms := graph.NewSymbols()
+	g := gen.Pokec(syms, gen.DefaultPokec(300, 5))
+	pred := gen.PokecPredicates(syms)[0]
+	base := Options{
+		K: 6, Sigma: 3, D: 2, Lambda: 0.5,
+		MaxEdges: 2, EmbedCap: 1 << 20,
+	}.WithOptimizations()
+
+	for _, n := range []int{1, 2, 3, 8} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			o := base
+			o.N = n
+			o = o.Defaults()
+			ctx := NewContext(g, pred.XLabel, o)
+			want := DMineCtx(ctx, pred, o)
+
+			got, err := DMineDistributed(ctx, pred, o, loopbackConns(n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fw, fg := fingerprint(want), fingerprint(got); fw != fg {
+				t.Fatalf("distributed result differs from local:\n--- local ---\n%s--- distributed ---\n%s", fw, fg)
+			}
+			if !slices.Equal(want.WorkerOps, got.WorkerOps) {
+				t.Fatalf("WorkerOps = %v, want %v", got.WorkerOps, want.WorkerOps)
+			}
+		})
+	}
+}
+
+// TestDMineDistributedArenasOff pins the DisableArenas switch across the
+// wire: the flag ships in JobSetup and the remote rounds must still be
+// byte-identical to the local arenas-off run.
+func TestDMineDistributedArenasOff(t *testing.T) {
+	syms := graph.NewSymbols()
+	g := gen.Pokec(syms, gen.DefaultPokec(200, 9))
+	pred := gen.PokecPredicates(syms)[0]
+	o := Options{
+		K: 6, Sigma: 2, D: 2, Lambda: 0.5, N: 3,
+		MaxEdges: 2, EmbedCap: 1 << 20, DisableArenas: true,
+	}.WithOptimizations().Defaults()
+	ctx := NewContext(g, pred.XLabel, o)
+	want := fingerprint(DMineCtx(ctx, pred, o))
+	got, err := DMineDistributed(ctx, pred, o, loopbackConns(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fg := fingerprint(got); fg != want {
+		t.Fatalf("arenas-off distributed result differs from local:\n%s\nvs\n%s", want, fg)
+	}
+}
+
+// TestDMineDistributedEmbedCap covers the truncating EmbedCap path: remote
+// workers enumerate embeddings canonically from their decoded fragments,
+// so even a cap of 1 keeps results layout- and transport-independent.
+func TestDMineDistributedEmbedCap(t *testing.T) {
+	syms := graph.NewSymbols()
+	g := gen.Pokec(syms, gen.DefaultPokec(200, 9))
+	pred := gen.PokecPredicates(syms)[0]
+	o := Options{
+		K: 6, Sigma: 2, D: 2, Lambda: 0.5, N: 2,
+		MaxEdges: 2, EmbedCap: 1,
+	}.WithOptimizations().Defaults()
+	ctx := NewContext(g, pred.XLabel, o)
+	want := fingerprint(DMineCtx(ctx, pred, o))
+	got, err := DMineDistributed(ctx, pred, o, loopbackConns(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fg := fingerprint(got); fg != want {
+		t.Fatal("EmbedCap=1 distributed result differs from local")
+	}
+}
+
+// failingConn fails every call after a configurable number of successful
+// Mine supersteps.
+type failingConn struct {
+	inner    loopbackConn
+	mineOK   int
+	failWith error
+}
+
+func (c *failingConn) Setup(s *wire.JobSetup) (*wire.SetupAck, error) {
+	if c.mineOK < 0 {
+		return nil, c.failWith
+	}
+	return c.inner.Setup(s)
+}
+
+func (c *failingConn) Mine(rd *wire.Round) (*wire.Messages, error) {
+	if c.mineOK == 0 {
+		return nil, c.failWith
+	}
+	c.mineOK--
+	return c.inner.Mine(rd)
+}
+
+func (c *failingConn) Finish() error { return c.inner.Finish() }
+
+// TestDMineDistributedWorkerFailure pins the failure contract: a worker
+// failing mid-run surfaces as a *WorkerError naming that worker, the run
+// returns no result, and no panic or hang occurs. Setup-phase and
+// superstep-phase failures both count.
+func TestDMineDistributedWorkerFailure(t *testing.T) {
+	syms := graph.NewSymbols()
+	g := gen.Pokec(syms, gen.DefaultPokec(200, 9))
+	pred := gen.PokecPredicates(syms)[0]
+	o := Options{
+		K: 6, Sigma: 2, D: 2, Lambda: 0.5, N: 3,
+		MaxEdges: 2, EmbedCap: 1 << 20,
+	}.WithOptimizations().Defaults()
+	ctx := NewContext(g, pred.XLabel, o)
+
+	for _, tc := range []struct {
+		name   string
+		mineOK int
+	}{
+		{"setup", -1},
+		{"first superstep", 0},
+		{"second superstep", 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cause := errors.New("connection reset")
+			conns := loopbackConns(3)
+			conns[1] = &failingConn{mineOK: tc.mineOK, failWith: cause}
+			res, err := DMineDistributed(ctx, pred, o, conns)
+			if res != nil {
+				t.Fatal("failed run returned a result")
+			}
+			var we *WorkerError
+			if !errors.As(err, &we) {
+				t.Fatalf("error %T (%v), want *WorkerError", err, err)
+			}
+			if we.Worker != 1 {
+				t.Fatalf("failure attributed to worker %d, want 1", we.Worker)
+			}
+			if !errors.Is(err, cause) {
+				t.Fatalf("error chain %v does not unwrap to the cause", err)
+			}
+		})
+	}
+}
+
+// TestDMineDistributedConnCountMismatch: the connection count must match
+// the context's fragment count exactly.
+func TestDMineDistributedConnCountMismatch(t *testing.T) {
+	syms := graph.NewSymbols()
+	f := gen.G1(syms)
+	pred := gen.VisitPredicate(syms)
+	o := baseOpts()
+	o.N = 2
+	o = o.Defaults()
+	ctx := NewContext(f.G, pred.XLabel, o)
+	if _, err := DMineDistributed(ctx, pred, o, loopbackConns(3)); err == nil {
+		t.Fatal("mismatched connection count accepted")
+	}
+}

@@ -63,7 +63,10 @@ func BenchmarkLocalMineRound(b *testing.B) {
 	opts = opts.Defaults()
 	g.Freeze()
 	m := newMiner(NewContext(g, pred.XLabel, opts), pred, opts, nil)
-	frontier := m.prepare()
+	frontier, err := m.prepare()
+	if err != nil {
+		b.Fatal(err)
+	}
 	if frontier == nil {
 		b.Fatal("trivial workload")
 	}
@@ -83,17 +86,17 @@ func BenchmarkDiscoverExtensions(b *testing.B) {
 	g, pred, opts := dmineBenchInput()
 	g.Freeze()
 	m := newMiner(NewContext(g, pred.XLabel, opts), pred, opts.Defaults(), nil)
+	lp := m.localParams()
 	cands := g.NodesWithLabel(pred.XLabel)
 	frag := partition.Whole(g, cands)
 	frag.G.Freeze()
 	w := &worker{id: 0, frag: frag}
 	seedQ := pattern.New(g.Symbols())
 	seedQ.X = seedQ.AddNodeL(pred.XLabel)
-	parent := &Mined{Rule: &core.Rule{Q: seedQ, Pred: pred}}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		accs := w.discoverExtensions(m, parent, frag.Centers, match.Options{})
+		accs := w.discoverExtensions(lp, seedQ, frag.Centers, match.Options{})
 		if len(accs) == 0 {
 			b.Fatal("no extensions discovered")
 		}

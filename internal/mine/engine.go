@@ -1,0 +1,246 @@
+package mine
+
+import (
+	"sync"
+
+	"gpar/internal/core"
+	"gpar/internal/graph"
+	"gpar/internal/pattern"
+)
+
+// engine abstracts where the N mining workers execute. The coordinator loop
+// (miner.runE) is engine-agnostic: it drives BSP supersteps and runs the
+// deterministic assemble/diversify reduce, while the engine owns worker
+// placement — goroutines over in-process fragments (localEngine) or remote
+// worker services reached over connections (remoteEngine). Both produce the
+// same message stream in the same order, so results are byte-identical by
+// construction; the differential tests pin it.
+//
+// Engine errors only occur on the remote path (a worker connection failing
+// mid-superstep); the local engine never fails.
+type engine interface {
+	// attach binds the run's workers, classifies every owned center against
+	// the predicate (round 0 — Pq, q̄ and their supports never change), and
+	// returns the per-worker (|Pq(x,Fi)|, |q̄ ∩ Fi|) counts.
+	attach(m *miner) (npq, npqbar []int, err error)
+	// seedFrontier installs the round-1 frontier on every worker: all owned
+	// centers match the seed rule's empty antecedent.
+	seedFrontier(m *miner) error
+	// generate runs the localMine superstep over the frontier on every
+	// worker and returns the messages concatenated in worker order.
+	generate(m *miner, frontier []*Mined) ([]message, error)
+	// distribute hands each frontier rule's Q-match centers back to the
+	// workers that own them, for the next round's localMine.
+	distribute(m *miner, frontier []*Mined) error
+	// numWorkers is the fragment/worker count N.
+	numWorkers() int
+	// shard exposes assembly shard i's recycled scratch; the coordinator's
+	// merge phase runs on these regardless of where the workers execute.
+	shard(i int) *asmScratch
+	// ops returns the cumulative per-worker match-operation counts.
+	ops() []int64
+	// close releases worker resources. It is idempotent; runE defers it so
+	// workers are returned on every exit path, including errors.
+	close(m *miner)
+}
+
+// localParams is the slice of coordinator state localMine actually reads —
+// extracted from *miner so the same verification code runs inside a remote
+// worker service, which has no coordinator.
+type localParams struct {
+	pred     core.Predicate
+	d        int
+	embedCap int
+	syms     *graph.Symbols
+}
+
+// localParams bundles the run parameters a localMine superstep needs.
+func (m *miner) localParams() localParams {
+	return localParams{pred: m.pred, d: m.opts.D, embedCap: m.opts.EmbedCap, syms: m.g.Symbols()}
+}
+
+// localRule is a frontier rule as localMine sees it: its run-wide id and its
+// antecedent pattern. Coordinator-side bookkeeping (stats, diversification
+// bits) never reaches the workers.
+type localRule struct {
+	id ruleID
+	q  *pattern.Pattern
+}
+
+// localEngine runs the workers as goroutines over in-process fragments —
+// the single-process mode of DMine/DMineCtx/Shared.DMine.
+type localEngine struct {
+	// shared is the cross-predicate accumulator, nil for standalone runs
+	// (which draw workers from the global pool instead).
+	shared  *Shared
+	workers []*worker
+	msgBuf  []message   // recycled concatenation buffer (generate)
+	lrBuf   []localRule // recycled frontier projection (generate)
+	closed  bool
+}
+
+func (e *localEngine) attach(m *miner) ([]int, []int, error) {
+	// The partition + freeze preamble lives on the context; a cached or
+	// shared context skips it entirely. Standalone runs draw workers from
+	// the global pool (close returns them), so even a cold DMine reuses
+	// previously grown arenas and scratch.
+	if e.shared != nil {
+		e.workers = e.shared.attachWorkers()
+	} else {
+		e.workers = make([]*worker, len(m.ctx.frags))
+		for i, f := range m.ctx.frags {
+			e.workers[i] = acquireWorker(i, f, m.g)
+		}
+	}
+	// Arena mode is per run (shared workers may alternate between modes).
+	for _, w := range e.workers {
+		w.setRecycleMode(m.opts.DisableArenas)
+	}
+	pred := m.pred
+	e.parallel(m.opts.Gate, func(w *worker) { w.classify(pred) })
+	npq := make([]int, len(e.workers))
+	npqbar := make([]int, len(e.workers))
+	for i, w := range e.workers {
+		npq[i], npqbar[i] = w.npq, w.npqbar
+	}
+	return npq, npqbar, nil
+}
+
+func (e *localEngine) seedFrontier(m *miner) error {
+	for i, w := range e.workers {
+		// All owned centers match the empty antecedent. With a shared
+		// accumulator the pre-sorted seed frontier is reused across
+		// predicates; localMine only ever re-sorts it in place.
+		if e.shared != nil {
+			w.centersFor[seedID] = e.shared.seed(i)
+		} else {
+			w.centersFor[seedID] = append([]graph.NodeID(nil), w.frag.Centers...)
+		}
+	}
+	return nil
+}
+
+func (e *localEngine) generate(m *miner, frontier []*Mined) ([]message, error) {
+	lr := e.lrBuf[:0]
+	for _, p := range frontier {
+		lr = append(lr, localRule{id: p.id, q: p.Rule.Q})
+	}
+	e.lrBuf = lr
+	lp := m.localParams()
+	e.parallel(m.opts.Gate, func(w *worker) { w.localMine(lp, lr) })
+	msgs := e.msgBuf[:0]
+	for _, w := range e.workers {
+		msgs = append(msgs, w.msgs...)
+	}
+	e.msgBuf = msgs
+	return msgs, nil
+}
+
+func (e *localEngine) distribute(m *miner, frontier []*Mined) error {
+	e.parallel(m.opts.Gate, func(w *worker) {
+		w.beginFrontier()
+		for _, mined := range frontier {
+			w.setFrontierCenters(mined.id, mined.qCenters)
+		}
+	})
+	return nil
+}
+
+func (e *localEngine) numWorkers() int         { return len(e.workers) }
+func (e *localEngine) shard(i int) *asmScratch { return &e.workers[i].asm }
+
+func (e *localEngine) ops() []int64 {
+	out := make([]int64, 0, len(e.workers))
+	for _, w := range e.workers {
+		out = append(out, w.ops)
+	}
+	return out
+}
+
+func (e *localEngine) close(m *miner) {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	// Standalone workers return to the pool; a Shared accumulator keeps its
+	// workers (their memoized probes are part of the cross-run reuse).
+	if e.shared == nil {
+		for _, w := range e.workers {
+			w.release()
+		}
+	}
+	e.workers = nil
+}
+
+// parallel runs fn on every worker concurrently and waits (one BSP
+// superstep). A configured Gate bounds how many run at once; results never
+// depend on the interleaving, only on the per-worker outputs.
+func (e *localEngine) parallel(gate *Gate, fn func(w *worker)) {
+	var wg sync.WaitGroup
+	for _, w := range e.workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			if gate != nil {
+				gate.acquire()
+				defer gate.release()
+			}
+			fn(w)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// classify computes Pq, q̄ and their supports over the worker's owned
+// centers (round 0 — they never change for the run). The q-edge scan walks
+// the frozen fragment's CSR label range for the predicate's edge label
+// instead of the full out-adjacency.
+func (w *worker) classify(pred core.Predicate) {
+	n := w.frag.G.NumNodes()
+	if len(w.pq) == n { // shared worker: reuse the classification buffers
+		clear(w.pq)
+		clear(w.pqbar)
+	} else {
+		w.pq = make([]bool, n)
+		w.pqbar = make([]bool, n)
+	}
+	for _, c := range w.frag.Centers {
+		qEdges := w.frag.G.OutRangeL(c, pred.EdgeLabel)
+		hasMatch := false
+		for _, e := range qEdges {
+			if w.frag.G.Label(e.To) == pred.YLabel {
+				hasMatch = true
+				break
+			}
+		}
+		if hasMatch {
+			w.pq[c] = true
+			w.npq++
+		} else if len(qEdges) > 0 {
+			w.pqbar[c] = true
+			w.npqbar++
+		}
+	}
+}
+
+// beginFrontier starts a new frontier hand-off: previous entries are
+// dropped (they would otherwise alias the recycled lane and pin the map
+// forever) and the frontier lane is reclaimed — by this point the previous
+// round's frontier views have all been consumed by localMine.
+func (w *worker) beginFrontier() {
+	clear(w.centersFor)
+	w.ar.frontier.reset()
+}
+
+// setFrontierCenters installs one frontier rule's next-round center list:
+// the subset of its Q-match centers (global IDs) this worker owns, as local
+// IDs carved from the frontier lane.
+func (w *worker) setFrontierCenters(id ruleID, qCenters []graph.NodeID) {
+	mark := w.ar.frontier.mark()
+	for _, gv := range qCenters {
+		if lv, ok := w.frag.Local(gv); ok && w.ownsCenter(lv) {
+			w.ar.frontier.push(lv)
+		}
+	}
+	w.centersFor[id] = w.ar.frontier.take(mark)
+}

@@ -9,24 +9,23 @@ import (
 	"gpar/internal/pattern"
 )
 
-// generate is the parallel GPAR-generation superstep (procedure localMine of
-// Fig. 4): every worker extends each frontier rule by one edge discovered in
-// the data around its owned centers, verifies local supports, and emits one
-// message per candidate extension.
+// This file is the parallel GPAR-generation superstep (procedure localMine
+// of Fig. 4): every worker extends each frontier rule by one edge discovered
+// in the data around its owned centers, verifies local supports, and emits
+// one message per candidate extension.
 //
 // No coordinator-side sort is needed: each worker emits in deterministic
-// (frontier, extension) order, the concatenation below is by worker id, and
+// (frontier, extension) order, the engines concatenate by worker id, and
 // the sharded assembly re-establishes a global deterministic group order in
 // its reduce.
+
+// generate runs one generate superstep on the engine; a method so the round
+// benchmark can measure the steady-state superstep in isolation.
 func (m *miner) generate(frontier []*Mined) []message {
-	m.parallel(func(w *worker) {
-		w.localMine(m, frontier)
-	})
-	msgs := m.msgBuf[:0]
-	for _, w := range m.workers {
-		msgs = append(msgs, w.msgs...)
+	msgs, err := m.eng.generate(m, frontier)
+	if err != nil {
+		panic(err) // local engine only; it cannot fail
 	}
-	m.msgBuf = msgs
 	return msgs
 }
 
@@ -46,12 +45,12 @@ type extAcc struct {
 // into the worker's message lanes). Candidate rules are materialized into
 // per-worker scratch patterns — only the coordinator materializes one
 // heap rule per distinct candidate, at assembly.
-func (w *worker) localMine(m *miner, frontier []*Mined) {
+func (w *worker) localMine(lp localParams, frontier []localRule) {
 	out := w.msgs[:0]
 	w.ar.resetMessages()
 	if w.qScratch == nil {
-		w.qScratch = pattern.New(m.g.Symbols())
-		w.prScratch = pattern.New(m.g.Symbols())
+		w.qScratch = pattern.New(lp.syms)
+		w.prScratch = pattern.New(lp.syms)
 	}
 	opts := match.Options{}
 	for _, parent := range frontier {
@@ -62,32 +61,32 @@ func (w *worker) localMine(m *miner, frontier []*Mined) {
 		// Keep the frontier sorted ascending once, so every accumulator's
 		// center list is built already sorted.
 		slices.Sort(centers)
-		accs := w.discoverExtensions(m, parent, centers, opts)
+		accs := w.discoverExtensions(lp, parent.q, centers, opts)
 		for _, acc := range accs {
 			// Materialize the candidate into recycled scratch (fresh heap
 			// copies under DisableArenas); the scratch is dead once the
 			// matcher below releases.
 			var q, pr *pattern.Pattern
 			if w.noRecycle {
-				q = parent.Rule.Q.Apply(acc.ext)
+				q = parent.q.Apply(acc.ext)
 			} else {
-				q = parent.Rule.Q.ApplyInto(w.qScratch, acc.ext)
+				q = parent.q.ApplyInto(w.qScratch, acc.ext)
 			}
 			if q == nil {
 				continue
 			}
-			child := core.Rule{Q: q, Pred: parent.Rule.Pred}
+			child := core.Rule{Q: q, Pred: lp.pred}
 			if w.noRecycle {
 				pr = child.PR()
 			} else {
 				pr = child.PRInto(w.prScratch)
 			}
 			// Admissibility: q(x,y) ∉ Q and the radius bound r(PR, x) ≤ d.
-			if q.Y != pattern.NoNode && q.HasEdge(q.X, q.Y, m.pred.EdgeLabel) {
+			if q.Y != pattern.NoNode && q.HasEdge(q.X, q.Y, lp.pred.EdgeLabel) {
 				continue
 			}
 			w.distBuf = pr.DistancesInto(w.distBuf, pr.X)
-			if rad := radiusFrom(w.distBuf); rad < 0 || rad > m.opts.D {
+			if rad := radiusFrom(w.distBuf); rad < 0 || rad > lp.d {
 				continue
 			}
 			w.distBuf = q.DistancesInto(w.distBuf, q.X)
@@ -108,7 +107,7 @@ func (w *worker) localMine(m *miner, frontier []*Mined) {
 					if prm.HasMatchAt(c) {
 						w.ar.r.push(gv)
 						// Usupp_i: PR matches that still have room to grow.
-						if w.hasNodeAtDistance(gv, radius+1) {
+						if w.extendable(c, gv, radius+1) {
 							w.ar.usupp.push(gv)
 						}
 					}
@@ -165,8 +164,7 @@ func radiusFrom(dist []int) int {
 //
 // The returned accumulators are sorted by Extension.Compare and owned by
 // the worker: they are recycled on the next call.
-func (w *worker) discoverExtensions(m *miner, parent *Mined, centers []graph.NodeID, opts match.Options) []*extAcc {
-	q := parent.Rule.Q
+func (w *worker) discoverExtensions(lp localParams, q *pattern.Pattern, centers []graph.NodeID, opts match.Options) []*extAcc {
 	w.distXBuf = q.DistancesInto(w.distXBuf, q.X)
 	distX := w.distXBuf
 	w.resetAccs()
@@ -188,7 +186,7 @@ func (w *worker) discoverExtensions(m *miner, parent *Mined, centers []graph.Nod
 		}
 	}
 	embedOpts := opts
-	embedOpts.MaxMatches = m.opts.EmbedCap
+	embedOpts.MaxMatches = lp.embedCap
 	embedOpts.Canonical = true
 	for _, vx := range centers {
 		w.ops++
@@ -209,7 +207,7 @@ func (w *worker) discoverExtensions(m *miner, parent *Mined, centers []graph.Nod
 			for u, dv := range asgn {
 				// The new node would sit at distance distX[u]+1 from x;
 				// enforce the antecedent radius bound r(Q, x) <= d.
-				canGrow := distX[u] >= 0 && distX[u]+1 <= m.opts.D
+				canGrow := distX[u] >= 0 && distX[u]+1 <= lp.d
 				for _, e := range w.frag.G.Out(dv) {
 					if w.invEpoch[e.To] == epoch {
 						u2 := int(w.inv[e.To])
@@ -223,7 +221,7 @@ func (w *worker) discoverExtensions(m *miner, parent *Mined, centers []graph.Nod
 					}
 					l := w.frag.G.Label(e.To)
 					add(pattern.Extension{Src: u, Outgoing: true, EdgeLabel: e.Label, NewLabel: l, Close: pattern.NoNode})
-					if q.Y == pattern.NoNode && l == m.pred.YLabel {
+					if q.Y == pattern.NoNode && l == lp.pred.YLabel {
 						add(pattern.Extension{Src: u, Outgoing: true, EdgeLabel: e.Label, NewLabel: l, Close: pattern.NoNode, AsY: true})
 					}
 				}
@@ -240,7 +238,7 @@ func (w *worker) discoverExtensions(m *miner, parent *Mined, centers []graph.Nod
 					}
 					l := w.frag.G.Label(e.To)
 					add(pattern.Extension{Src: u, Outgoing: false, EdgeLabel: e.Label, NewLabel: l, Close: pattern.NoNode})
-					if q.Y == pattern.NoNode && l == m.pred.YLabel {
+					if q.Y == pattern.NoNode && l == lp.pred.YLabel {
 						add(pattern.Extension{Src: u, Outgoing: false, EdgeLabel: e.Label, NewLabel: l, Close: pattern.NoNode, AsY: true})
 					}
 				}

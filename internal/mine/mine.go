@@ -125,6 +125,14 @@ type Mined struct {
 	// qCenters is Q(x,G) over the mining frontier (global IDs, sorted); it
 	// seeds the workers' next-round center lists.
 	qCenters []graph.NodeID
+	// parent and ext record the growth step that produced the rule: the
+	// parent's id and the extension applied to it. The distributed engine
+	// ships frontier rules structurally as (id, parent, ext, qCenters) and
+	// remote workers rebuild Q as parentQ.Apply(ext) — Apply is
+	// deterministic, so the rebuilt pattern is byte-identical to the
+	// coordinator's materialization.
+	parent ruleID
+	ext    pattern.Extension
 }
 
 // Key returns the rule's stable identity within one run, in the printable
@@ -181,7 +189,7 @@ func DMineNo(g *graph.Graph, pred core.Predicate, opts Options) *Result {
 type worker struct {
 	id   int
 	frag *partition.Fragment
-	g    *graph.Graph // the whole graph, read-only (extendability probes)
+	g    *graph.Graph // the whole graph, read-only (extendability probes); nil on remote workers
 
 	pq     []bool // pq[local] : center is in Pq(x,Fi)
 	pqbar  []bool // pqbar[local] : center is in the q̄ set
@@ -212,6 +220,15 @@ type worker struct {
 	// same extendability probe recurs across rules and rounds. Owned
 	// centers are disjoint across workers, so caches never duplicate work.
 	distCache map[distKey]bool
+
+	// ecc, when non-nil, replaces the whole-graph extendability probe: a
+	// remote worker has no whole graph, so the coordinator ships each owned
+	// center's whole-graph eccentricity capped at MaxEdges+1 (indexed by
+	// local node ID; non-centers are never probed). BFS levels are
+	// contiguous, so HasNodeAtDistance(v, d) ⟺ d ≤ ecc(v), and every probe
+	// distance is ≤ MaxEdges+1 — the table answers exactly what the global
+	// graph would.
+	ecc []int32
 
 	// Extension-discovery scratch (discoverExtensions): an epoch-stamped
 	// dense inverse-embedding index in the style of the matcher's used-set
@@ -269,6 +286,18 @@ type distKey struct {
 // or fewer nodes depending on which other centers share the fragment —
 // i.e. on the worker count. The global answer is the same for every
 // partitioning (and is the tighter reading of the Lemma 3 upper bound).
+// extendable is the Usupp probe of Lemma 3: does the whole graph still have
+// a node at distance d from center c (local) / gv (global)? Local workers
+// answer from the memoized whole-graph probe; remote workers answer from the
+// shipped capped-eccentricity table — the two are equal for every probe
+// distance the miner issues (≤ MaxEdges+1, the table's cap).
+func (w *worker) extendable(c, gv graph.NodeID, d int) bool {
+	if w.ecc != nil {
+		return d <= int(w.ecc[c])
+	}
+	return w.hasNodeAtDistance(gv, d)
+}
+
 func (w *worker) hasNodeAtDistance(gv graph.NodeID, d int) bool {
 	if w.distCache == nil {
 		w.distCache = make(map[distKey]bool)
@@ -322,10 +351,11 @@ type miner struct {
 	g    *graph.Graph
 	pred core.Predicate
 	opts Options
-	// shared is the cross-predicate accumulator, nil for standalone runs.
-	shared *Shared
+	// eng places the workers: goroutines over in-process fragments
+	// (localEngine) or remote worker services (remoteEngine). The
+	// coordinator's reduce below is identical either way.
+	eng engine
 
-	workers []*worker
 	suppQ1  int // supp(q,G)
 	suppQbr int // supp(q̄,G)
 
@@ -349,8 +379,14 @@ type miner struct {
 	parents    map[ruleID]*Mined
 	shardIdx   [][]int32
 	allGroups  []*group
-	msgBuf     []message
 	mergeArena nodeArena
+
+	// Recycled diversifier-entry buffers: allEntries (Σ) and entriesOf (∆E)
+	// rebuild these each round instead of allocating. The queue copies what
+	// it keeps (pairs hold Entry values), so reuse is aliasing-safe. Fresh
+	// allocations under Options.DisableArenas.
+	sigmaEntries []diversify.Entry
+	deltaEntries []diversify.Entry
 }
 
 // newMiner wires a coordinator over a prebuilt context. With a Shared
@@ -358,14 +394,14 @@ type miner struct {
 // otherwise they are fresh.
 func newMiner(ctx *Context, pred core.Predicate, opts Options, sh *Shared) *miner {
 	m := &miner{
-		ctx:    ctx,
-		g:      ctx.g,
-		pred:   pred,
-		opts:   opts,
-		shared: sh,
-		sigma:  make([]*Mined, 1), // slot 0: seed
-		uconf:  make([]float64, 1),
-		res:    &Result{},
+		ctx:   ctx,
+		g:     ctx.g,
+		pred:  pred,
+		opts:  opts,
+		eng:   &localEngine{shared: sh},
+		sigma: make([]*Mined, 1), // slot 0: seed
+		uconf: make([]float64, 1),
+		res:   &Result{},
 	}
 	if sh != nil {
 		m.buckets = &sh.buckets
@@ -383,21 +419,48 @@ func (m *miner) newRuleID() ruleID {
 	return m.lastID
 }
 
+// run drives runE for engines that cannot fail (the local engine).
 func (m *miner) run() *Result {
-	frontier := m.prepare()
+	res, err := m.runE()
+	if err != nil {
+		// Only the remote engine produces errors, and its entry points call
+		// runE directly; a local-engine error is a programming bug.
+		panic(err)
+	}
+	return res
+}
+
+// runE is the coordinator loop of Fig. 4, engine-agnostic: prepare (round
+// 0), then per round one generate superstep, the deterministic assemble
+// reduce, and the diversify/filter/distribute step. Errors are remote
+// worker failures; the deferred close releases workers on every exit path,
+// so a failed distributed run never leaks (and never installs a partial Σ —
+// the Result is simply not returned).
+func (m *miner) runE() (*Result, error) {
+	defer m.eng.close(m)
+	frontier, err := m.prepare()
+	if err != nil {
+		return nil, err
+	}
 	if frontier == nil {
 		// Trivial case 1: q(x,y) specifies no user in G.
-		return m.res
+		return m.res, nil
 	}
 	for r := 1; r <= m.opts.MaxEdges && len(frontier) > 0; r++ {
 		m.res.Rounds = r
-		msgs := m.generate(frontier)
+		msgs, err := m.eng.generate(m, frontier)
+		if err != nil {
+			return nil, err
+		}
 		deltaE := m.assemble(frontier, msgs)
-		frontier = m.diversifyAndFilter(deltaE, r)
+		frontier, err = m.diversifyAndFilter(deltaE, r)
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	m.finish()
-	return m.res
+	return m.res, nil
 }
 
 // prepare attaches the workers, classifies every owned center against the
@@ -405,61 +468,18 @@ func (m *miner) run() *Result {
 // the seed frontier. It returns nil when the predicate is trivial on the
 // graph. Factored out of run so the round benchmark can measure a single
 // steady-state generate superstep.
-func (m *miner) prepare() []*Mined {
-	// The partition + freeze preamble lives on the context; a cached or
-	// shared context skips it entirely. Standalone runs draw workers from
-	// the global pool (finish returns them), so even a cold DMine reuses
-	// previously grown arenas and scratch.
-	if m.shared != nil {
-		m.workers = m.shared.attachWorkers()
-	} else {
-		m.workers = make([]*worker, len(m.ctx.frags))
-		for i, f := range m.ctx.frags {
-			m.workers[i] = acquireWorker(i, f, m.g)
-		}
-	}
-	// Arena mode is per run (shared workers may alternate between modes).
-	for _, w := range m.workers {
-		w.setRecycleMode(m.opts.DisableArenas)
-	}
+func (m *miner) prepare() ([]*Mined, error) {
 	m.mergeArena.noRecycle = m.opts.DisableArenas
-
-	// Round 0: compute Pq, q̄ and their supports once (they never change).
-	// The q-edge scan walks the frozen fragment's CSR label range for the
-	// predicate's edge label instead of the full out-adjacency.
-	m.parallel(func(w *worker) {
-		n := w.frag.G.NumNodes()
-		if len(w.pq) == n { // shared worker: reuse the classification buffers
-			clear(w.pq)
-			clear(w.pqbar)
-		} else {
-			w.pq = make([]bool, n)
-			w.pqbar = make([]bool, n)
-		}
-		for _, c := range w.frag.Centers {
-			qEdges := w.frag.G.OutRangeL(c, m.pred.EdgeLabel)
-			hasMatch := false
-			for _, e := range qEdges {
-				if w.frag.G.Label(e.To) == m.pred.YLabel {
-					hasMatch = true
-					break
-				}
-			}
-			if hasMatch {
-				w.pq[c] = true
-				w.npq++
-			} else if len(qEdges) > 0 {
-				w.pqbar[c] = true
-				w.npqbar++
-			}
-		}
-	})
-	for _, w := range m.workers {
-		m.suppQ1 += w.npq
-		m.suppQbr += w.npqbar
+	npq, npqbar, err := m.eng.attach(m)
+	if err != nil {
+		return nil, err
+	}
+	for i := range npq {
+		m.suppQ1 += npq[i]
+		m.suppQbr += npqbar[i]
 	}
 	if m.suppQ1 == 0 {
-		return nil
+		return nil, nil
 	}
 	m.params = diversify.Params{
 		K:      m.opts.K,
@@ -467,6 +487,7 @@ func (m *miner) prepare() []*Mined {
 		N:      float64(m.suppQ1) * float64(m.suppQbr),
 	}
 	m.queue = diversify.NewQueue(m.params)
+	m.queue.NoRecycle = m.opts.DisableArenas
 
 	// Seed: the bare rule with an empty antecedent (just x, and y when the
 	// predicate's y participates in Q growth). It is never reported (it is
@@ -477,38 +498,10 @@ func (m *miner) prepare() []*Mined {
 		Rule: &core.Rule{Q: seedQ, Pred: m.pred},
 		id:   seedID,
 	}
-	frontier := []*Mined{seed}
-	for i, w := range m.workers {
-		// All owned centers match the empty antecedent. With a shared
-		// accumulator the pre-sorted seed frontier is reused across
-		// predicates; localMine only ever re-sorts it in place.
-		if m.shared != nil {
-			w.centersFor[seedID] = m.shared.seed(i)
-		} else {
-			w.centersFor[seedID] = append([]graph.NodeID(nil), w.frag.Centers...)
-		}
+	if err := m.eng.seedFrontier(m); err != nil {
+		return nil, err
 	}
-	return frontier
-}
-
-// parallel runs fn on every worker concurrently and waits (one BSP
-// superstep). A configured Gate bounds how many run at once; results never
-// depend on the interleaving, only on the per-worker outputs.
-func (m *miner) parallel(fn func(w *worker)) {
-	var wg sync.WaitGroup
-	gate := m.opts.Gate
-	for _, w := range m.workers {
-		wg.Add(1)
-		go func(w *worker) {
-			defer wg.Done()
-			if gate != nil {
-				gate.acquire()
-				defer gate.release()
-			}
-			fn(w)
-		}(w)
-	}
-	wg.Wait()
+	return []*Mined{seed}, nil
 }
 
 // setRecycleMode flips the worker between arena recycling and the plain
@@ -539,6 +532,7 @@ func acquireWorker(id int, frag *partition.Fragment, g *graph.Graph) *worker {
 	w.npq, w.npqbar = 0, 0
 	w.ops = 0
 	w.centerSet = nil // fragment-specific; rebuilt lazily by ownsCenter
+	w.ecc = nil       // a pooled worker may have last served a remote runtime
 	if w.distCache != nil {
 		clear(w.distCache) // memoizes a property of the previous graph
 	}
@@ -577,17 +571,10 @@ func (m *miner) finish() {
 		}
 	}
 	slices.SortFunc(m.res.All, byConfThenID)
-	for _, w := range m.workers {
-		m.res.WorkerOps = append(m.res.WorkerOps, w.ops)
-		if w.ops > m.res.MaxWorkerOp {
-			m.res.MaxWorkerOp = w.ops
-		}
-	}
-	// Standalone workers return to the pool; a Shared accumulator keeps its
-	// workers (their memoized probes are part of the cross-run reuse).
-	if m.shared == nil {
-		for _, w := range m.workers {
-			w.release()
+	m.res.WorkerOps = m.eng.ops()
+	for _, op := range m.res.WorkerOps {
+		if op > m.res.MaxWorkerOp {
+			m.res.MaxWorkerOp = op
 		}
 	}
 }
@@ -610,9 +597,13 @@ func (m *miner) sigmaByID(id ruleID) *Mined {
 	return m.sigma[id]
 }
 
-// allEntries lists Σ as diversifier entries in ascending id order.
+// allEntries lists Σ as diversifier entries in ascending id order. The
+// returned slice is the miner's recycled buffer — valid until the next call.
 func (m *miner) allEntries() []diversify.Entry {
-	out := make([]diversify.Entry, 0, len(m.sigma))
+	out := m.sigmaEntries[:0]
+	if m.opts.DisableArenas || out == nil {
+		out = make([]diversify.Entry, 0, len(m.sigma))
+	}
 	for id := seedID + 1; id <= m.lastID; id++ {
 		mm := m.sigma[id]
 		if mm == nil {
@@ -620,5 +611,6 @@ func (m *miner) allEntries() []diversify.Entry {
 		}
 		out = append(out, diversify.Entry{ID: uint32(id), Conf: mm.Conf, Set: mm.Set, B: mm.bits})
 	}
+	m.sigmaEntries = out
 	return out
 }

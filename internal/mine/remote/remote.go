@@ -1,0 +1,220 @@
+// Package remote runs distributed DMine over TCP: a worker service (Serve)
+// that hosts mine.WorkerRuntime jobs behind the wire protocol, and the
+// coordinator's client side — Conn, a mine.WorkerConn over one TCP
+// connection, DialFleet to bring up a full worker fleet, and Mine as the
+// one-call entry point.
+//
+// Failure semantics are strict and typed: dial-phase failures wrap
+// ErrFleetUnavailable (the caller can fall back to in-process mining,
+// nothing has started); any failure after setup — a worker crash, a stall
+// past the per-step deadline, a protocol violation — surfaces from Mine as
+// a *mine.WorkerError naming the worker, the job installs nothing, and the
+// connection is dead (a Conn's error is sticky). Connections that complete
+// a job stay open and serve subsequent jobs.
+package remote
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"gpar/internal/core"
+	"gpar/internal/mine"
+	"gpar/internal/mine/wire"
+)
+
+// ErrFleetUnavailable marks dial-phase failures: no worker has been touched,
+// so falling back to in-process mining is safe and clean.
+var ErrFleetUnavailable = errors.New("remote: fleet unavailable")
+
+// RemoteError is a failure the worker itself reported in an Error frame
+// (fragment decode failure, inapplicable extension, job-state violation) —
+// as opposed to transport errors, which arrive as net or wire errors.
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return "remote: worker reported: " + e.Msg }
+
+// DialOptions tunes the coordinator's client side. The zero value means
+// defaults.
+type DialOptions struct {
+	// DialTimeout bounds TCP connect plus handshake per worker (default 5s).
+	DialTimeout time.Duration
+	// StepTimeout bounds each request/reply exchange: one superstep of one
+	// worker must answer within it or the job fails (default 2m). This is
+	// the stalled-worker guillotine the coordinator relies on.
+	StepTimeout time.Duration
+	// MaxFrame bounds accepted frame sizes (default wire.DefaultMaxFrame).
+	MaxFrame int
+}
+
+func (o DialOptions) defaults() DialOptions {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.StepTimeout <= 0 {
+		o.StepTimeout = 2 * time.Minute
+	}
+	if o.MaxFrame <= 0 {
+		o.MaxFrame = wire.DefaultMaxFrame
+	}
+	return o
+}
+
+// Conn is one worker connection as the coordinator drives it. It implements
+// mine.WorkerConn; calls are sequential per Conn (the distributed engine
+// guarantees it). Errors are sticky: after any failure every later call
+// fails immediately, so a broken worker cannot half-participate in a
+// subsequent job.
+type Conn struct {
+	c    net.Conn
+	opts DialOptions
+	buf  []byte // frame read buffer, reused
+	enc  []byte // payload encode buffer, reused
+	err  error  // sticky failure
+}
+
+// Dial connects to one worker and completes the protocol handshake.
+func Dial(addr string, opts DialOptions) (*Conn, error) {
+	opts = opts.defaults()
+	nc, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	if err := nc.SetDeadline(time.Now().Add(opts.DialTimeout)); err == nil {
+		err = wire.WriteHandshake(nc)
+		if err == nil {
+			err = wire.ReadHandshake(nc)
+		}
+	}
+	if err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("%s: %w", addr, err)
+	}
+	return &Conn{c: nc, opts: opts}, nil
+}
+
+// roundTrip sends one frame and reads the typed reply under the step
+// deadline, translating worker-reported Error frames and recording any
+// failure as sticky.
+func (c *Conn) roundTrip(reqType byte, payload []byte, wantType byte) ([]byte, error) {
+	if c.err != nil {
+		return nil, c.err
+	}
+	fail := func(err error) ([]byte, error) {
+		c.err = err
+		return nil, err
+	}
+	if err := c.c.SetDeadline(time.Now().Add(c.opts.StepTimeout)); err != nil {
+		return fail(err)
+	}
+	if err := wire.WriteFrame(c.c, reqType, payload); err != nil {
+		return fail(err)
+	}
+	typ, reply, buf, err := wire.ReadFrame(c.c, c.buf, c.opts.MaxFrame)
+	c.buf = buf
+	if err != nil {
+		return fail(err)
+	}
+	if typ == wire.TypeError {
+		ef, derr := wire.DecodeError(reply)
+		if derr != nil {
+			return fail(derr)
+		}
+		return fail(&RemoteError{Msg: ef.Msg})
+	}
+	if typ != wantType {
+		return fail(fmt.Errorf("remote: reply frame type %d, want %d", typ, wantType))
+	}
+	return reply, nil
+}
+
+// Setup implements mine.WorkerConn.
+func (c *Conn) Setup(s *wire.JobSetup) (*wire.SetupAck, error) {
+	c.enc = s.Append(c.enc[:0])
+	reply, err := c.roundTrip(wire.TypeJobSetup, c.enc, wire.TypeSetupAck)
+	if err != nil {
+		return nil, err
+	}
+	ack, err := wire.DecodeSetupAck(reply)
+	if err != nil {
+		c.err = err
+		return nil, err
+	}
+	return ack, nil
+}
+
+// Mine implements mine.WorkerConn.
+func (c *Conn) Mine(rd *wire.Round) (*wire.Messages, error) {
+	c.enc = rd.Append(c.enc[:0])
+	reply, err := c.roundTrip(wire.TypeRound, c.enc, wire.TypeMessages)
+	if err != nil {
+		return nil, err
+	}
+	ms, err := wire.DecodeMessages(reply)
+	if err != nil {
+		c.err = err
+		return nil, err
+	}
+	return ms, nil
+}
+
+// Finish implements mine.WorkerConn: it ends the job and leaves the
+// connection ready for the next one (the worker echoes the frame).
+func (c *Conn) Finish() error {
+	_, err := c.roundTrip(wire.TypeFinish, nil, wire.TypeFinish)
+	return err
+}
+
+// Close tears the connection down. Safe after errors.
+func (c *Conn) Close() error {
+	if c.err == nil {
+		c.err = errors.New("remote: connection closed")
+	}
+	return c.c.Close()
+}
+
+// DialFleet connects to every worker address in parallel. On any failure it
+// closes whatever connected and returns an error wrapping
+// ErrFleetUnavailable — all-or-nothing, so a partial fleet never mines.
+func DialFleet(addrs []string, opts DialOptions) ([]*Conn, error) {
+	conns := make([]*Conn, len(addrs))
+	errs := make([]error, len(addrs))
+	var wg sync.WaitGroup
+	for i, addr := range addrs {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			conns[i], errs[i] = Dial(addr, opts)
+		}(i, addr)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			CloseAll(conns)
+			return nil, fmt.Errorf("%w: %v", ErrFleetUnavailable, err)
+		}
+	}
+	return conns, nil
+}
+
+// CloseAll closes every non-nil connection.
+func CloseAll(conns []*Conn) {
+	for _, c := range conns {
+		if c != nil {
+			c.Close()
+		}
+	}
+}
+
+// Mine runs one distributed mining job over an established fleet: it is
+// mine.DMineDistributed with the []*Conn plumbing. The fleet remains usable
+// for further jobs when the returned error is nil.
+func Mine(ctx *mine.Context, pred core.Predicate, opts mine.Options, conns []*Conn) (*mine.Result, error) {
+	wcs := make([]mine.WorkerConn, len(conns))
+	for i, c := range conns {
+		wcs[i] = c
+	}
+	return mine.DMineDistributed(ctx, pred, opts, wcs)
+}

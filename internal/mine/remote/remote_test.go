@@ -1,0 +1,373 @@
+package remote
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"slices"
+	"strings"
+	"testing"
+	"time"
+
+	"gpar/internal/core"
+	"gpar/internal/gen"
+	"gpar/internal/graph"
+	"gpar/internal/mine"
+	"gpar/internal/mine/wire"
+)
+
+// startWorkers brings up n worker services on loopback TCP and returns
+// their addresses. Listeners close on test cleanup, which ends each Serve
+// loop.
+func startWorkers(t testing.TB, n int, opts ServerOptions) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { l.Close() })
+		go Serve(l, opts)
+		addrs[i] = l.Addr().String()
+	}
+	return addrs
+}
+
+// fingerprint serializes every exported field of a Result — including the
+// per-worker op counts, which must survive the wire — so local and
+// distributed runs compare byte-identically.
+func fingerprint(res *mine.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "rounds=%d generated=%d kept=%d pruned=%d iso=%d bisim=%d F=%.17g\n",
+		res.Rounds, res.Generated, res.Kept, res.Pruned, res.IsoChecks, res.BisimSkips, res.F)
+	fmt.Fprintf(&b, "ops=%v max=%d\n", res.WorkerOps, res.MaxWorkerOp)
+	dump := func(name string, ms []mine.Mined) {
+		fmt.Fprintf(&b, "%s %d\n", name, len(ms))
+		for _, mm := range ms {
+			fmt.Fprintf(&b, "  %s rule=%v stats=%+v conf=%.17g set=%v\n",
+				mm.Key(), mm.Rule.Q, mm.Stats, mm.Conf, mm.Set)
+		}
+	}
+	dump("topk", res.TopK)
+	dump("all", res.All)
+	return b.String()
+}
+
+func pokecFixture(users int, seed int64) (*graph.Graph, core.Predicate) {
+	syms := graph.NewSymbols()
+	g := gen.Pokec(syms, gen.DefaultPokec(users, seed))
+	return g, gen.PokecPredicates(syms)[0]
+}
+
+// TestMineMatchesLocalTCP is the acceptance differential: byte-identical
+// distributed results over loopback TCP vs single-process DMineCtx for
+// every worker count.
+func TestMineMatchesLocalTCP(t *testing.T) {
+	g, pred := pokecFixture(300, 5)
+	base := mine.Options{
+		K: 6, Sigma: 3, D: 2, Lambda: 0.5,
+		MaxEdges: 2, EmbedCap: 1 << 20,
+	}.WithOptimizations()
+
+	for _, n := range []int{1, 2, 3, 8} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			o := base
+			o.N = n
+			o = o.Defaults()
+			ctx := mine.NewContext(g, pred.XLabel, o)
+			want := fingerprint(mine.DMineCtx(ctx, pred, o))
+
+			addrs := startWorkers(t, n, ServerOptions{})
+			conns, err := DialFleet(addrs, DialOptions{StepTimeout: 30 * time.Second})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer CloseAll(conns)
+			res, err := Mine(ctx, pred, o, conns)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := fingerprint(res); got != want {
+				t.Fatalf("distributed result differs from local:\n--- local ---\n%s--- distributed ---\n%s", want, got)
+			}
+		})
+	}
+}
+
+// TestMineMultiJobReuse runs several predicates' jobs back to back over one
+// fleet — the DMineMulti shape — pinning both connection reuse across jobs
+// and per-predicate byte-identity with the in-process engine.
+func TestMineMultiJobReuse(t *testing.T) {
+	syms := graph.NewSymbols()
+	g := gen.Pokec(syms, gen.DefaultPokec(250, 7))
+	preds := gen.PokecPredicates(syms)
+	if len(preds) > 3 {
+		preds = preds[:3]
+	}
+	o := mine.Options{
+		K: 6, Sigma: 2, D: 2, Lambda: 0.5, N: 3,
+		MaxEdges: 2, EmbedCap: 1 << 20,
+	}.WithOptimizations().Defaults()
+
+	want := mine.DMineMulti(g, preds, o)
+
+	addrs := startWorkers(t, 3, ServerOptions{})
+	conns, err := DialFleet(addrs, DialOptions{StepTimeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer CloseAll(conns)
+
+	ctxs := make(map[graph.Label]*mine.Context)
+	for i, mr := range want {
+		ctx := ctxs[mr.Pred.XLabel]
+		if ctx == nil {
+			ctx = mine.NewContext(g, mr.Pred.XLabel, o)
+			ctxs[mr.Pred.XLabel] = ctx
+		}
+		res, err := Mine(ctx, mr.Pred, o, conns)
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		if fw, fg := fingerprint(mr.Result), fingerprint(res); fw != fg {
+			t.Fatalf("job %d differs from DMineMulti:\n%s\nvs\n%s", i, fw, fg)
+		}
+	}
+}
+
+// stalledWorker accepts one connection, completes the handshake, then reads
+// frames forever without ever answering — the pathological peer the
+// coordinator's step deadline exists for.
+func stalledWorker(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		if wire.ReadHandshake(conn) != nil || wire.WriteHandshake(conn) != nil {
+			return
+		}
+		var buf []byte
+		for {
+			if _, _, nb, err := wire.ReadFrame(conn, buf, 0); err != nil {
+				return
+			} else {
+				buf = nb
+			}
+		}
+	}()
+	return l.Addr().String()
+}
+
+// TestStalledWorkerTimesOut: a worker that accepts the job but never
+// answers must fail the run with a typed *mine.WorkerError within the
+// configured step deadline — no hang, no partial result.
+func TestStalledWorkerTimesOut(t *testing.T) {
+	g, pred := pokecFixture(150, 3)
+	o := mine.Options{
+		K: 4, Sigma: 2, D: 2, Lambda: 0.5, N: 2,
+		MaxEdges: 2, EmbedCap: 1 << 20,
+	}.WithOptimizations().Defaults()
+	ctx := mine.NewContext(g, pred.XLabel, o)
+
+	addrs := startWorkers(t, 1, ServerOptions{})
+	addrs = append(addrs, stalledWorker(t))
+	conns, err := DialFleet(addrs, DialOptions{StepTimeout: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer CloseAll(conns)
+
+	start := time.Now()
+	res, err := Mine(ctx, pred, o, conns)
+	elapsed := time.Since(start)
+	if res != nil {
+		t.Fatal("stalled run returned a result")
+	}
+	var we *mine.WorkerError
+	if !errors.As(err, &we) {
+		t.Fatalf("error %T (%v), want *mine.WorkerError", err, err)
+	}
+	if we.Worker != 1 {
+		t.Fatalf("failure attributed to worker %d, want the stalled worker 1", we.Worker)
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("cause %v is not a timeout", err)
+	}
+	// Well within the deadline plus slack: the close path's Finish also
+	// fails fast on the sticky error.
+	if elapsed > 5*time.Second {
+		t.Fatalf("stalled run took %v to fail", elapsed)
+	}
+}
+
+// droppingWorker serves the handshake and the setup exchange, then cuts the
+// connection on the first Round frame — a mid-superstep crash.
+func droppingWorker(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		if wire.ReadHandshake(conn) != nil || wire.WriteHandshake(conn) != nil {
+			return
+		}
+		var buf []byte
+		for {
+			typ, payload, nb, err := wire.ReadFrame(conn, buf, 0)
+			if err != nil {
+				return
+			}
+			buf = nb
+			if typ != wire.TypeJobSetup {
+				return // first Round frame: drop the connection mid-superstep
+			}
+			setup, err := wire.DecodeJobSetup(payload)
+			if err != nil {
+				return
+			}
+			rt, ack, err := mine.NewWorkerRuntime(setup)
+			if err != nil {
+				return
+			}
+			defer rt.Close()
+			if wire.WriteFrame(conn, wire.TypeSetupAck, ack.Append(nil)) != nil {
+				return
+			}
+		}
+	}()
+	return l.Addr().String()
+}
+
+// TestMidSuperstepDisconnect: a worker dying between setup and its first
+// superstep reply fails the job cleanly and promptly with a typed error.
+func TestMidSuperstepDisconnect(t *testing.T) {
+	g, pred := pokecFixture(150, 3)
+	o := mine.Options{
+		K: 4, Sigma: 2, D: 2, Lambda: 0.5, N: 2,
+		MaxEdges: 2, EmbedCap: 1 << 20,
+	}.WithOptimizations().Defaults()
+	ctx := mine.NewContext(g, pred.XLabel, o)
+
+	addrs := []string{startWorkers(t, 1, ServerOptions{})[0], droppingWorker(t)}
+	conns, err := DialFleet(addrs, DialOptions{StepTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer CloseAll(conns)
+
+	res, err := Mine(ctx, pred, o, conns)
+	if res != nil {
+		t.Fatal("disconnected run returned a result")
+	}
+	var we *mine.WorkerError
+	if !errors.As(err, &we) {
+		t.Fatalf("error %T (%v), want *mine.WorkerError", err, err)
+	}
+	if we.Worker != 1 {
+		t.Fatalf("failure attributed to worker %d, want the dropped worker 1", we.Worker)
+	}
+}
+
+// TestDialFleetUnavailable: any unreachable worker makes the whole fleet
+// unavailable, typed so callers can fall back to in-process mining.
+func TestDialFleetUnavailable(t *testing.T) {
+	good := startWorkers(t, 1, ServerOptions{})
+	// A listener that is closed immediately: connection refused.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := l.Addr().String()
+	l.Close()
+
+	conns, err := DialFleet(append(good, dead), DialOptions{DialTimeout: time.Second})
+	if err == nil {
+		CloseAll(conns)
+		t.Fatal("partial fleet dialed successfully")
+	}
+	if !errors.Is(err, ErrFleetUnavailable) {
+		t.Fatalf("error %v does not wrap ErrFleetUnavailable", err)
+	}
+}
+
+// TestWorkerIdleTimeout: a service with an idle deadline drops a silent
+// connection, and the coordinator sees the break on its next call.
+func TestWorkerIdleTimeout(t *testing.T) {
+	addrs := startWorkers(t, 1, ServerOptions{IdleTimeout: 100 * time.Millisecond})
+	conns, err := DialFleet(addrs, DialOptions{StepTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer CloseAll(conns)
+	time.Sleep(400 * time.Millisecond)
+	if err := conns[0].Finish(); err == nil {
+		t.Fatal("call on an idle-dropped connection succeeded")
+	}
+}
+
+// TestArenasOffTCP pins the DisableArenas differential over real TCP for
+// good measure: the flag rides JobSetup and must not change results.
+func TestArenasOffTCP(t *testing.T) {
+	g, pred := pokecFixture(150, 3)
+	o := mine.Options{
+		K: 4, Sigma: 2, D: 2, Lambda: 0.5, N: 2,
+		MaxEdges: 2, EmbedCap: 1 << 20, DisableArenas: true,
+	}.WithOptimizations().Defaults()
+	ctx := mine.NewContext(g, pred.XLabel, o)
+	want := fingerprint(mine.DMineCtx(ctx, pred, o))
+
+	addrs := startWorkers(t, 2, ServerOptions{})
+	conns, err := DialFleet(addrs, DialOptions{StepTimeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer CloseAll(conns)
+	res, err := Mine(ctx, pred, o, conns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fingerprint(res); got != want {
+		t.Fatal("arenas-off distributed result differs from local")
+	}
+}
+
+// workerOpsEqual guards the ops lane: a quick sanity check that WorkerOps
+// really crossed the wire (non-zero on a non-trivial run).
+func TestWorkerOpsCrossWire(t *testing.T) {
+	g, pred := pokecFixture(150, 3)
+	o := mine.Options{
+		K: 4, Sigma: 2, D: 2, Lambda: 0.5, N: 2,
+		MaxEdges: 2, EmbedCap: 1 << 20,
+	}.WithOptimizations().Defaults()
+	ctx := mine.NewContext(g, pred.XLabel, o)
+	addrs := startWorkers(t, 2, ServerOptions{})
+	conns, err := DialFleet(addrs, DialOptions{StepTimeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer CloseAll(conns)
+	res, err := Mine(ctx, pred, o, conns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.WorkerOps) != 2 || slices.Max(res.WorkerOps) == 0 {
+		t.Fatalf("WorkerOps = %v, want two non-zero counts", res.WorkerOps)
+	}
+}

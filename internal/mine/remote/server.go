@@ -1,0 +1,155 @@
+package remote
+
+import (
+	"net"
+	"time"
+
+	"gpar/internal/mine"
+	"gpar/internal/mine/wire"
+)
+
+// ServerOptions tunes a worker service. The zero value means defaults.
+type ServerOptions struct {
+	// MaxFrame bounds accepted frame sizes (default wire.DefaultMaxFrame).
+	MaxFrame int
+	// IdleTimeout, when positive, bounds how long a connection may sit
+	// without traffic — between jobs or mid-job — before the worker drops
+	// it, so a dead coordinator cannot pin worker state forever. 0 means
+	// no deadline.
+	IdleTimeout time.Duration
+	// Logf, when non-nil, receives one line per connection-level event
+	// (accepted, job started, failed, closed).
+	Logf func(format string, args ...any)
+}
+
+func (o ServerOptions) defaults() ServerOptions {
+	if o.MaxFrame <= 0 {
+		o.MaxFrame = wire.DefaultMaxFrame
+	}
+	return o
+}
+
+func (o *ServerOptions) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// Serve accepts coordinator connections on l and hosts mining jobs until
+// the listener closes (the Accept error is returned). Each connection runs
+// its own goroutine and serves jobs sequentially: JobSetup → Rounds →
+// Finish, repeated. Any job-level failure is reported in an Error frame and
+// the connection is closed — a broken job never limps along.
+func Serve(l net.Listener, opts ServerOptions) error {
+	opts = opts.defaults()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go serveConn(conn, &opts)
+	}
+}
+
+// serveConn is one coordinator connection's lifetime.
+func serveConn(conn net.Conn, opts *ServerOptions) {
+	defer conn.Close()
+	peer := conn.RemoteAddr()
+	opts.logf("remote: %v connected", peer)
+
+	var rt *mine.WorkerRuntime
+	defer func() {
+		if rt != nil {
+			rt.Close()
+		}
+		opts.logf("remote: %v closed", peer)
+	}()
+
+	deadline := func() bool {
+		var t time.Time
+		if opts.IdleTimeout > 0 {
+			t = time.Now().Add(opts.IdleTimeout)
+		}
+		return conn.SetDeadline(t) == nil
+	}
+	// The coordinator (dialer) speaks first; both directions are validated.
+	if !deadline() || wire.ReadHandshake(conn) != nil || wire.WriteHandshake(conn) != nil {
+		return
+	}
+
+	fail := func(err error) {
+		opts.logf("remote: %v: %v", peer, err)
+		ef := wire.ErrorFrame{Msg: err.Error()}
+		_ = wire.WriteFrame(conn, wire.TypeError, ef.Append(nil))
+	}
+
+	var buf, enc []byte
+	for {
+		if !deadline() {
+			return
+		}
+		typ, payload, newBuf, err := wire.ReadFrame(conn, buf, opts.MaxFrame)
+		if err != nil {
+			return // peer gone or protocol breakdown; nothing to answer
+		}
+		buf = newBuf
+		switch typ {
+		case wire.TypeJobSetup:
+			if rt != nil {
+				fail(protocolErr("job setup while a job is active"))
+				return
+			}
+			setup, err := wire.DecodeJobSetup(payload)
+			if err != nil {
+				fail(err)
+				return
+			}
+			newRT, ack, err := mine.NewWorkerRuntime(setup)
+			if err != nil {
+				fail(err)
+				return
+			}
+			rt = newRT
+			opts.logf("remote: %v: job %d as worker %d", peer, setup.JobID, setup.Worker)
+			enc = ack.Append(enc[:0])
+			if wire.WriteFrame(conn, wire.TypeSetupAck, enc) != nil {
+				return
+			}
+		case wire.TypeRound:
+			if rt == nil {
+				fail(protocolErr("round frame outside a job"))
+				return
+			}
+			rd, err := wire.DecodeRound(payload)
+			if err != nil {
+				fail(err)
+				return
+			}
+			ms, err := rt.Round(rd)
+			if err != nil {
+				fail(err)
+				return
+			}
+			// Encode before the next frame read: the reply aliases
+			// runtime-owned storage the next Round overwrites.
+			enc = ms.Append(enc[:0])
+			if wire.WriteFrame(conn, wire.TypeMessages, enc) != nil {
+				return
+			}
+		case wire.TypeFinish:
+			if rt != nil {
+				rt.Close()
+				rt = nil
+			}
+			if wire.WriteFrame(conn, wire.TypeFinish, nil) != nil {
+				return
+			}
+		default:
+			fail(protocolErr("unexpected frame type"))
+			return
+		}
+	}
+}
+
+// protocolErr builds the worker-side protocol violation error.
+func protocolErr(msg string) error { return &wire.FrameError{Msg: msg} }

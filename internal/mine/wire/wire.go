@@ -1,0 +1,246 @@
+// Package wire is the binary protocol of distributed DMine: versioned,
+// length-prefixed frames carrying the BSP superstep traffic between the
+// mining coordinator and its remote workers — job setup (symbols, options,
+// the worker's fragment and extendability table), per-round frontier
+// hand-offs, the workers' <R, conf, flag> message streams, and job
+// teardown.
+//
+// Everything on the wire is structural: a candidate GPAR travels as its
+// (parent ruleID, extension) pair plus four flat center lanes of global
+// node IDs, exactly the shape the in-process engine passes between its
+// phases, so the coordinator's deterministic assembly reduce consumes
+// remote and local messages identically. Integers are unsigned varints
+// (signed varints where a sentinel -1 is legal); frames are [u32 length]
+// [u8 type][payload] with a configurable length guard on the read side.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Protocol identity. The handshake is exchanged once per connection; every
+// frame after it is versioned implicitly by the negotiated version.
+const (
+	// Magic opens the handshake: "GPWK" followed by the Version byte.
+	Magic = "GPWK"
+	// Version is the protocol version this package speaks.
+	Version = 1
+)
+
+// Frame types.
+const (
+	// TypeJobSetup: coordinator → worker. Everything one worker needs for a
+	// mining job: symbols, predicate, options, its fragment, its
+	// extendability table.
+	TypeJobSetup byte = 1
+	// TypeSetupAck: worker → coordinator. Round-0 classification counts.
+	TypeSetupAck byte = 2
+	// TypeRound: coordinator → worker. One superstep's frontier; the worker
+	// answers with TypeMessages.
+	TypeRound byte = 3
+	// TypeMessages: worker → coordinator. The superstep's candidate
+	// messages plus the worker's cumulative op count.
+	TypeMessages byte = 4
+	// TypeFinish: coordinator → worker, ending the job; the worker echoes
+	// it and awaits the next TypeJobSetup on the same connection.
+	TypeFinish byte = 5
+	// TypeError: either direction. A typed failure; the job is dead.
+	TypeError byte = 6
+)
+
+// DefaultMaxFrame bounds how large a frame the read side accepts by
+// default: large enough for any realistic fragment or message batch, small
+// enough that a corrupt length prefix cannot OOM the process.
+const DefaultMaxFrame = 1 << 28 // 256 MiB
+
+// FrameError is the typed error for every protocol-level failure: bad
+// magic, version mismatch, oversized or truncated frames, and malformed
+// payloads.
+type FrameError struct{ Msg string }
+
+func (e *FrameError) Error() string { return "wire: " + e.Msg }
+
+func errorf(format string, args ...any) error {
+	return &FrameError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// WriteHandshake sends the protocol magic and version.
+func WriteHandshake(w io.Writer) error {
+	var hs [len(Magic) + 1]byte
+	copy(hs[:], Magic)
+	hs[len(Magic)] = Version
+	_, err := w.Write(hs[:])
+	return err
+}
+
+// ReadHandshake consumes and validates the peer's magic and version.
+func ReadHandshake(r io.Reader) error {
+	var hs [len(Magic) + 1]byte
+	if _, err := io.ReadFull(r, hs[:]); err != nil {
+		return errorf("handshake: %v", err)
+	}
+	if string(hs[:len(Magic)]) != Magic {
+		return errorf("handshake: bad magic %q", hs[:len(Magic)])
+	}
+	if hs[len(Magic)] != Version {
+		return errorf("handshake: peer speaks version %d, want %d", hs[len(Magic)], Version)
+	}
+	return nil
+}
+
+// WriteFrame writes one [u32 length][u8 type][payload] frame. The length
+// covers the type byte plus the payload.
+func WriteFrame(w io.Writer, typ byte, payload []byte) error {
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
+	hdr[4] = typ
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) == 0 {
+		return nil
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame, reusing buf for the payload when it is large
+// enough. maxFrame guards the length prefix (0 means DefaultMaxFrame); a
+// frame beyond it is a protocol error, not an allocation.
+func ReadFrame(r io.Reader, buf []byte, maxFrame int) (typ byte, payload, newBuf []byte, err error) {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, buf, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n == 0 {
+		return 0, nil, buf, errorf("zero-length frame")
+	}
+	if int64(n) > int64(maxFrame) {
+		return 0, nil, buf, errorf("frame of %d bytes exceeds limit %d", n, maxFrame)
+	}
+	typ = hdr[4]
+	body := int(n) - 1
+	if cap(buf) < body {
+		buf = make([]byte, body)
+	}
+	payload = buf[:body]
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, buf, errorf("truncated frame: %v", err)
+	}
+	return typ, payload, buf, nil
+}
+
+// ---------------------------------------------------------------------------
+// Varint primitives shared by the payload codecs.
+
+// reader decodes varints with a sticky error, so payload decoders read
+// linearly and check once at the end.
+type reader struct {
+	buf []byte
+	err error
+}
+
+func (r *reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = errorf(format, args...)
+	}
+}
+
+func (r *reader) uvarint(what string) uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, k := binary.Uvarint(r.buf)
+	if k <= 0 {
+		r.fail("truncated payload reading %s", what)
+		return 0
+	}
+	r.buf = r.buf[k:]
+	return v
+}
+
+func (r *reader) varint(what string) int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, k := binary.Varint(r.buf)
+	if k <= 0 {
+		r.fail("truncated payload reading %s", what)
+		return 0
+	}
+	r.buf = r.buf[k:]
+	return v
+}
+
+// intf decodes a uvarint that must fit a non-negative int32-sized int
+// (node IDs, labels, counts).
+func (r *reader) intf(what string) int {
+	v := r.uvarint(what)
+	if r.err == nil && v > uint64(int32(^uint32(0)>>1)) {
+		r.fail("%s %d overflows int32", what, v)
+		return 0
+	}
+	return int(v)
+}
+
+func (r *reader) bool(what string) bool {
+	if r.err != nil {
+		return false
+	}
+	if len(r.buf) == 0 {
+		r.fail("truncated payload reading %s", what)
+		return false
+	}
+	b := r.buf[0]
+	r.buf = r.buf[1:]
+	if b > 1 {
+		r.fail("%s byte is %d, want 0 or 1", what, b)
+		return false
+	}
+	return b == 1
+}
+
+func (r *reader) bytes(what string) []byte {
+	n := r.intf(what)
+	if r.err != nil {
+		return nil
+	}
+	if n > len(r.buf) {
+		r.fail("truncated payload reading %s (%d of %d bytes)", what, len(r.buf), n)
+		return nil
+	}
+	out := r.buf[:n]
+	r.buf = r.buf[n:]
+	return out
+}
+
+func (r *reader) string(what string) string { return string(r.bytes(what)) }
+
+// done asserts the payload was fully consumed.
+func (r *reader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if len(r.buf) != 0 {
+		return errorf("%d trailing bytes after payload", len(r.buf))
+	}
+	return nil
+}
+
+func appendBool(dst []byte, b bool) []byte {
+	if b {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}

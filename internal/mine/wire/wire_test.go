@@ -1,0 +1,253 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"gpar/internal/graph"
+	"gpar/internal/pattern"
+)
+
+func TestHandshakeRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteHandshake(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ReadHandshake(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHandshakeErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+	}{
+		{"empty", ""},
+		{"short", "GP"},
+		{"bad magic", "NOPE\x01"},
+		{"bad version", "GPWK\x63"},
+	}
+	for _, tc := range cases {
+		err := ReadHandshake(strings.NewReader(tc.data))
+		if err == nil {
+			t.Errorf("%s: handshake accepted, want error", tc.name)
+		} else if _, ok := err.(*FrameError); !ok {
+			t.Errorf("%s: error type %T, want *FrameError", tc.name, err)
+		}
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{nil, {}, {0xaa}, bytes.Repeat([]byte{7}, 4096)}
+	for i, p := range payloads {
+		if err := WriteFrame(&buf, byte(i+1), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var scratch []byte
+	for i, p := range payloads {
+		typ, got, newBuf, err := ReadFrame(&buf, scratch, 0)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		scratch = newBuf
+		if typ != byte(i+1) {
+			t.Fatalf("frame %d: type %d, want %d", i, typ, i+1)
+		}
+		if !bytes.Equal(got, p) {
+			t.Fatalf("frame %d: payload %x, want %x", i, got, p)
+		}
+	}
+	if _, _, _, err := ReadFrame(&buf, scratch, 0); err != io.EOF {
+		t.Fatalf("read past last frame: %v, want io.EOF", err)
+	}
+}
+
+func TestFrameErrors(t *testing.T) {
+	// A frame larger than the limit must be rejected without allocation.
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, TypeRound, make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := ReadFrame(&buf, nil, 50); err == nil {
+		t.Fatal("oversized frame accepted")
+	} else if _, ok := err.(*FrameError); !ok {
+		t.Fatalf("oversized frame error type %T, want *FrameError", err)
+	}
+
+	// Zero-length frames are a protocol error (the type byte is mandatory).
+	if _, _, _, err := ReadFrame(bytes.NewReader([]byte{0, 0, 0, 0}), nil, 0); err == nil {
+		t.Fatal("zero-length frame accepted")
+	}
+
+	// Truncated body.
+	trunc := []byte{0, 0, 0, 5, TypeRound, 1, 2}
+	if _, _, _, err := ReadFrame(bytes.NewReader(trunc), nil, 0); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+}
+
+// extensions covers the extension shape space: open/closing, both
+// directions, Y-flagged, sentinel labels, and max-size ordinals.
+func extensions() []pattern.Extension {
+	return []pattern.Extension{
+		{},
+		{Src: 0, Outgoing: true, EdgeLabel: 3, NewLabel: 7, Close: pattern.NoNode},
+		{Src: 2, Outgoing: false, EdgeLabel: 0, NewLabel: 0, Close: 1},
+		{Src: 1, Outgoing: true, EdgeLabel: 5, NewLabel: 2, Close: pattern.NoNode, AsY: true},
+		{Src: math.MaxInt32, Outgoing: true, EdgeLabel: math.MaxInt32, NewLabel: math.MaxInt32, Close: math.MaxInt32},
+		{Src: 0, EdgeLabel: graph.NoLabel, NewLabel: graph.NoLabel, Close: pattern.NoNode},
+	}
+}
+
+func lanes() [][]graph.NodeID {
+	return [][]graph.NodeID{
+		nil,
+		{},
+		{0},
+		{1, 5, 9, 1 << 30},
+		func() []graph.NodeID {
+			l := make([]graph.NodeID, 500)
+			for i := range l {
+				l[i] = graph.NodeID(i * 3)
+			}
+			return l
+		}(),
+	}
+}
+
+// roundTrip encodes with enc, decodes the bytes with dec, and asserts deep
+// equality. Empty non-nil slices normalize to nil on decode, so the caller
+// passes want with that normalization applied.
+func roundTrip[T any](t *testing.T, enc func([]byte) []byte, dec func([]byte) (*T, error), want *T) {
+	t.Helper()
+	b := enc(nil)
+	got, err := dec(b)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	// Every prefix truncation must fail cleanly with a *FrameError.
+	for i := 0; i < len(b); i++ {
+		if _, err := dec(b[:i]); err == nil {
+			t.Fatalf("decode of %d/%d-byte truncation succeeded", i, len(b))
+		} else if _, ok := err.(*FrameError); !ok {
+			t.Fatalf("truncation error type %T, want *FrameError", err)
+		}
+	}
+	// Trailing garbage must be rejected too.
+	if _, err := dec(append(b, 0)); err == nil {
+		t.Fatal("decode with trailing byte succeeded")
+	}
+}
+
+func TestJobSetupRoundTrip(t *testing.T) {
+	s := &JobSetup{
+		JobID:         1<<60 + 17,
+		Worker:        3,
+		D:             2,
+		EmbedCap:      64,
+		DisableArenas: true,
+		XLabel:        4,
+		EdgeLabel:     0,
+		YLabel:        graph.NoLabel,
+		Symbols:       []string{"person", "", "likes", "page"},
+		EccCap:        3,
+		CenterEcc:     []int32{0, 1, 3, 2},
+		Fragment:      []byte("GPFRfragmentbytes"),
+	}
+	roundTrip(t, s.Append, DecodeJobSetup, s)
+
+	// Minimal setup: no symbols, no centers, empty fragment.
+	min := &JobSetup{}
+	roundTrip(t, min.Append, DecodeJobSetup, min)
+}
+
+func TestSetupAckRoundTrip(t *testing.T) {
+	a := &SetupAck{JobID: 9, NPq: 12345, NPqbar: 0}
+	roundTrip(t, a.Append, DecodeSetupAck, a)
+	zero := &SetupAck{}
+	roundTrip(t, zero.Append, DecodeSetupAck, zero)
+}
+
+func TestRoundRoundTrip(t *testing.T) {
+	exts := extensions()
+	ls := lanes()
+	rd := &Round{Round: 4}
+	for i, e := range exts {
+		fe := FrontierEntry{ID: uint32(i), Parent: uint32(i / 2), Ext: e}
+		if l := ls[i%len(ls)]; len(l) > 0 {
+			fe.QCenters = l
+		}
+		rd.Frontier = append(rd.Frontier, fe)
+	}
+	roundTrip(t, rd.Append, DecodeRound, rd)
+
+	empty := &Round{Round: 1}
+	roundTrip(t, empty.Append, DecodeRound, empty)
+}
+
+func TestMessagesRoundTrip(t *testing.T) {
+	exts := extensions()
+	ls := lanes()
+	ms := &Messages{Round: 2, Ops: -5}
+	for i, e := range exts {
+		m := Msg{Parent: uint32(i * 7), Ext: e, Flag: i%2 == 0}
+		pick := func(k int) []graph.NodeID {
+			if l := ls[(i+k)%len(ls)]; len(l) > 0 {
+				return l
+			}
+			return nil
+		}
+		m.QCenters, m.RSet, m.QqbCenters, m.UsuppCenters = pick(0), pick(1), pick(2), pick(3)
+		ms.Msgs = append(ms.Msgs, m)
+	}
+	roundTrip(t, ms.Append, DecodeMessages, ms)
+
+	// The all-lanes-empty message exercises the zero-length lane encoding.
+	empty := &Messages{Round: 1, Ops: 1 << 40, Msgs: []Msg{{Parent: 0}}}
+	roundTrip(t, empty.Append, DecodeMessages, empty)
+
+	none := &Messages{Round: 3}
+	roundTrip(t, none.Append, DecodeMessages, none)
+}
+
+func TestErrorFrameRoundTrip(t *testing.T) {
+	e := &ErrorFrame{Msg: "worker 2: fragment decode failed"}
+	roundTrip(t, e.Append, DecodeError, e)
+	empty := &ErrorFrame{}
+	roundTrip(t, empty.Append, DecodeError, empty)
+}
+
+// TestDecodeFuzzish throws random bytes at every payload decoder: errors are
+// fine, panics are not.
+func TestDecodeFuzzish(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	decoders := []func([]byte) error{
+		func(b []byte) error { _, err := DecodeJobSetup(b); return err },
+		func(b []byte) error { _, err := DecodeSetupAck(b); return err },
+		func(b []byte) error { _, err := DecodeRound(b); return err },
+		func(b []byte) error { _, err := DecodeMessages(b); return err },
+		func(b []byte) error { _, err := DecodeError(b); return err },
+	}
+	for trial := 0; trial < 2000; trial++ {
+		b := make([]byte, rng.Intn(64))
+		rng.Read(b)
+		for _, dec := range decoders {
+			if err := dec(b); err != nil {
+				if _, ok := err.(*FrameError); !ok {
+					t.Fatalf("decoder returned %T (%v), want *FrameError", err, err)
+				}
+			}
+		}
+	}
+}

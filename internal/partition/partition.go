@@ -37,6 +37,10 @@ type Fragment struct {
 	// pin O(n·|V|) memory for the lifetime of a serving snapshot.
 	toLocalDense []graph.NodeID
 	toLocalMap   map[graph.NodeID]graph.NodeID
+	// numGlobal is the original graph's node count — the domain of Local()
+	// and the dense/sparse decision above. Recorded so a fragment decoded
+	// from the wire rebuilds the same inverse and re-encodes identically.
+	numGlobal int
 }
 
 // Global translates a local node ID to the original graph's ID.
@@ -58,6 +62,7 @@ func (f *Fragment) Local(v graph.NodeID) (graph.NodeID, bool) {
 // setToLocal installs the inverse mapping, choosing dense form when the
 // fragment holds at least 1/16 of the original graph's nodes.
 func (f *Fragment) setToLocal(n int, toGlobal []graph.NodeID, m map[graph.NodeID]graph.NodeID) {
+	f.numGlobal = n
 	if len(toGlobal)*16 < n {
 		f.toLocalMap = m
 		return

@@ -1,0 +1,207 @@
+package serve
+
+import (
+	"net"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"gpar/internal/mine/remote"
+)
+
+// startFleet brings up n worker services on loopback listeners and returns
+// their addresses. Listeners close on test cleanup, ending each Serve loop.
+func startFleet(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		t.Cleanup(func() { l.Close() })
+		go remote.Serve(l, remote.ServerOptions{})
+		addrs[i] = l.Addr().String()
+	}
+	return addrs
+}
+
+// TestMineJobFleet pins the distributed serving path: with MineWorkers
+// configured, a mine job is submitted to the fleet, reports Distributed, and
+// returns exactly the rule set an in-process job over the same snapshot
+// produces.
+func TestMineJobFleet(t *testing.T) {
+	addrs := startFleet(t, 2)
+	fleet, _, _ := newTestServer(t, Config{Workers: 2, MineWorkers: addrs})
+	local, _, _ := newTestServer(t, Config{Workers: 2})
+
+	p := mineFixtureParams()
+	p.Workers = 0 // inherit the fleet size (2)
+	run := func(s *Server) Job {
+		job, err := s.StartMine(p)
+		if err != nil {
+			t.Fatalf("StartMine: %v", err)
+		}
+		done := waitJob(t, s, job.ID)
+		if done.Status != JobDone {
+			t.Fatalf("job failed: %s", done.Error)
+		}
+		return done
+	}
+
+	remoteJob := run(fleet)
+	localJob := run(local)
+	if !remoteJob.Distributed {
+		t.Fatal("fleet job did not report Distributed")
+	}
+	if remoteJob.FleetFallback != "" {
+		t.Fatalf("fleet job fell back: %s", remoteJob.FleetFallback)
+	}
+	if localJob.Distributed {
+		t.Fatal("in-process job reported Distributed")
+	}
+	if len(remoteJob.RuleKeys) == 0 || !reflect.DeepEqual(remoteJob.RuleKeys, localJob.RuleKeys) {
+		t.Fatalf("distributed rules diverge:\nfleet %v\nlocal %v", remoteJob.RuleKeys, localJob.RuleKeys)
+	}
+	if got := fleet.nRemoteMine.Load(); got != 1 {
+		t.Fatalf("remote mine counter = %d, want 1", got)
+	}
+	if got := fleet.nFleetFall.Load(); got != 0 {
+		t.Fatalf("fallback counter = %d, want 0", got)
+	}
+
+	// A second fleet job reuses the cached mine context; the fleet is
+	// re-dialed per job, so nothing about the first job's connections leaks.
+	again := run(fleet)
+	if !again.Distributed || !again.ContextCached {
+		t.Fatalf("repeat fleet job: distributed=%v contextCached=%v", again.Distributed, again.ContextCached)
+	}
+	if !reflect.DeepEqual(again.RuleKeys, localJob.RuleKeys) {
+		t.Fatal("repeat fleet job rules diverge")
+	}
+}
+
+// TestMineJobFleetUnreachableFallsBack pins the dial-phase failure path: an
+// unreachable fleet means the job mines in-process, succeeds, and records
+// why it fell back.
+func TestMineJobFleetUnreachableFallsBack(t *testing.T) {
+	// Grab an address nobody is listening on.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := l.Addr().String()
+	l.Close()
+
+	s, _, _ := newTestServer(t, Config{Workers: 2, MineWorkers: []string{dead, dead}})
+	p := mineFixtureParams()
+	p.Workers = 0
+	job, err := s.StartMine(p)
+	if err != nil {
+		t.Fatalf("StartMine: %v", err)
+	}
+	done := waitJob(t, s, job.ID)
+	if done.Status != JobDone {
+		t.Fatalf("fallback job failed: %s", done.Error)
+	}
+	if done.Distributed {
+		t.Fatal("unreachable fleet still reported Distributed")
+	}
+	if done.FleetFallback == "" {
+		t.Fatal("fallback reason not recorded")
+	}
+	if len(done.RuleKeys) == 0 {
+		t.Fatal("fallback job produced no rules")
+	}
+	if got := s.nFleetFall.Load(); got != 1 {
+		t.Fatalf("fallback counter = %d, want 1", got)
+	}
+	if got := s.nRemoteMine.Load(); got != 0 {
+		t.Fatalf("remote mine counter = %d, want 0", got)
+	}
+}
+
+// TestMineJobFleetWorkerCountMismatch: a request that pins a worker count
+// different from the fleet size cannot be distributed (one service per
+// fragment); it mines in-process and says why.
+func TestMineJobFleetWorkerCountMismatch(t *testing.T) {
+	addrs := startFleet(t, 2)
+	s, _, _ := newTestServer(t, Config{Workers: 2, MineWorkers: addrs})
+	p := mineFixtureParams()
+	p.Workers = 3
+	job, err := s.StartMine(p)
+	if err != nil {
+		t.Fatalf("StartMine: %v", err)
+	}
+	done := waitJob(t, s, job.ID)
+	if done.Status != JobDone {
+		t.Fatalf("job failed: %s", done.Error)
+	}
+	if done.Distributed || !strings.Contains(done.FleetFallback, "fleet has 2") {
+		t.Fatalf("distributed=%v fallback=%q", done.Distributed, done.FleetFallback)
+	}
+}
+
+// TestMineJobFleetMidJobFailureFailsJob pins the no-fallback rule: once the
+// fleet is dialed, a worker that stalls past the step deadline fails the job
+// (typed, no install) rather than silently re-mining in-process.
+func TestMineJobFleetMidJobFailureFailsJob(t *testing.T) {
+	addrs := startFleet(t, 1)
+	// The second "worker" accepts and handshakes but never answers a frame.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				buf := make([]byte, 64)
+				c.Read(buf)             // their handshake
+				c.Write([]byte("GPWK")) // magic...
+				c.Write([]byte{1})      // ...and version
+				for {
+					if _, err := c.Read(buf); err != nil {
+						return // swallow frames, never reply
+					}
+				}
+			}(c)
+		}
+	}()
+	addrs = append(addrs, l.Addr().String())
+
+	s, _, _ := newTestServer(t, Config{
+		Workers:         2,
+		MineWorkers:     addrs,
+		MineStepTimeout: 200 * time.Millisecond,
+	})
+	p := mineFixtureParams()
+	p.Workers = 0
+	p.Install = true // must NOT install on failure
+	job, err := s.StartMine(p)
+	if err != nil {
+		t.Fatalf("StartMine: %v", err)
+	}
+	done := waitJob(t, s, job.ID)
+	if done.Status != JobFailed {
+		t.Fatalf("stalled-worker job status = %s, want failed", done.Status)
+	}
+	if !done.Distributed {
+		t.Fatal("failed fleet job did not report Distributed")
+	}
+	if !strings.Contains(done.Error, "worker 1") {
+		t.Fatalf("error does not name the worker: %q", done.Error)
+	}
+	if done.Installed || done.Generation != 0 {
+		t.Fatal("failed job installed rules")
+	}
+	if got := s.Generation(); got != 1 {
+		t.Fatalf("generation moved to %d after failed job", got)
+	}
+}

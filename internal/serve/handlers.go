@@ -116,9 +116,19 @@ type StatsResponse struct {
 	MinePool MinePoolStats `json:"minePool"`
 	// MineFragReuses counts mine jobs whose context shared the serving
 	// snapshot's partition fragments outright (zero partition+freeze).
-	MineFragReuses int64      `json:"mineFragReuses"`
-	Batch          BatchStats `json:"batch"`
-	Requests       struct {
+	MineFragReuses int64 `json:"mineFragReuses"`
+	// Fleet reports the distributed-mining configuration and traffic:
+	// Workers is len(Config.MineWorkers), RemoteJobs counts jobs submitted
+	// to the fleet, Fallbacks counts fleet jobs that mined in-process
+	// because the fleet was unreachable (or the request pinned a worker
+	// count that does not match the fleet size).
+	Fleet struct {
+		Workers    int   `json:"workers"`
+		RemoteJobs int64 `json:"remoteJobs"`
+		Fallbacks  int64 `json:"fallbacks"`
+	} `json:"fleet"`
+	Batch    BatchStats `json:"batch"`
+	Requests struct {
 		Identify int64 `json:"identify"`
 		Rules    int64 `json:"rules"`
 		Mine     int64 `json:"mine"`
@@ -378,6 +388,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.MineCache = s.mineCtx.Stats()
 	resp.MinePool = s.minePool.stats()
 	resp.MineFragReuses = s.nFragReuse.Load()
+	resp.Fleet.Workers = len(s.cfg.MineWorkers)
+	resp.Fleet.RemoteJobs = s.nRemoteMine.Load()
+	resp.Fleet.Fallbacks = s.nFleetFall.Load()
 	resp.Batch = s.batch.Stats()
 	resp.Requests.Identify = s.nIdentify.Load()
 	resp.Requests.Rules = s.nRules.Load()

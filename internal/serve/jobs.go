@@ -9,6 +9,7 @@ import (
 	"gpar/internal/core"
 	"gpar/internal/graph"
 	"gpar/internal/mine"
+	"gpar/internal/mine/remote"
 )
 
 // MineParams is the body of POST /v1/mine: a DMine run over the resident
@@ -78,6 +79,14 @@ type Job struct {
 	// even on the first job of a generation. Results are byte-identical
 	// either way.
 	FragmentsReused bool `json:"fragmentsReused,omitempty"`
+	// Distributed reports whether the job mined on the configured worker
+	// fleet (Config.MineWorkers) rather than in-process. Results are
+	// byte-identical either way.
+	Distributed bool `json:"distributed,omitempty"`
+	// FleetFallback, when non-empty, is why a configured fleet was not used
+	// for this job (unreachable, or a pinned worker count that does not
+	// match the fleet size); the job then mined in-process.
+	FleetFallback string `json:"fleetFallback,omitempty"`
 }
 
 // maxJobs bounds the registry: when exceeded, the oldest finished jobs are
@@ -208,6 +217,12 @@ func (s *Server) runMine(id string, snap *Snapshot, pred core.Predicate, p MineP
 		MaxEdges: p.MaxEdges, MaxCandidatesPerRound: p.Cap,
 	}.WithOptimizations().Defaults()
 	opts.Gate = s.mineGate
+	if n := len(s.cfg.MineWorkers); n > 0 && p.Workers == 0 {
+		// A fleet job runs one worker service per fragment, so the fleet size
+		// sets the partition granularity unless the request pinned a count.
+		// Results are byte-identical across worker counts either way.
+		opts.N = n
+	}
 	key := MineCtxKey{Gen: snap.Gen, XLabel: pred.XLabel, D: opts.D, N: opts.N}
 	ctx, ctxHit := s.mineCtx.GetOrBuild(key, func() *mine.Context {
 		// When the job's (xLabel, d, n) matches the serving snapshot's own
@@ -228,14 +243,56 @@ func (s *Server) runMine(id string, snap *Snapshot, pred core.Predicate, p MineP
 	if ctx.Borrowed() {
 		s.nFragReuse.Add(1)
 	}
-	// Mine on a pooled accumulator: a recycled worker set brings its grown
-	// round arenas and memoized probes from previous jobs over this
-	// context. Parked again afterwards for the next job — unless a swap
-	// purged the pool mid-run or the LRU evicted this context, in which
-	// case parking would pin a context no future job can be handed.
-	sh, poolEpoch := s.minePool.acquire(ctx)
-	res := sh.DMine(pred, opts)
-	s.minePool.park(sh, poolEpoch, s.mineCtx.Contains(key))
+	var res *mine.Result
+	distributed := false
+	fleetFallback := ""
+	if n := len(s.cfg.MineWorkers); n > 0 {
+		if opts.N != n {
+			fleetFallback = fmt.Sprintf("job pinned %d workers but the fleet has %d", opts.N, n)
+		} else {
+			conns, err := remote.DialFleet(s.cfg.MineWorkers, remote.DialOptions{StepTimeout: s.cfg.MineStepTimeout})
+			if err != nil {
+				// Dial-phase failure (wraps remote.ErrFleetUnavailable): no
+				// worker has started anything, in-process fallback is clean.
+				fleetFallback = err.Error()
+			} else {
+				distributed = true
+				s.nRemoteMine.Add(1)
+				var mineErr error
+				res, mineErr = remote.Mine(ctx, pred, opts, conns)
+				remote.CloseAll(conns)
+				if mineErr != nil {
+					// A failure mid-job — worker crash, stall past the step
+					// deadline, protocol breakdown — fails the job. No
+					// fallback: the fleet was healthy at admission, and
+					// silently re-mining could mask a sick fleet forever.
+					s.jobs.update(id, func(j *Job) {
+						j.Finished = time.Now()
+						j.Status = JobFailed
+						j.Error = mineErr.Error()
+						j.Distributed = true
+						j.ContextCached = ctxHit
+						j.FragmentsReused = ctx.Borrowed()
+					})
+					return
+				}
+			}
+		}
+		if fleetFallback != "" {
+			s.nFleetFall.Add(1)
+		}
+	}
+	if res == nil {
+		// Mine in-process on a pooled accumulator: a recycled worker set
+		// brings its grown round arenas and memoized probes from previous
+		// jobs over this context. Parked again afterwards for the next job —
+		// unless a swap purged the pool mid-run or the LRU evicted this
+		// context, in which case parking would pin a context no future job
+		// can be handed.
+		sh, poolEpoch := s.minePool.acquire(ctx)
+		res = sh.DMine(pred, opts)
+		s.minePool.park(sh, poolEpoch, s.mineCtx.Contains(key))
+	}
 
 	rules := make([]*core.Rule, 0, len(res.TopK))
 	keys := make([]string, 0, len(res.TopK))
@@ -267,6 +324,8 @@ func (s *Server) runMine(id string, snap *Snapshot, pred core.Predicate, p MineP
 		j.Generation = gen
 		j.ContextCached = ctxHit
 		j.FragmentsReused = ctx.Borrowed()
+		j.Distributed = distributed
+		j.FleetFallback = fleetFallback
 		if installErr != nil {
 			j.Status = JobFailed
 			j.Error = installErr.Error()

@@ -92,6 +92,18 @@ type Config struct {
 	// DefaultEta is the confidence bound η applied when a request omits it.
 	// Default 1.0.
 	DefaultEta float64
+	// MineWorkers, when non-empty, lists the host:port addresses of gparworker
+	// services; mine jobs are then submitted to that fleet — one worker
+	// service per fragment — instead of mining in-process. The fleet is
+	// dialed per job; when it is unreachable the job falls back to in-process
+	// mining (a dial-phase failure touches nothing), while a failure
+	// mid-job — a worker crash or stall — fails the job with no install and
+	// no fallback. Results are byte-identical to in-process mining.
+	MineWorkers []string
+	// MineStepTimeout bounds each distributed superstep exchange per worker
+	// (the stalled-worker guillotine). Zero means the remote package default
+	// (2 minutes). Ignored without MineWorkers.
+	MineStepTimeout time.Duration
 }
 
 func (c Config) defaults() Config {
@@ -160,11 +172,13 @@ type Server struct {
 	closed atomic.Bool
 	jobWG  sync.WaitGroup
 
-	nIdentify  atomic.Int64
-	nRules     atomic.Int64
-	nMine      atomic.Int64
-	nSwap      atomic.Int64
-	nFragReuse atomic.Int64 // mine jobs that ran on snapshot fragments
+	nIdentify   atomic.Int64
+	nRules      atomic.Int64
+	nMine       atomic.Int64
+	nSwap       atomic.Int64
+	nFragReuse  atomic.Int64 // mine jobs that ran on snapshot fragments
+	nRemoteMine atomic.Int64 // mine jobs submitted to the worker fleet
+	nFleetFall  atomic.Int64 // fleet jobs that fell back to in-process
 }
 
 // New returns a Server with no snapshot installed; handlers answer 503
