@@ -15,9 +15,13 @@ vet:
 test:
 	$(GO) build ./... && $(GO) test -shuffle=on ./...
 
+# The remote race suites include the netfault chaos tests; their tight
+# timeout is the deadlock watchdog — an injected fault that hangs instead
+# of surfacing a typed error fails the build instead of wedging it.
 race:
 	$(GO) test -race ./internal/serve/ ./internal/partition/ ./internal/match/ \
-	    ./internal/mine/ ./internal/mine/wire/ ./internal/mine/remote/
+	    ./internal/mine/ ./internal/netfault/
+	$(GO) test -race -timeout 120s ./internal/mine/wire/ ./internal/mine/remote/
 
 # Run the hot-path benchmarks with -benchmem and record them, joined
 # against their recorded baselines, in BENCH_match.json (matcher, vs

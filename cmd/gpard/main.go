@@ -67,6 +67,10 @@ func main() {
 		eta     = flag.Float64("eta", 1.0, "default confidence bound η")
 		fleet   = flag.String("mine-workers", "", "comma-separated gparworker addresses; mine jobs run on this fleet")
 		stepTO  = flag.Duration("mine-step-timeout", 0, "per-superstep worker deadline for -mine-workers (0 = 2m)")
+		retries = flag.Int("mine-retries", 0, "fleet attempts per mine job before in-process fallback (0 = default 3)")
+		backoff = flag.Duration("mine-retry-backoff", 0, "base backoff between fleet attempts, doubling with jitter (0 = 50ms)")
+		brkN    = flag.Int("breaker-threshold", 0, "consecutive fleet failures that open the circuit breaker (0 = default 3, negative = off)")
+		brkCool = flag.Duration("breaker-cooldown", 0, "how long an open breaker skips the fleet before probing (0 = 30s)")
 	)
 	flag.Parse()
 
@@ -131,7 +135,11 @@ func main() {
 	}
 	if *fleet != "" {
 		cfg.MineWorkers = strings.Split(*fleet, ",")
-		log.Printf("mine jobs run on a %d-worker fleet (in-process fallback if unreachable)", len(cfg.MineWorkers))
+		cfg.MineRetries = *retries
+		cfg.MineRetryBackoff = *backoff
+		cfg.FleetBreakerThreshold = *brkN
+		cfg.FleetBreakerCooldown = *brkCool
+		log.Printf("mine jobs run on a %d-worker fleet (retry + recorded in-process fallback; circuit breaker on repeated failure)", len(cfg.MineWorkers))
 	}
 	srv := serve.New(cfg)
 	if err := srv.LoadSnapshot(g, pred, rules); err != nil {

@@ -6,19 +6,24 @@
 //
 // Usage:
 //
-//	gparworker -addr :9090 [-idle-timeout 5m] [-max-frame 268435456] [-quiet]
+//	gparworker -addr :9090 [-idle-timeout 5m] [-max-frame 268435456]
+//	           [-frag-cache 8] [-healthz :9091] [-quiet]
 //
 // A fleet is one gparworker per fragment; the coordinator connects to all of
-// them and drives BSP supersteps. See DESIGN.md ("Distributed DMine") for
-// the protocol and failure semantics.
+// them and drives BSP supersteps. -healthz serves the worker's counters
+// (connections, jobs, pings, fragment cache) as JSON over HTTP for fleet
+// monitoring. See DESIGN.md ("Distributed DMine") for the protocol and
+// failure semantics.
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -30,10 +35,12 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":9090", "listen address")
-		idle     = flag.Duration("idle-timeout", 5*time.Minute, "drop a connection idle this long (0 = never)")
-		maxFrame = flag.Int("max-frame", wire.DefaultMaxFrame, "largest accepted frame in bytes")
-		quiet    = flag.Bool("quiet", false, "suppress per-connection logging")
+		addr      = flag.String("addr", ":9090", "listen address")
+		idle      = flag.Duration("idle-timeout", 5*time.Minute, "drop a connection idle this long (0 = never)")
+		maxFrame  = flag.Int("max-frame", wire.DefaultMaxFrame, "largest accepted frame in bytes")
+		fragCache = flag.Int("frag-cache", 0, "fragment cache entries (0 = default 8, negative = off)")
+		healthz   = flag.String("healthz", "", "serve GET /healthz and /stats on this address (e.g. :9091)")
+		quiet     = flag.Bool("quiet", false, "suppress per-connection logging")
 	)
 	flag.Parse()
 
@@ -42,16 +49,40 @@ func main() {
 		fatal(err)
 	}
 	opts := remote.ServerOptions{
-		MaxFrame:    *maxFrame,
-		IdleTimeout: *idle,
+		MaxFrame:     *maxFrame,
+		IdleTimeout:  *idle,
+		FragCacheCap: *fragCache,
 	}
 	if !*quiet {
 		opts.Logf = log.Printf
 	}
+	sv := remote.NewService(opts)
 	log.Printf("gparworker: serving on %s", l.Addr())
 
+	if *healthz != "" {
+		hl, err := net.Listen("tcp", *healthz)
+		if err != nil {
+			fatal(err)
+		}
+		mux := http.NewServeMux()
+		stats := func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(map[string]any{"status": "ok", "worker": sv.Stats()})
+		}
+		mux.HandleFunc("GET /healthz", stats)
+		mux.HandleFunc("GET /stats", stats)
+		log.Printf("gparworker: health endpoint on %s", hl.Addr())
+		go func() {
+			if err := http.Serve(hl, mux); err != nil && !errors.Is(err, net.ErrClosed) {
+				log.Printf("gparworker: healthz: %v", err)
+			}
+		}()
+	}
+
 	errc := make(chan error, 1)
-	go func() { errc <- remote.Serve(l, opts) }()
+	go func() { errc <- sv.Serve(l) }()
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)

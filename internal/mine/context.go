@@ -3,9 +3,11 @@ package mine
 import (
 	"fmt"
 	"slices"
+	"sync"
 
 	"gpar/internal/core"
 	"gpar/internal/graph"
+	"gpar/internal/mine/wire"
 	"gpar/internal/partition"
 )
 
@@ -34,6 +36,30 @@ type Context struct {
 	// (ContextFromFragments) rather than a fresh partition — the serving
 	// layer surfaces it as the "fragment reuse" bit of a mine job.
 	borrowed bool
+
+	// wireOnce guards the lazily-built wire encodings below: distributed
+	// jobs (and their retries) over one context encode and hash each
+	// fragment exactly once.
+	wireOnce   sync.Once
+	wireFrags  [][]byte
+	wireHashes [][]byte
+}
+
+// WireFragment returns fragment i's canonical binary encoding and its
+// content hash (wire.HashFragment over those bytes). Both are computed once
+// per context and cached, so repeat and retried distributed jobs skip the
+// re-encode, and the hash keys the workers' fragment caches stably.
+func (c *Context) WireFragment(i int) (data, hash []byte) {
+	c.wireOnce.Do(func() {
+		c.wireFrags = make([][]byte, len(c.frags))
+		c.wireHashes = make([][]byte, len(c.frags))
+		for j, f := range c.frags {
+			b := f.AppendBinary(nil)
+			c.wireFrags[j] = b
+			c.wireHashes[j] = wire.HashFragment(b)
+		}
+	})
+	return c.wireFrags[i], c.wireHashes[i]
 }
 
 // NewContext builds the mining preamble for x-label candidates on g with

@@ -148,6 +148,7 @@ func (e *remoteEngine) attach(m *miner) ([]int, []int, error) {
 		for j, lc := range frag.Centers {
 			ecc[j] = int32(m.g.EccentricityCapped(frag.Global(lc), eccCap))
 		}
+		fragBytes, fragHash := m.ctx.WireFragment(i)
 		setup := &wire.JobSetup{
 			JobID:         e.jobID,
 			Worker:        i,
@@ -160,7 +161,8 @@ func (e *remoteEngine) attach(m *miner) ([]int, []int, error) {
 			Symbols:       syms,
 			EccCap:        eccCap,
 			CenterEcc:     ecc,
-			Fragment:      frag.AppendBinary(nil),
+			Fragment:      fragBytes,
+			FragHash:      fragHash,
 		}
 		ack, err := c.Setup(setup)
 		if err != nil {
@@ -294,6 +296,23 @@ func NewWorkerRuntime(s *wire.JobSetup) (*WorkerRuntime, *wire.SetupAck, error) 
 	if len(rest) != 0 {
 		return nil, nil, fmt.Errorf("mine: %d trailing bytes after fragment", len(rest))
 	}
+	return newWorkerRuntime(s, frag, syms)
+}
+
+// NewWorkerRuntimeFragment builds the job state over an already-decoded
+// fragment — the worker-side fragment cache path, which skips the
+// decode+freeze entirely. The fragment must be the decode of the bytes the
+// setup's content hash names; it is read read-only, so one cached fragment
+// may back concurrent runtimes.
+func NewWorkerRuntimeFragment(s *wire.JobSetup, frag *partition.Fragment) (*WorkerRuntime, *wire.SetupAck, error) {
+	syms := graph.NewSymbols()
+	for _, name := range s.Symbols {
+		syms.Intern(name)
+	}
+	return newWorkerRuntime(s, frag, syms)
+}
+
+func newWorkerRuntime(s *wire.JobSetup, frag *partition.Fragment, syms *graph.Symbols) (*WorkerRuntime, *wire.SetupAck, error) {
 	if len(s.CenterEcc) != len(frag.Centers) {
 		return nil, nil, fmt.Errorf("mine: %d eccentricities for %d centers", len(s.CenterEcc), len(frag.Centers))
 	}

@@ -10,13 +10,9 @@ import (
 	"gpar/internal/mine"
 )
 
-// BenchmarkDMineDistributed times one full distributed mining job over a
-// 4-worker loopback-TCP fleet: per-worker job setup (fragment encode, ship,
-// decode), the BSP supersteps with their frame round trips, and the
-// coordinator's assemble/diversify reduce. The in-process equivalent of this
-// workload is BenchmarkDMine (internal/mine); the gap between the two is the
-// wire overhead. Recorded in BENCH_mine.json by `make bench`.
-func BenchmarkDMineDistributed(b *testing.B) {
+// benchFleet runs one distributed mining job per iteration over a 4-worker
+// loopback-TCP fleet dialed with dopts.
+func benchFleet(b *testing.B, dopts DialOptions) {
 	syms := graph.NewSymbols()
 	g := gen.Pokec(syms, gen.DefaultPokec(500, 7))
 	pred := gen.PokecPredicates(syms)[0]
@@ -33,7 +29,7 @@ func BenchmarkDMineDistributed(b *testing.B) {
 		go Serve(l, ServerOptions{})
 		addrs[i] = l.Addr().String()
 	}
-	conns, err := DialFleet(addrs, DialOptions{StepTimeout: time.Minute})
+	conns, err := DialFleet(addrs, dopts)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -51,4 +47,25 @@ func BenchmarkDMineDistributed(b *testing.B) {
 			b.Fatal("no rules mined")
 		}
 	}
+}
+
+// BenchmarkDMineDistributed times one full distributed mining job over a
+// 4-worker loopback-TCP fleet: per-worker job setup (fragment encode, ship,
+// decode), the BSP supersteps with their frame round trips, and the
+// coordinator's assemble/diversify reduce. Pinned to protocol v1 so every
+// job ships its fragment inline — the workload the recorded baseline
+// measured. The in-process equivalent of this workload is BenchmarkDMine
+// (internal/mine); the gap between the two is the wire overhead. Recorded
+// in BENCH_mine.json by `make bench`.
+func BenchmarkDMineDistributed(b *testing.B) {
+	benchFleet(b, DialOptions{StepTimeout: time.Minute, MaxVersion: 1})
+}
+
+// BenchmarkDMineDistributedCachedFragment is the same job over protocol v2
+// with the workers' content-addressed fragment caches warm: after the first
+// iteration every setup is a hash-only frame answered from cache, so the
+// gap to BenchmarkDMineDistributed is the per-job fragment encode+ship+
+// decode the cache saves. Recorded in BENCH_mine.json by `make bench`.
+func BenchmarkDMineDistributedCachedFragment(b *testing.B) {
+	benchFleet(b, DialOptions{StepTimeout: time.Minute})
 }

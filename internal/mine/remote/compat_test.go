@@ -1,0 +1,193 @@
+package remote
+
+import (
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"gpar/internal/mine"
+)
+
+// strictV1Conn emulates a legacy v1 worker's handshake behavior in front of
+// a real service: a hello proposing anything newer than v1 is answered the
+// way old binaries answer it — the connection is slammed shut before any
+// reply. A v1 hello passes through untouched.
+type strictV1Conn struct {
+	net.Conn
+	mu      sync.Mutex
+	checked bool
+	buf     []byte
+}
+
+func (c *strictV1Conn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.checked {
+		hello := make([]byte, 5)
+		if _, err := io.ReadFull(c.Conn, hello); err != nil {
+			return 0, err
+		}
+		if hello[4] != 1 {
+			c.Conn.Close()
+			return 0, io.EOF
+		}
+		c.checked = true
+		c.buf = hello
+	}
+	if len(c.buf) > 0 {
+		n := copy(p, c.buf)
+		c.buf = c.buf[n:]
+		return n, nil
+	}
+	return c.Conn.Read(p)
+}
+
+type strictV1Listener struct{ net.Listener }
+
+func (l strictV1Listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return &strictV1Conn{Conn: c}, nil
+}
+
+// compatJob runs one fleet job against addr (plus a plain v2 worker when
+// n == 2) and returns the negotiated versions and the result fingerprint.
+func compatMine(t *testing.T, addrs []string) ([]int, string) {
+	t.Helper()
+	g, pred := pokecFixture(150, 3)
+	o := mine.Options{
+		K: 4, Sigma: 2, D: 2, Lambda: 0.5, N: len(addrs),
+		MaxEdges: 2, EmbedCap: 1 << 20,
+	}.WithOptimizations().Defaults()
+	ctx := mine.NewContext(g, pred.XLabel, o)
+	want := fingerprint(mine.DMineCtx(ctx, pred, o))
+
+	conns, err := DialFleet(addrs, DialOptions{StepTimeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer CloseAll(conns)
+	versions := make([]int, len(conns))
+	for i, c := range conns {
+		versions[i] = c.Version()
+		if err := c.Ping(); err != nil {
+			t.Fatalf("ping worker %d (v%d): %v", i, c.Version(), err)
+		}
+	}
+	res, err := Mine(ctx, pred, o, conns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := fingerprint(res)
+	if got != want {
+		t.Fatal("compat job result differs from clean in-process run")
+	}
+	return versions, got
+}
+
+// TestCompatLegacySlamDowngrade: a legacy worker that slams v2 hellos still
+// interoperates — the dialer redials proposing v1, the job runs the inline-
+// fragment v1 path, and the result matches, even mixed with a v2 worker in
+// the same fleet.
+func TestCompatLegacySlamDowngrade(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { inner.Close() })
+	go NewService(ServerOptions{}).Serve(strictV1Listener{inner})
+	legacy := inner.Addr().String()
+	modern := startWorkers(t, 1, ServerOptions{})[0]
+
+	versions, _ := compatMine(t, []string{legacy, modern})
+	if versions[0] != 1 || versions[1] != 2 {
+		t.Fatalf("negotiated versions = %v, want [1 2]", versions)
+	}
+}
+
+// TestCompatV1CappedService: a worker capped at protocol v1
+// (ServerOptions.MaxVersion) negotiates v1 with a modern dialer in one
+// round trip — no slam, no redial — and serves the inline-fragment path.
+func TestCompatV1CappedService(t *testing.T) {
+	addrs := startWorkers(t, 2, ServerOptions{MaxVersion: 1})
+	versions, _ := compatMine(t, addrs)
+	for i, v := range versions {
+		if v != 1 {
+			t.Fatalf("worker %d negotiated v%d, want 1", i, v)
+		}
+	}
+}
+
+// TestCompatV1CappedDialer: a coordinator capped at v1 (DialOptions.
+// MaxVersion) against modern workers negotiates v1 and never uses the
+// fragment-cache frames.
+func TestCompatV1CappedDialer(t *testing.T) {
+	g, pred := pokecFixture(150, 3)
+	o := mine.Options{
+		K: 4, Sigma: 2, D: 2, Lambda: 0.5, N: 2,
+		MaxEdges: 2, EmbedCap: 1 << 20,
+	}.WithOptimizations().Defaults()
+	ctx := mine.NewContext(g, pred.XLabel, o)
+	want := fingerprint(mine.DMineCtx(ctx, pred, o))
+
+	addrs := startWorkers(t, 2, ServerOptions{})
+	conns, err := DialFleet(addrs, DialOptions{StepTimeout: 30 * time.Second, MaxVersion: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer CloseAll(conns)
+	for i, c := range conns {
+		if c.Version() != 1 {
+			t.Fatalf("worker %d negotiated v%d, want 1", i, c.Version())
+		}
+	}
+	res, err := Mine(ctx, pred, o, conns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fingerprint(res) != want {
+		t.Fatal("v1-capped job result differs from clean run")
+	}
+	for i, c := range conns {
+		if hits, ships := c.FragStats(); hits != 0 || ships != 0 {
+			t.Fatalf("v1 conn %d recorded fragment-cache traffic: hits=%d ships=%d", i, hits, ships)
+		}
+	}
+}
+
+// TestSlowlorisHandshakeDropped: a client that connects and never speaks is
+// dropped within the handshake timeout even when IdleTimeout is 0 — it
+// cannot pin a worker goroutine.
+func TestSlowlorisHandshakeDropped(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	sv := NewService(ServerOptions{IdleTimeout: 0, HandshakeTimeout: 100 * time.Millisecond})
+	go sv.Serve(l)
+
+	c, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Write nothing. The service must close the connection on its own.
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	start := time.Now()
+	if _, err := c.Read(make([]byte, 1)); err == nil {
+		t.Fatal("silent connection received bytes")
+	} else if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.Fatal("service never dropped the silent connection")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("silent connection lingered %v past the handshake timeout", elapsed)
+	}
+	if got := sv.Stats().ActiveConns; got != 0 {
+		t.Fatalf("activeConns = %d after drop, want 0", got)
+	}
+}

@@ -1,0 +1,97 @@
+package remote
+
+import (
+	"sync"
+
+	"gpar/internal/partition"
+)
+
+// fragCache is the worker-side content-addressed fragment cache: decoded,
+// frozen fragments keyed by the SHA-256 of their binary encoding,
+// LRU-evicted at a small entry cap. It is process-wide (owned by the
+// Service, not a connection), so a coordinator that re-dials after a
+// failure — or a fresh job over the same graph — skips the fragment ship
+// and the decode+freeze. Cached fragments are read-only and may back
+// concurrent jobs.
+type fragCache struct {
+	mu    sync.Mutex
+	cap   int
+	byKey map[string]*partition.Fragment
+	order []string // LRU order, oldest first
+
+	hits, misses, evictions int64
+}
+
+// FragCacheStats is a point-in-time snapshot of the cache counters.
+type FragCacheStats struct {
+	Entries   int   `json:"entries"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
+func newFragCache(cap int) *fragCache {
+	if cap < 0 {
+		cap = 0
+	}
+	return &fragCache{cap: cap, byKey: make(map[string]*partition.Fragment)}
+}
+
+// get looks a fragment up by content hash, counting a hit or a miss.
+func (fc *fragCache) get(hash []byte) (*partition.Fragment, bool) {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	f, ok := fc.byKey[string(hash)]
+	if !ok {
+		fc.misses++
+		return nil, false
+	}
+	fc.hits++
+	fc.touch(string(hash))
+	return f, true
+}
+
+// put inserts a decoded fragment, evicting the least recently used entry
+// beyond the cap. The caller has verified hash against the fragment bytes.
+func (fc *fragCache) put(hash []byte, f *partition.Fragment) {
+	if fc.cap == 0 {
+		return
+	}
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	key := string(hash)
+	if _, ok := fc.byKey[key]; ok {
+		fc.touch(key)
+		return
+	}
+	fc.byKey[key] = f
+	fc.order = append(fc.order, key)
+	for len(fc.byKey) > fc.cap {
+		oldest := fc.order[0]
+		fc.order = fc.order[1:]
+		delete(fc.byKey, oldest)
+		fc.evictions++
+	}
+}
+
+// touch moves key to the most-recent end; callers hold mu.
+func (fc *fragCache) touch(key string) {
+	for i, k := range fc.order {
+		if k == key {
+			copy(fc.order[i:], fc.order[i+1:])
+			fc.order[len(fc.order)-1] = key
+			return
+		}
+	}
+}
+
+func (fc *fragCache) stats() FragCacheStats {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	return FragCacheStats{
+		Entries:   len(fc.byKey),
+		Hits:      fc.hits,
+		Misses:    fc.misses,
+		Evictions: fc.evictions,
+	}
+}

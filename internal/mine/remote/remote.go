@@ -14,6 +14,7 @@
 package remote
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"net"
@@ -47,6 +48,10 @@ type DialOptions struct {
 	StepTimeout time.Duration
 	// MaxFrame bounds accepted frame sizes (default wire.DefaultMaxFrame).
 	MaxFrame int
+	// MaxVersion caps the proposed protocol version (0 or out of range
+	// means wire.Version). Capping at 1 disables the fragment-cache
+	// exchange: every setup ships its fragment body inline.
+	MaxVersion int
 }
 
 func (o DialOptions) defaults() DialOptions {
@@ -59,6 +64,9 @@ func (o DialOptions) defaults() DialOptions {
 	if o.MaxFrame <= 0 {
 		o.MaxFrame = wire.DefaultMaxFrame
 	}
+	if o.MaxVersion < wire.MinVersion || o.MaxVersion > wire.Version {
+		o.MaxVersion = wire.Version
+	}
 	return o
 }
 
@@ -68,81 +76,194 @@ func (o DialOptions) defaults() DialOptions {
 // fails immediately, so a broken worker cannot half-participate in a
 // subsequent job.
 type Conn struct {
-	c    net.Conn
-	opts DialOptions
-	buf  []byte // frame read buffer, reused
-	enc  []byte // payload encode buffer, reused
-	err  error  // sticky failure
+	c       net.Conn
+	opts    DialOptions
+	version int    // negotiated protocol version
+	buf     []byte // frame read buffer, reused
+	enc     []byte // payload encode buffer, reused
+	err     error  // sticky failure
+
+	fragHits  int // setups the worker acked straight from its cache
+	fragShips int // setups that needed the fragment body shipped
 }
 
-// Dial connects to one worker and completes the protocol handshake.
+// Dial connects to one worker and negotiates the protocol version. A
+// legacy v1 worker that slams the connection on an unknown hello (instead
+// of answering it) is redialed proposing version 1, so a mixed-version
+// fleet still comes up.
 func Dial(addr string, opts DialOptions) (*Conn, error) {
 	opts = opts.defaults()
+	c, err := dialVersion(addr, opts, byte(opts.MaxVersion))
+	if err != nil && opts.MaxVersion > wire.MinVersion {
+		var fe *wire.FrameError
+		if errors.As(err, &fe) {
+			c, err = dialVersion(addr, opts, wire.MinVersion)
+		}
+	}
+	return c, err
+}
+
+// dialVersion connects and proposes one version. TCP connect failures come
+// back as net errors; handshake breakdowns as *wire.FrameError (the
+// downgrade-redial trigger).
+func dialVersion(addr string, opts DialOptions, propose byte) (*Conn, error) {
 	nc, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
 	if err != nil {
 		return nil, err
 	}
-	if err := nc.SetDeadline(time.Now().Add(opts.DialTimeout)); err == nil {
-		err = wire.WriteHandshake(nc)
-		if err == nil {
-			err = wire.ReadHandshake(nc)
-		}
+	var version byte
+	err = nc.SetDeadline(time.Now().Add(opts.DialTimeout))
+	if err == nil {
+		version, err = wire.ProposeHandshake(nc, propose)
 	}
 	if err != nil {
 		nc.Close()
 		return nil, fmt.Errorf("%s: %w", addr, err)
 	}
-	return &Conn{c: nc, opts: opts}, nil
+	return &Conn{c: nc, opts: opts, version: int(version)}, nil
 }
 
-// roundTrip sends one frame and reads the typed reply under the step
-// deadline, translating worker-reported Error frames and recording any
-// failure as sticky.
-func (c *Conn) roundTrip(reqType byte, payload []byte, wantType byte) ([]byte, error) {
+// Version reports the negotiated protocol version.
+func (c *Conn) Version() int { return c.version }
+
+// FragStats reports how many job setups on this connection were served
+// from the worker's fragment cache (hits) versus needed the fragment body
+// shipped (ships). v1 connections ship inline and count neither.
+func (c *Conn) FragStats() (hits, ships int) { return c.fragHits, c.fragShips }
+
+// fail records a sticky failure and returns it.
+func (c *Conn) fail(err error) error {
+	c.err = err
+	return err
+}
+
+// send writes one frame under a fresh step deadline.
+func (c *Conn) send(typ byte, payload []byte) error {
 	if c.err != nil {
-		return nil, c.err
-	}
-	fail := func(err error) ([]byte, error) {
-		c.err = err
-		return nil, err
+		return c.err
 	}
 	if err := c.c.SetDeadline(time.Now().Add(c.opts.StepTimeout)); err != nil {
-		return fail(err)
+		return c.fail(err)
 	}
-	if err := wire.WriteFrame(c.c, reqType, payload); err != nil {
-		return fail(err)
+	if err := wire.WriteFrame(c.c, typ, payload); err != nil {
+		return c.fail(err)
+	}
+	return nil
+}
+
+// recv reads one frame under a fresh step deadline, translating
+// worker-reported Error frames. The payload aliases the connection's read
+// buffer — consume it before the next recv.
+func (c *Conn) recv() (byte, []byte, error) {
+	if c.err != nil {
+		return 0, nil, c.err
+	}
+	if err := c.c.SetDeadline(time.Now().Add(c.opts.StepTimeout)); err != nil {
+		return 0, nil, c.fail(err)
 	}
 	typ, reply, buf, err := wire.ReadFrame(c.c, c.buf, c.opts.MaxFrame)
 	c.buf = buf
 	if err != nil {
-		return fail(err)
+		return 0, nil, c.fail(err)
 	}
 	if typ == wire.TypeError {
 		ef, derr := wire.DecodeError(reply)
 		if derr != nil {
-			return fail(derr)
+			return 0, nil, c.fail(derr)
 		}
-		return fail(&RemoteError{Msg: ef.Msg})
+		return 0, nil, c.fail(&RemoteError{Msg: ef.Msg})
+	}
+	return typ, reply, nil
+}
+
+// roundTrip sends one frame and reads the reply, which must have the given
+// type.
+func (c *Conn) roundTrip(reqType byte, payload []byte, wantType byte) ([]byte, error) {
+	if err := c.send(reqType, payload); err != nil {
+		return nil, err
+	}
+	typ, reply, err := c.recv()
+	if err != nil {
+		return nil, err
 	}
 	if typ != wantType {
-		return fail(fmt.Errorf("remote: reply frame type %d, want %d", typ, wantType))
+		return nil, c.fail(fmt.Errorf("remote: reply frame type %d, want %d", typ, wantType))
 	}
 	return reply, nil
 }
 
-// Setup implements mine.WorkerConn.
+// Setup implements mine.WorkerConn. On v2 connections the fragment body is
+// withheld: the setup carries only its content hash, and the body is
+// shipped in a FragHave frame only when the worker answers FragNeed (a
+// cache miss). v1 connections ship the body inline as always.
 func (c *Conn) Setup(s *wire.JobSetup) (*wire.SetupAck, error) {
-	c.enc = s.Append(c.enc[:0])
-	reply, err := c.roundTrip(wire.TypeJobSetup, c.enc, wire.TypeSetupAck)
+	if c.version < 2 {
+		c.enc = s.Append(c.enc[:0])
+		reply, err := c.roundTrip(wire.TypeJobSetup, c.enc, wire.TypeSetupAck)
+		if err != nil {
+			return nil, err
+		}
+		return c.decodeAck(reply)
+	}
+	hash := s.FragHash
+	if len(hash) == 0 {
+		hash = wire.HashFragment(s.Fragment)
+	}
+	hashOnly := *s
+	hashOnly.Fragment = nil
+	hashOnly.FragHash = hash
+	c.enc = hashOnly.AppendV(c.enc[:0], c.version)
+	if err := c.send(wire.TypeJobSetup, c.enc); err != nil {
+		return nil, err
+	}
+	typ, reply, err := c.recv()
 	if err != nil {
 		return nil, err
 	}
+	if typ == wire.TypeFragNeed {
+		need, derr := wire.DecodeFragNeed(reply)
+		if derr != nil {
+			return nil, c.fail(derr)
+		}
+		if !bytes.Equal(need.Hash, hash) {
+			return nil, c.fail(fmt.Errorf("remote: worker requested fragment %x, offered %x", need.Hash, hash))
+		}
+		c.fragShips++
+		have := wire.FragHave{Hash: hash, Fragment: s.Fragment}
+		c.enc = have.Append(c.enc[:0])
+		if err := c.send(wire.TypeFragHave, c.enc); err != nil {
+			return nil, err
+		}
+		if typ, reply, err = c.recv(); err != nil {
+			return nil, err
+		}
+	} else {
+		c.fragHits++
+	}
+	if typ != wire.TypeSetupAck {
+		return nil, c.fail(fmt.Errorf("remote: setup reply frame type %d, want %d", typ, wire.TypeSetupAck))
+	}
+	return c.decodeAck(reply)
+}
+
+func (c *Conn) decodeAck(reply []byte) (*wire.SetupAck, error) {
 	ack, err := wire.DecodeSetupAck(reply)
 	if err != nil {
-		c.err = err
-		return nil, err
+		return nil, c.fail(err)
 	}
 	return ack, nil
+}
+
+// Ping round-trips a health probe. On v2 connections this is the dedicated
+// Ping frame; v1 predates it, so an idle Finish exchange (a no-op between
+// jobs) stands in. Only legal between jobs on either version.
+func (c *Conn) Ping() error {
+	if c.version < 2 {
+		_, err := c.roundTrip(wire.TypeFinish, nil, wire.TypeFinish)
+		return err
+	}
+	_, err := c.roundTrip(wire.TypePing, nil, wire.TypePing)
+	return err
 }
 
 // Mine implements mine.WorkerConn.

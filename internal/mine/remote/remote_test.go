@@ -152,7 +152,7 @@ func stalledWorker(t *testing.T) string {
 			return
 		}
 		defer conn.Close()
-		if wire.ReadHandshake(conn) != nil || wire.WriteHandshake(conn) != nil {
+		if _, err := wire.AnswerHandshake(conn, wire.Version); err != nil {
 			return
 		}
 		var buf []byte
@@ -225,7 +225,8 @@ func droppingWorker(t *testing.T) string {
 			return
 		}
 		defer conn.Close()
-		if wire.ReadHandshake(conn) != nil || wire.WriteHandshake(conn) != nil {
+		// Answer as a v1 peer so the setup arrives with its fragment inline.
+		if _, err := wire.AnswerHandshake(conn, 1); err != nil {
 			return
 		}
 		var buf []byte

@@ -1,11 +1,15 @@
 package remote
 
 import (
+	"bytes"
 	"net"
+	"sync/atomic"
 	"time"
 
+	"gpar/internal/graph"
 	"gpar/internal/mine"
 	"gpar/internal/mine/wire"
+	"gpar/internal/partition"
 )
 
 // ServerOptions tunes a worker service. The zero value means defaults.
@@ -17,6 +21,19 @@ type ServerOptions struct {
 	// it, so a dead coordinator cannot pin worker state forever. 0 means
 	// no deadline.
 	IdleTimeout time.Duration
+	// HandshakeTimeout bounds how long an accepted connection may take to
+	// complete the protocol handshake, even when IdleTimeout is 0 — a
+	// client that connects and never speaks cannot pin a goroutine
+	// (slowloris). Default 10s; negative disables.
+	HandshakeTimeout time.Duration
+	// MaxVersion caps the negotiated protocol version (0 or out of range
+	// means wire.Version). Capping at 1 yields a pure v1 worker.
+	MaxVersion int
+	// FragCacheCap bounds the content-addressed fragment cache in entries
+	// (decoded, frozen fragments keyed by the SHA-256 of their binary
+	// encoding, LRU-evicted). 0 means the default (8); negative disables
+	// caching.
+	FragCacheCap int
 	// Logf, when non-nil, receives one line per connection-level event
 	// (accepted, job started, failed, closed).
 	Logf func(format string, args ...any)
@@ -25,6 +42,15 @@ type ServerOptions struct {
 func (o ServerOptions) defaults() ServerOptions {
 	if o.MaxFrame <= 0 {
 		o.MaxFrame = wire.DefaultMaxFrame
+	}
+	if o.HandshakeTimeout == 0 {
+		o.HandshakeTimeout = 10 * time.Second
+	}
+	if o.MaxVersion < wire.MinVersion || o.MaxVersion > wire.Version {
+		o.MaxVersion = wire.Version
+	}
+	if o.FragCacheCap == 0 {
+		o.FragCacheCap = 8
 	}
 	return o
 }
@@ -35,33 +61,81 @@ func (o *ServerOptions) logf(format string, args ...any) {
 	}
 }
 
+// Service is one worker process's shared state: the options, the
+// content-addressed fragment cache that survives across connections (so a
+// coordinator that re-dials after a failure, or a new job over the same
+// graph, skips the fragment ship), and the counters behind Stats.
+type Service struct {
+	opts  ServerOptions
+	frags *fragCache
+
+	conns       atomic.Int64 // accepted, lifetime
+	activeConns atomic.Int64
+	jobs        atomic.Int64
+	pings       atomic.Int64
+}
+
+// NewService builds a worker service.
+func NewService(opts ServerOptions) *Service {
+	opts = opts.defaults()
+	return &Service{opts: opts, frags: newFragCache(opts.FragCacheCap)}
+}
+
+// ServiceStats is a point-in-time snapshot of a worker's counters.
+type ServiceStats struct {
+	ActiveConns int64          `json:"activeConns"`
+	TotalConns  int64          `json:"totalConns"`
+	Jobs        int64          `json:"jobs"`
+	Pings       int64          `json:"pings"`
+	FragCache   FragCacheStats `json:"fragCache"`
+}
+
+// Stats snapshots the service counters.
+func (sv *Service) Stats() ServiceStats {
+	return ServiceStats{
+		ActiveConns: sv.activeConns.Load(),
+		TotalConns:  sv.conns.Load(),
+		Jobs:        sv.jobs.Load(),
+		Pings:       sv.pings.Load(),
+		FragCache:   sv.frags.stats(),
+	}
+}
+
 // Serve accepts coordinator connections on l and hosts mining jobs until
 // the listener closes (the Accept error is returned). Each connection runs
 // its own goroutine and serves jobs sequentially: JobSetup → Rounds →
 // Finish, repeated. Any job-level failure is reported in an Error frame and
 // the connection is closed — a broken job never limps along.
-func Serve(l net.Listener, opts ServerOptions) error {
-	opts = opts.defaults()
+func (sv *Service) Serve(l net.Listener) error {
 	for {
 		conn, err := l.Accept()
 		if err != nil {
 			return err
 		}
-		go serveConn(conn, &opts)
+		go sv.serveConn(conn)
 	}
 }
 
+// Serve runs a one-off service over l (see Service.Serve).
+func Serve(l net.Listener, opts ServerOptions) error {
+	return NewService(opts).Serve(l)
+}
+
 // serveConn is one coordinator connection's lifetime.
-func serveConn(conn net.Conn, opts *ServerOptions) {
+func (sv *Service) serveConn(conn net.Conn) {
 	defer conn.Close()
+	opts := &sv.opts
 	peer := conn.RemoteAddr()
 	opts.logf("remote: %v connected", peer)
+	sv.conns.Add(1)
+	sv.activeConns.Add(1)
 
 	var rt *mine.WorkerRuntime
 	defer func() {
 		if rt != nil {
 			rt.Close()
 		}
+		sv.activeConns.Add(-1)
 		opts.logf("remote: %v closed", peer)
 	}()
 
@@ -72,10 +146,29 @@ func serveConn(conn net.Conn, opts *ServerOptions) {
 		}
 		return conn.SetDeadline(t) == nil
 	}
-	// The coordinator (dialer) speaks first; both directions are validated.
-	if !deadline() || wire.ReadHandshake(conn) != nil || wire.WriteHandshake(conn) != nil {
+	// The coordinator (dialer) proposes first; reply with min(proposal,
+	// ours). The handshake always runs under a deadline — even with no idle
+	// timeout, a silent client cannot pin this goroutine.
+	hsDeadline := opts.HandshakeTimeout
+	if hsDeadline < 0 {
+		hsDeadline = 0
+	}
+	if opts.IdleTimeout > 0 && (hsDeadline == 0 || opts.IdleTimeout < hsDeadline) {
+		hsDeadline = opts.IdleTimeout
+	}
+	var hsAt time.Time
+	if hsDeadline > 0 {
+		hsAt = time.Now().Add(hsDeadline)
+	}
+	if conn.SetDeadline(hsAt) != nil {
 		return
 	}
+	negotiated, err := wire.AnswerHandshake(conn, byte(opts.MaxVersion))
+	if err != nil {
+		opts.logf("remote: %v: %v", peer, err)
+		return
+	}
+	version := int(negotiated)
 
 	fail := func(err error) {
 		opts.logf("remote: %v: %v", peer, err)
@@ -94,22 +187,37 @@ func serveConn(conn net.Conn, opts *ServerOptions) {
 		}
 		buf = newBuf
 		switch typ {
+		case wire.TypePing:
+			if version < 2 || rt != nil {
+				fail(protocolErr("unexpected ping"))
+				return
+			}
+			sv.pings.Add(1)
+			if wire.WriteFrame(conn, wire.TypePing, nil) != nil {
+				return
+			}
 		case wire.TypeJobSetup:
 			if rt != nil {
 				fail(protocolErr("job setup while a job is active"))
 				return
 			}
-			setup, err := wire.DecodeJobSetup(payload)
+			setup, err := wire.DecodeJobSetupV(payload, version)
 			if err != nil {
 				fail(err)
 				return
 			}
-			newRT, ack, err := mine.NewWorkerRuntime(setup)
+			frag, err := sv.resolveFragment(conn, version, setup, deadline, &buf, &enc)
+			if err != nil {
+				fail(err)
+				return
+			}
+			newRT, ack, err := mine.NewWorkerRuntimeFragment(setup, frag)
 			if err != nil {
 				fail(err)
 				return
 			}
 			rt = newRT
+			sv.jobs.Add(1)
 			opts.logf("remote: %v: job %d as worker %d", peer, setup.JobID, setup.Worker)
 			enc = ack.Append(enc[:0])
 			if wire.WriteFrame(conn, wire.TypeSetupAck, enc) != nil {
@@ -149,6 +257,83 @@ func serveConn(conn net.Conn, opts *ServerOptions) {
 			return
 		}
 	}
+}
+
+// resolveFragment turns a job setup into a decoded, frozen fragment: from
+// the inline body when the setup carries one, from the content-addressed
+// cache when it carries only a hash, or — on a cache miss — by asking the
+// coordinator for the body with a FragNeed/FragHave exchange. Every path
+// that decodes a body also caches it, so a v1 coordinator's repeat jobs
+// still skip the decode+freeze.
+func (sv *Service) resolveFragment(conn net.Conn, version int, setup *wire.JobSetup, deadline func() bool, buf, enc *[]byte) (*partition.Fragment, error) {
+	hash := setup.FragHash
+	if len(setup.Fragment) > 0 {
+		if len(hash) == 0 {
+			hash = wire.HashFragment(setup.Fragment)
+		} else if !bytes.Equal(hash, wire.HashFragment(setup.Fragment)) {
+			return nil, protocolErr("setup fragment does not match its content hash")
+		}
+		if frag, ok := sv.frags.get(hash); ok {
+			return frag, nil
+		}
+		return sv.decodeAndCache(setup, hash, setup.Fragment)
+	}
+	if len(hash) == 0 {
+		return nil, protocolErr("setup carries neither fragment nor content hash")
+	}
+	if frag, ok := sv.frags.get(hash); ok {
+		return frag, nil
+	}
+	if version < 2 {
+		return nil, protocolErr("hash-only setup on a v1 connection")
+	}
+	need := wire.FragNeed{Hash: hash}
+	*enc = need.Append((*enc)[:0])
+	if err := wire.WriteFrame(conn, wire.TypeFragNeed, *enc); err != nil {
+		return nil, err
+	}
+	if !deadline() {
+		return nil, protocolErr("setting fragment exchange deadline")
+	}
+	typ, payload, newBuf, err := wire.ReadFrame(conn, *buf, sv.opts.MaxFrame)
+	*buf = newBuf
+	if err != nil {
+		return nil, err
+	}
+	if typ != wire.TypeFragHave {
+		return nil, protocolErr("expected fragment body after cache miss")
+	}
+	have, err := wire.DecodeFragHave(payload)
+	if err != nil {
+		return nil, err
+	}
+	if !bytes.Equal(have.Hash, hash) {
+		return nil, protocolErr("fragment body for the wrong hash")
+	}
+	if !bytes.Equal(wire.HashFragment(have.Fragment), hash) {
+		return nil, protocolErr("fragment body does not match its content hash")
+	}
+	return sv.decodeAndCache(setup, hash, have.Fragment)
+}
+
+// decodeAndCache decodes one fragment body and inserts it into the cache.
+// The decode interns the job's symbol table, but the fragment itself is
+// symbol-independent (labels are raw IDs), so reuse across jobs with grown
+// symbol tables is sound.
+func (sv *Service) decodeAndCache(setup *wire.JobSetup, hash, body []byte) (*partition.Fragment, error) {
+	syms := graph.NewSymbols()
+	for _, name := range setup.Symbols {
+		syms.Intern(name)
+	}
+	frag, rest, err := partition.DecodeFragment(body, syms)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, protocolErr("trailing bytes after fragment body")
+	}
+	sv.frags.put(hash, frag)
+	return frag, nil
 }
 
 // protocolErr builds the worker-side protocol violation error.

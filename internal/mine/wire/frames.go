@@ -1,11 +1,25 @@
 package wire
 
 import (
+	"crypto/sha256"
 	"encoding/binary"
 
 	"gpar/internal/graph"
 	"gpar/internal/pattern"
 )
+
+// HashSize is the length of a fragment content hash on the wire.
+const HashSize = sha256.Size
+
+// HashFragment returns the content hash keying the worker-side fragment
+// cache: SHA-256 over the fragment's canonical binary encoding. Symbols are
+// deliberately excluded — labels travel as raw IDs inside the fragment
+// bytes and the symbol table rides separately per job, so symbol-table
+// growth between jobs cannot invalidate (or poison) cached fragments.
+func HashFragment(frag []byte) []byte {
+	h := sha256.Sum256(frag)
+	return h[:]
+}
 
 // JobSetup is the coordinator → worker job preamble: the run parameters a
 // localMine superstep needs, the label symbol table (names in label-ID
@@ -27,9 +41,14 @@ type JobSetup struct {
 	EccCap    int
 	CenterEcc []int32 // parallel to the fragment's Centers
 	Fragment  []byte  // partition.Fragment.AppendBinary encoding
+	// FragHash (v2+) is HashFragment of the fragment encoding. When the
+	// setup carries a hash and no fragment body, the worker resolves the
+	// body from its content-addressed cache, answering TypeFragNeed on a
+	// miss; the coordinator then ships the body once in TypeFragHave.
+	FragHash []byte
 }
 
-// Append encodes the setup into dst.
+// Append encodes the setup into dst in the version-1 layout (no FragHash).
 func (s *JobSetup) Append(dst []byte) []byte {
 	dst = binary.AppendUvarint(dst, s.JobID)
 	dst = binary.AppendUvarint(dst, uint64(s.Worker))
@@ -53,9 +72,28 @@ func (s *JobSetup) Append(dst []byte) []byte {
 	return dst
 }
 
-// DecodeJobSetup decodes a TypeJobSetup payload.
+// AppendV encodes the setup into dst in the layout of the given negotiated
+// protocol version: version 2 appends FragHash after the v1 fields.
+func (s *JobSetup) AppendV(dst []byte, version int) []byte {
+	dst = s.Append(dst)
+	if version >= 2 {
+		dst = appendBytesField(dst, s.FragHash)
+	}
+	return dst
+}
+
+// DecodeJobSetup decodes a TypeJobSetup payload in the version-1 layout.
 func DecodeJobSetup(p []byte) (*JobSetup, error) {
 	r := reader{buf: p}
+	s := decodeJobSetupV1(&r)
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// decodeJobSetupV1 reads the fields common to every setup layout.
+func decodeJobSetupV1(r *reader) *JobSetup {
 	s := &JobSetup{
 		JobID:         r.uvarint("jobID"),
 		Worker:        r.intf("worker index"),
@@ -77,6 +115,23 @@ func DecodeJobSetup(p []byte) (*JobSetup, error) {
 	}
 	if frag := r.bytes("fragment"); r.err == nil {
 		s.Fragment = append([]byte(nil), frag...)
+	}
+	return s
+}
+
+// DecodeJobSetupV decodes a TypeJobSetup payload in the layout of the given
+// negotiated protocol version.
+func DecodeJobSetupV(p []byte, version int) (*JobSetup, error) {
+	if version < 2 {
+		return DecodeJobSetup(p)
+	}
+	r := reader{buf: p}
+	s := decodeJobSetupV1(&r)
+	if hash := r.bytes("fragment hash"); r.err == nil && len(hash) > 0 {
+		if len(hash) != HashSize {
+			return nil, errorf("fragment hash is %d bytes, want %d", len(hash), HashSize)
+		}
+		s.FragHash = append([]byte(nil), hash...)
 	}
 	if err := r.done(); err != nil {
 		return nil, err
@@ -256,6 +311,68 @@ func DecodeError(p []byte) (*ErrorFrame, error) {
 		return nil, err
 	}
 	return e, nil
+}
+
+// FragNeed is the worker → coordinator cache-miss reply to a hash-only
+// JobSetup: the worker does not hold the fragment with this content hash
+// and needs the body before it can ack the setup. v2+.
+type FragNeed struct {
+	Hash []byte
+}
+
+// Append encodes the request into dst.
+func (f *FragNeed) Append(dst []byte) []byte {
+	return appendBytesField(dst, f.Hash)
+}
+
+// DecodeFragNeed decodes a TypeFragNeed payload.
+func DecodeFragNeed(p []byte) (*FragNeed, error) {
+	r := reader{buf: p}
+	f := &FragNeed{}
+	if hash := r.bytes("fragment hash"); r.err == nil {
+		f.Hash = append([]byte(nil), hash...)
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	if len(f.Hash) != HashSize {
+		return nil, errorf("fragment hash is %d bytes, want %d", len(f.Hash), HashSize)
+	}
+	return f, nil
+}
+
+// FragHave is the coordinator → worker answer to FragNeed: the fragment
+// body for the named content hash. The worker verifies the hash over the
+// received bytes before caching — a corrupt body is a typed error, never a
+// poisoned cache entry. v2+.
+type FragHave struct {
+	Hash     []byte
+	Fragment []byte
+}
+
+// Append encodes the reply into dst.
+func (f *FragHave) Append(dst []byte) []byte {
+	dst = appendBytesField(dst, f.Hash)
+	return appendBytesField(dst, f.Fragment)
+}
+
+// DecodeFragHave decodes a TypeFragHave payload.
+func DecodeFragHave(p []byte) (*FragHave, error) {
+	r := reader{buf: p}
+	f := &FragHave{}
+	if hash := r.bytes("fragment hash"); r.err == nil {
+		f.Hash = append([]byte(nil), hash...)
+	}
+	if frag := r.bytes("fragment"); r.err == nil {
+		f.Fragment = append([]byte(nil), frag...)
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	if len(f.Hash) != HashSize {
+		return nil, errorf("fragment hash is %d bytes, want %d", len(f.Hash), HashSize)
+	}
+	return f, nil
 }
 
 // appendExtension encodes a pattern extension. Src and Close are node

@@ -22,11 +22,22 @@ import (
 
 // Protocol identity. The handshake is exchanged once per connection; every
 // frame after it is versioned implicitly by the negotiated version.
+//
+// Version negotiation: the dialer speaks first, proposing the highest
+// version it supports; the answerer replies with min(proposed, own), and
+// the dialer accepts any reply not above its proposal. Version 1 peers
+// predate negotiation — they slam the connection on an unknown hello
+// instead of answering — so a v2 dialer that loses its handshake mid-read
+// redials proposing version 1 (see the remote package).
 const (
-	// Magic opens the handshake: "GPWK" followed by the Version byte.
+	// Magic opens the handshake: "GPWK" followed by a version byte.
 	Magic = "GPWK"
-	// Version is the protocol version this package speaks.
-	Version = 1
+	// Version is the highest protocol version this package speaks.
+	// Version 2 adds health probes (TypePing) and the content-addressed
+	// fragment exchange (JobSetup.FragHash, TypeFragNeed, TypeFragHave).
+	Version = 2
+	// MinVersion is the oldest version this package interoperates with.
+	MinVersion = 1
 )
 
 // Frame types.
@@ -48,6 +59,15 @@ const (
 	TypeFinish byte = 5
 	// TypeError: either direction. A typed failure; the job is dead.
 	TypeError byte = 6
+	// TypePing: coordinator → worker health probe, echoed verbatim. v2+,
+	// and only legal between jobs.
+	TypePing byte = 7
+	// TypeFragNeed: worker → coordinator reply to a hash-only JobSetup
+	// whose fragment is not in the worker's cache; carries the hash. v2+.
+	TypeFragNeed byte = 8
+	// TypeFragHave: coordinator → worker reply to TypeFragNeed: the
+	// fragment body for the named content hash. v2+.
+	TypeFragHave byte = 9
 )
 
 // DefaultMaxFrame bounds how large a frame the read side accepts by
@@ -66,28 +86,71 @@ func errorf(format string, args ...any) error {
 	return &FrameError{Msg: fmt.Sprintf(format, args...)}
 }
 
-// WriteHandshake sends the protocol magic and version.
-func WriteHandshake(w io.Writer) error {
+// WriteHello sends one handshake hello: the protocol magic and a version
+// byte.
+func WriteHello(w io.Writer, version byte) error {
 	var hs [len(Magic) + 1]byte
 	copy(hs[:], Magic)
-	hs[len(Magic)] = Version
+	hs[len(Magic)] = version
 	_, err := w.Write(hs[:])
 	return err
 }
 
-// ReadHandshake consumes and validates the peer's magic and version.
-func ReadHandshake(r io.Reader) error {
+// ReadHello consumes one hello, validating the magic, and returns the
+// peer's version byte. Version validation is the caller's (the two
+// negotiation sides accept different ranges).
+func ReadHello(r io.Reader) (byte, error) {
 	var hs [len(Magic) + 1]byte
 	if _, err := io.ReadFull(r, hs[:]); err != nil {
-		return errorf("handshake: %v", err)
+		return 0, errorf("handshake: %v", err)
 	}
 	if string(hs[:len(Magic)]) != Magic {
-		return errorf("handshake: bad magic %q", hs[:len(Magic)])
+		return 0, errorf("handshake: bad magic %q", hs[:len(Magic)])
 	}
-	if hs[len(Magic)] != Version {
-		return errorf("handshake: peer speaks version %d, want %d", hs[len(Magic)], Version)
+	return hs[len(Magic)], nil
+}
+
+// ProposeHandshake runs the dialer side of version negotiation: propose a
+// version, accept any reply in [MinVersion, propose]. The agreed version is
+// returned. A v1 answerer that predates negotiation replies with exactly
+// version 1, which this accepts; a peer that closes instead of replying
+// surfaces as a FrameError wrapping the read failure.
+func ProposeHandshake(rw io.ReadWriter, propose byte) (byte, error) {
+	if propose < MinVersion || propose > Version {
+		return 0, errorf("handshake: cannot propose version %d (speak %d..%d)", propose, MinVersion, Version)
 	}
-	return nil
+	if err := WriteHello(rw, propose); err != nil {
+		return 0, errorf("handshake: %v", err)
+	}
+	v, err := ReadHello(rw)
+	if err != nil {
+		return 0, err
+	}
+	if v < MinVersion || v > propose {
+		return 0, errorf("handshake: peer answered version %d to proposal %d", v, propose)
+	}
+	return v, nil
+}
+
+// AnswerHandshake runs the answerer side of version negotiation: read the
+// dialer's proposal and reply with min(proposed, max). The agreed version
+// is returned. max is clamped into [MinVersion, Version].
+func AnswerHandshake(rw io.ReadWriter, max byte) (byte, error) {
+	if max < MinVersion || max > Version {
+		max = Version
+	}
+	v, err := ReadHello(rw)
+	if err != nil {
+		return 0, err
+	}
+	if v < MinVersion {
+		return 0, errorf("handshake: peer speaks version %d, want at least %d", v, MinVersion)
+	}
+	agreed := min(v, max)
+	if err := WriteHello(rw, agreed); err != nil {
+		return 0, errorf("handshake: %v", err)
+	}
+	return agreed, nil
 }
 
 // WriteFrame writes one [u32 length][u8 type][payload] frame. The length
@@ -243,4 +306,9 @@ func appendBool(dst []byte, b bool) []byte {
 func appendString(dst []byte, s string) []byte {
 	dst = binary.AppendUvarint(dst, uint64(len(s)))
 	return append(dst, s...)
+}
+
+func appendBytesField(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
 }

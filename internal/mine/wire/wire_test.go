@@ -5,6 +5,7 @@ import (
 	"io"
 	"math"
 	"math/rand"
+	"net"
 	"reflect"
 	"strings"
 	"testing"
@@ -13,34 +14,86 @@ import (
 	"gpar/internal/pattern"
 )
 
-func TestHandshakeRoundTrip(t *testing.T) {
-	var buf bytes.Buffer
-	if err := WriteHandshake(&buf); err != nil {
-		t.Fatal(err)
+// rw glues independent reader and writer halves into an io.ReadWriter so
+// one negotiation side can run against canned peer bytes.
+type rw struct {
+	io.Reader
+	io.Writer
+}
+
+// negotiate runs both negotiation sides over an in-memory pipe.
+func negotiate(t *testing.T, propose, max byte) (cliV, srvV byte) {
+	t.Helper()
+	cli, srv := net.Pipe()
+	defer cli.Close()
+	defer srv.Close()
+	var srvErr error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srvV, srvErr = AnswerHandshake(srv, max)
+	}()
+	cliV, cliErr := ProposeHandshake(cli, propose)
+	<-done
+	if cliErr != nil || srvErr != nil {
+		t.Fatalf("propose %d vs max %d: client err %v, server err %v", propose, max, cliErr, srvErr)
 	}
-	if err := ReadHandshake(&buf); err != nil {
-		t.Fatal(err)
+	return cliV, srvV
+}
+
+func TestHandshakeNegotiation(t *testing.T) {
+	cases := []struct {
+		propose, max, want byte
+	}{
+		{2, 2, 2}, // both current
+		{2, 1, 1}, // old worker clamps down
+		{1, 2, 1}, // old coordinator stays at 1
+		{1, 1, 1},
+	}
+	for _, tc := range cases {
+		cliV, srvV := negotiate(t, tc.propose, tc.max)
+		if cliV != tc.want || srvV != tc.want {
+			t.Errorf("propose %d vs max %d: agreed (%d, %d), want %d", tc.propose, tc.max, cliV, srvV, tc.want)
+		}
 	}
 }
 
 func TestHandshakeErrors(t *testing.T) {
-	cases := []struct {
+	frameErr := func(name string, err error) {
+		t.Helper()
+		if err == nil {
+			t.Errorf("%s: handshake accepted, want error", name)
+		} else if _, ok := err.(*FrameError); !ok {
+			t.Errorf("%s: error type %T, want *FrameError", name, err)
+		}
+	}
+	for _, tc := range []struct {
 		name string
 		data string
 	}{
 		{"empty", ""},
 		{"short", "GP"},
 		{"bad magic", "NOPE\x01"},
-		{"bad version", "GPWK\x63"},
+	} {
+		_, err := ReadHello(strings.NewReader(tc.data))
+		frameErr(tc.name, err)
 	}
-	for _, tc := range cases {
-		err := ReadHandshake(strings.NewReader(tc.data))
-		if err == nil {
-			t.Errorf("%s: handshake accepted, want error", tc.name)
-		} else if _, ok := err.(*FrameError); !ok {
-			t.Errorf("%s: error type %T, want *FrameError", tc.name, err)
-		}
-	}
+	// An answerer must reject version 0.
+	_, err := AnswerHandshake(&rw{strings.NewReader("GPWK\x00"), io.Discard}, Version)
+	frameErr("answer version 0", err)
+	// A proposer must reject a reply above its proposal, and a reply of 0.
+	_, err = ProposeHandshake(&rw{strings.NewReader("GPWK\x63"), io.Discard}, Version)
+	frameErr("reply above proposal", err)
+	_, err = ProposeHandshake(&rw{strings.NewReader("GPWK\x00"), io.Discard}, Version)
+	frameErr("reply version 0", err)
+	// Proposals outside the speakable range are caller bugs, caught early.
+	_, err = ProposeHandshake(&rw{strings.NewReader("GPWK\x02"), io.Discard}, Version+1)
+	frameErr("proposal out of range", err)
+	// A peer that slams the connection instead of answering (the legacy v1
+	// behavior on an unknown hello) surfaces as a FrameError — the signal
+	// the remote dialer downgrades on.
+	_, err = ProposeHandshake(&rw{strings.NewReader(""), io.Discard}, Version)
+	frameErr("peer closed during handshake", err)
 }
 
 func TestFrameRoundTrip(t *testing.T) {
@@ -172,6 +225,83 @@ func TestJobSetupRoundTrip(t *testing.T) {
 	roundTrip(t, min.Append, DecodeJobSetup, min)
 }
 
+func TestJobSetupV2RoundTrip(t *testing.T) {
+	decV2 := func(p []byte) (*JobSetup, error) { return DecodeJobSetupV(p, 2) }
+	// The hash-only shape the v2 coordinator actually sends.
+	s := &JobSetup{
+		JobID:     7,
+		Worker:    1,
+		D:         2,
+		EmbedCap:  8,
+		XLabel:    1,
+		EdgeLabel: 2,
+		YLabel:    3,
+		Symbols:   []string{"a", "b"},
+		EccCap:    3,
+		CenterEcc: []int32{1, 2},
+		FragHash:  HashFragment([]byte("GPFRfragmentbytes")),
+	}
+	roundTrip(t, func(dst []byte) []byte { return s.AppendV(dst, 2) }, decV2, s)
+
+	// Inline fragment plus hash (legal; the worker verifies agreement).
+	both := &JobSetup{Fragment: []byte("GPFRx"), FragHash: HashFragment([]byte("GPFRx"))}
+	roundTrip(t, func(dst []byte) []byte { return both.AppendV(dst, 2) }, decV2, both)
+
+	// v2 decode of a hashless setup (the v1 shape re-encoded under v2).
+	min := &JobSetup{}
+	roundTrip(t, func(dst []byte) []byte { return min.AppendV(dst, 2) }, decV2, min)
+
+	// A hash of the wrong size is a typed error, not a short hash.
+	bad := &JobSetup{FragHash: []byte("short")}
+	if _, err := DecodeJobSetupV(bad.AppendV(nil, 2), 2); err == nil {
+		t.Fatal("undersized fragment hash accepted")
+	} else if _, ok := err.(*FrameError); !ok {
+		t.Fatalf("undersized hash error type %T, want *FrameError", err)
+	}
+
+	// Version 1 decoding ignores the hash field by construction: the v1
+	// layout simply never carries one.
+	v1 := s
+	got, err := DecodeJobSetupV(v1.Append(nil), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FragHash != nil {
+		t.Fatalf("v1 decode produced a fragment hash: %x", got.FragHash)
+	}
+}
+
+func TestFragNeedRoundTrip(t *testing.T) {
+	f := &FragNeed{Hash: HashFragment([]byte("some fragment"))}
+	roundTrip(t, f.Append, DecodeFragNeed, f)
+
+	// Hashes must be exactly HashSize bytes.
+	for _, n := range []int{0, 1, HashSize - 1, HashSize + 1} {
+		bad := &FragNeed{Hash: bytes.Repeat([]byte{0xab}, n)}
+		if _, err := DecodeFragNeed(bad.Append(nil)); err == nil {
+			t.Fatalf("%d-byte hash accepted", n)
+		} else if _, ok := err.(*FrameError); !ok {
+			t.Fatalf("%d-byte hash error type %T, want *FrameError", n, err)
+		}
+	}
+}
+
+func TestFragHaveRoundTrip(t *testing.T) {
+	body := []byte("GPFRfragmentbody")
+	f := &FragHave{Hash: HashFragment(body), Fragment: body}
+	roundTrip(t, f.Append, DecodeFragHave, f)
+
+	empty := &FragHave{Hash: HashFragment(nil)}
+	roundTrip(t, empty.Append, DecodeFragHave, empty)
+
+	bad := &FragHave{Hash: []byte{1, 2, 3}, Fragment: body}
+	if _, err := DecodeFragHave(bad.Append(nil)); err == nil {
+		t.Fatal("undersized hash accepted")
+	} else if _, ok := err.(*FrameError); !ok {
+		t.Fatalf("undersized hash error type %T, want *FrameError", err)
+	}
+}
+
 func TestSetupAckRoundTrip(t *testing.T) {
 	a := &SetupAck{JobID: 9, NPq: 12345, NPqbar: 0}
 	roundTrip(t, a.Append, DecodeSetupAck, a)
@@ -234,10 +364,13 @@ func TestDecodeFuzzish(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
 	decoders := []func([]byte) error{
 		func(b []byte) error { _, err := DecodeJobSetup(b); return err },
+		func(b []byte) error { _, err := DecodeJobSetupV(b, 2); return err },
 		func(b []byte) error { _, err := DecodeSetupAck(b); return err },
 		func(b []byte) error { _, err := DecodeRound(b); return err },
 		func(b []byte) error { _, err := DecodeMessages(b); return err },
 		func(b []byte) error { _, err := DecodeError(b); return err },
+		func(b []byte) error { _, err := DecodeFragNeed(b); return err },
+		func(b []byte) error { _, err := DecodeFragHave(b); return err },
 	}
 	for trial := 0; trial < 2000; trial++ {
 		b := make([]byte, rng.Intn(64))

@@ -1,0 +1,263 @@
+package netfault
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// frame renders one wire-shaped frame: [u32 len][u8 type][payload].
+func frame(typ byte, payload []byte) []byte {
+	out := make([]byte, 4, 5+len(payload))
+	binary.BigEndian.PutUint32(out, uint32(1+len(payload)))
+	out = append(out, typ)
+	return append(out, payload...)
+}
+
+// pair returns two ends of a TCP connection on loopback.
+func pair(t *testing.T) (client, server net.Conn) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	ch := make(chan net.Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			ch <- c
+		}
+	}()
+	client, err = net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	server = <-ch
+	t.Cleanup(func() { client.Close(); server.Close() })
+	return client, server
+}
+
+// readAll drains the reader until EOF/error with a deadline guard.
+func readAll(t *testing.T, c net.Conn) []byte {
+	t.Helper()
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	b, _ := io.ReadAll(c)
+	return b
+}
+
+func TestPassThroughAndSkipBytes(t *testing.T) {
+	client, server := pair(t)
+	fc := WrapConn(server, &Script{SkipBytes: 5})
+
+	preamble := []byte("GPWK\x02")
+	f1 := frame(1, []byte("hello"))
+	f2 := frame(2, nil)
+	var sent []byte
+	sent = append(sent, preamble...)
+	sent = append(sent, f1...)
+	sent = append(sent, f2...)
+	go func() {
+		// Dribble the stream in awkward chunk sizes: the framer must not
+		// care how writes are batched.
+		for i := 0; i < len(sent); i += 3 {
+			end := min(i+3, len(sent))
+			if _, err := fc.Write(sent[i:end]); err != nil {
+				return
+			}
+		}
+		fc.Close()
+	}()
+	if got := readAll(t, client); !bytes.Equal(got, sent) {
+		t.Fatalf("pass-through mangled the stream:\ngot  %x\nwant %x", got, sent)
+	}
+}
+
+func TestCloseAtFrame(t *testing.T) {
+	client, server := pair(t)
+	fc := WrapConn(server, &Script{CloseAtFrame: 2})
+
+	f1 := frame(1, []byte("ok"))
+	if _, err := fc.Write(f1); err != nil {
+		t.Fatalf("frame 1: %v", err)
+	}
+	_, err := fc.Write(frame(2, []byte("never")))
+	if err == nil || !strings.Contains(err.Error(), "disconnect at frame 2") {
+		t.Fatalf("frame 2 error = %v, want injected disconnect", err)
+	}
+	// The peer sees frame 1 whole, then EOF — nothing of frame 2.
+	if got := readAll(t, client); !bytes.Equal(got, f1) {
+		t.Fatalf("peer read %x, want exactly frame 1 %x", got, f1)
+	}
+}
+
+func TestTruncateAtFrame(t *testing.T) {
+	client, server := pair(t)
+	fc := WrapConn(server, &Script{TruncateAtFrame: 1})
+
+	f := frame(3, []byte("0123456789"))
+	_, err := fc.Write(f)
+	if err == nil || !strings.Contains(err.Error(), "truncation at frame 1") {
+		t.Fatalf("err = %v, want injected truncation", err)
+	}
+	got := readAll(t, client)
+	want := (len(f)) / 2
+	if len(got) != want || !bytes.Equal(got, f[:want]) {
+		t.Fatalf("peer read %d bytes %x, want the first %d of %x", len(got), got, want, f)
+	}
+}
+
+func TestCorruptLength(t *testing.T) {
+	client, server := pair(t)
+	fc := WrapConn(server, &Script{CorruptAtFrame: 1})
+
+	f := frame(1, []byte("abc"))
+	if _, err := fc.Write(f); err != nil {
+		t.Fatal(err)
+	}
+	fc.Close()
+	got := readAll(t, client)
+	if len(got) != len(f) {
+		t.Fatalf("read %d bytes, want %d", len(got), len(f))
+	}
+	wantLen := binary.BigEndian.Uint32(f) | 0x80000000
+	if gotLen := binary.BigEndian.Uint32(got); gotLen != wantLen {
+		t.Fatalf("length prefix = %#x, want top bit flipped %#x", gotLen, wantLen)
+	}
+	if !bytes.Equal(got[4:], f[4:]) {
+		t.Fatal("corrupt-length damaged the body too")
+	}
+}
+
+func TestCorruptPayload(t *testing.T) {
+	client, server := pair(t)
+	fc := WrapConn(server, &Script{CorruptAtFrame: 1, CorruptKind: CorruptPayload})
+
+	f := frame(1, []byte("0123456789"))
+	if _, err := fc.Write(f); err != nil {
+		t.Fatal(err)
+	}
+	fc.Close()
+	got := readAll(t, client)
+	if len(got) != len(f) {
+		t.Fatalf("read %d bytes, want %d", len(got), len(f))
+	}
+	diff := 0
+	at := -1
+	for i := range f {
+		if got[i] != f[i] {
+			diff++
+			at = i
+		}
+	}
+	if diff != 1 || at < 5 || got[at] != f[at]^0x80 {
+		t.Fatalf("want exactly one bit-flipped payload byte, got %d diffs (last at %d)", diff, at)
+	}
+}
+
+func TestStallUnblocksOnClose(t *testing.T) {
+	_, server := pair(t)
+	fc := WrapConn(server, &Script{StallAtFrame: 1})
+
+	errc := make(chan error, 1)
+	go func() {
+		_, err := fc.Write(frame(1, []byte("stuck")))
+		errc <- err
+	}()
+	select {
+	case err := <-errc:
+		t.Fatalf("stalled write returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	fc.Close()
+	select {
+	case err := <-errc:
+		if err == nil || !strings.Contains(err.Error(), "stall at frame 1") {
+			t.Fatalf("unblocked write err = %v, want injected stall", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not unblock the stalled write")
+	}
+}
+
+func TestListenerRefuseAndClose(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Connection 0 is refused; connection 1 stalls its first frame.
+	l := Wrap(inner, func(i int) *Script {
+		if i == 0 {
+			return &Script{RefuseDial: true}
+		}
+		return &Script{StallAtFrame: 1}
+	})
+	defer l.Close()
+
+	accepted := make(chan net.Conn, 2)
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			accepted <- c
+		}
+	}()
+
+	// The refused dial connects at TCP level but dies before any byte: a
+	// read on it hits EOF/reset, and Accept never surfaces it.
+	c0, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c0.Close()
+	c0.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c0.Read(make([]byte, 1)); err == nil {
+		t.Fatal("refused connection delivered bytes")
+	}
+
+	c1, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	var sc net.Conn
+	select {
+	case sc = <-accepted:
+	case <-time.After(5 * time.Second):
+		t.Fatal("second connection never accepted")
+	}
+
+	// Its server side stalls writing frame 1 — and closing the LISTENER
+	// (not the conn) must unblock it, so tests cannot leak goroutines.
+	errc := make(chan error, 1)
+	go func() {
+		_, err := sc.Write(frame(1, nil))
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	l.Close()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("stalled write returned nil after listener close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("listener Close did not unblock the stalled conn")
+	}
+}
+
+func TestWriteAfterCloseFails(t *testing.T) {
+	_, server := pair(t)
+	fc := WrapConn(server, &Script{})
+	fc.Close()
+	if _, err := fc.Write(frame(1, nil)); !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("write after close = %v, want net.ErrClosed", err)
+	}
+}

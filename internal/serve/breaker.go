@@ -1,0 +1,129 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker states, as exposed on /stats and /healthz.
+const (
+	BreakerClosed   = "closed"
+	BreakerOpen     = "open"
+	BreakerHalfOpen = "half-open"
+)
+
+// BreakerStats is a point-in-time view of the fleet circuit breaker.
+type BreakerStats struct {
+	State string `json:"state"`
+	// ConsecutiveFailures is the current run of failed fleet jobs (reset by
+	// any success).
+	ConsecutiveFailures int `json:"consecutiveFailures"`
+	// Trips counts closed/half-open → open transitions over the server's
+	// lifetime.
+	Trips int64 `json:"trips"`
+	// Skips counts fleet-eligible jobs short-circuited straight to
+	// in-process mining because the breaker was open.
+	Skips int64 `json:"skips"`
+	// RetryInSec, while open, is how long until the next half-open probe is
+	// admitted (0 when one is already due or the breaker is not open).
+	RetryInSec float64 `json:"retryInSec,omitempty"`
+}
+
+// breaker is a consecutive-failure circuit breaker over the worker fleet.
+// Closed: every fleet-eligible job may try the fleet. After threshold
+// consecutive failures it opens: jobs skip the fleet (and its dial+retry
+// latency) and mine in-process immediately. After cooldown, exactly one
+// job is admitted as the half-open probe; its success closes the breaker,
+// its failure re-opens it for another cooldown.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // test hook
+
+	mu       sync.Mutex
+	state    string
+	consec   int
+	openedAt time.Time
+	probing  bool // a half-open probe job is in flight
+	trips    int64
+	skips    int64
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{
+		threshold: threshold,
+		cooldown:  cooldown,
+		now:       time.Now,
+		state:     BreakerClosed,
+	}
+}
+
+// allow reports whether a fleet attempt may proceed. While open it returns
+// false until the cooldown elapses; then the first caller becomes the
+// half-open probe and later callers keep skipping until the probe resolves.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			b.skips++
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	case BreakerHalfOpen:
+		if b.probing {
+			b.skips++
+			return false
+		}
+		b.probing = true
+		return true
+	default:
+		return true
+	}
+}
+
+// success records a fleet job that completed; it closes the breaker.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consec = 0
+	b.probing = false
+	b.state = BreakerClosed
+}
+
+// failure records a fleet job that exhausted its retries. A half-open
+// probe's failure re-opens immediately; otherwise the consecutive-failure
+// count must reach the threshold.
+func (b *breaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consec++
+	wasProbe := b.state == BreakerHalfOpen && b.probing
+	b.probing = false
+	if wasProbe || (b.state == BreakerClosed && b.consec >= b.threshold) {
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		b.trips++
+	}
+}
+
+// stats snapshots the breaker.
+func (b *breaker) stats() BreakerStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := BreakerStats{
+		State:               b.state,
+		ConsecutiveFailures: b.consec,
+		Trips:               b.trips,
+		Skips:               b.skips,
+	}
+	if b.state == BreakerOpen {
+		if rem := b.cooldown - b.now().Sub(b.openedAt); rem > 0 {
+			st.RetryInSec = rem.Seconds()
+		}
+	}
+	return st
+}

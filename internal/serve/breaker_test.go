@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBreakerStateMachine walks the breaker through closed → open →
+// half-open → closed on a fake clock.
+func TestBreakerStateMachine(t *testing.T) {
+	clock := time.Unix(0, 0)
+	b := newBreaker(3, 30*time.Second)
+	b.now = func() time.Time { return clock }
+
+	// Closed: failures below the threshold keep admitting.
+	for i := 0; i < 2; i++ {
+		if !b.allow() {
+			t.Fatalf("closed breaker refused attempt %d", i)
+		}
+		b.failure()
+	}
+	if st := b.stats(); st.State != BreakerClosed || st.ConsecutiveFailures != 2 {
+		t.Fatalf("pre-threshold stats = %+v", st)
+	}
+
+	// Third consecutive failure trips it.
+	if !b.allow() {
+		t.Fatal("closed breaker refused the tripping attempt")
+	}
+	b.failure()
+	st := b.stats()
+	if st.State != BreakerOpen || st.Trips != 1 {
+		t.Fatalf("post-threshold stats = %+v, want open with 1 trip", st)
+	}
+	if st.RetryInSec <= 0 || st.RetryInSec > 30 {
+		t.Fatalf("retryInSec = %v, want (0, 30]", st.RetryInSec)
+	}
+
+	// Open: everything skips until the cooldown elapses.
+	if b.allow() {
+		t.Fatal("open breaker admitted a job inside the cooldown")
+	}
+	if st := b.stats(); st.Skips != 1 {
+		t.Fatalf("skips = %d, want 1", st.Skips)
+	}
+
+	// Cooldown over: exactly one probe is admitted; the rest keep skipping.
+	clock = clock.Add(31 * time.Second)
+	if !b.allow() {
+		t.Fatal("cooldown elapsed but no probe admitted")
+	}
+	if b.allow() {
+		t.Fatal("second probe admitted while the first is in flight")
+	}
+	if st := b.stats(); st.State != BreakerHalfOpen || st.Skips != 2 {
+		t.Fatalf("half-open stats = %+v", st)
+	}
+
+	// Probe failure re-opens immediately (no threshold).
+	b.failure()
+	if st := b.stats(); st.State != BreakerOpen || st.Trips != 2 {
+		t.Fatalf("post-probe-failure stats = %+v, want re-opened", st)
+	}
+
+	// Next probe succeeds: breaker closes and the failure run resets.
+	clock = clock.Add(31 * time.Second)
+	if !b.allow() {
+		t.Fatal("second cooldown elapsed but no probe admitted")
+	}
+	b.success()
+	if st := b.stats(); st.State != BreakerClosed || st.ConsecutiveFailures != 0 {
+		t.Fatalf("post-probe-success stats = %+v, want closed", st)
+	}
+
+	// A success mid-run also clears accumulated failures.
+	b.failure()
+	b.failure()
+	b.success()
+	b.failure()
+	if st := b.stats(); st.State != BreakerClosed || st.ConsecutiveFailures != 1 {
+		t.Fatalf("interleaved stats = %+v, want closed with 1 consecutive", st)
+	}
+}

@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"gpar/internal/mine/remote"
+)
+
+// fleetProbeTTL is how long a /healthz fleet-reachability probe result is
+// reused before the workers are dialed again — health polling must not
+// hammer the fleet.
+const fleetProbeTTL = 5 * time.Second
+
+// fleetProbeTimeout bounds each worker's dial + ping during a health probe.
+const fleetProbeTimeout = time.Second
+
+// fleetProbe caches the last fleet-reachability probe.
+type fleetProbe struct {
+	mu        sync.Mutex
+	at        time.Time
+	reachable int
+}
+
+// retryPolicy is the per-job fleet retry policy from config.
+func (s *Server) retryPolicy() remote.RetryPolicy {
+	return remote.RetryPolicy{
+		Attempts:    s.cfg.MineRetries,
+		BaseBackoff: s.cfg.MineRetryBackoff,
+	}
+}
+
+// fleetAllow asks the circuit breaker whether a fleet attempt may proceed
+// (always true when the breaker is disabled).
+func (s *Server) fleetAllow() bool {
+	if s.breaker == nil {
+		return true
+	}
+	return s.breaker.allow()
+}
+
+// fleetResult reports a fleet job's outcome to the circuit breaker.
+func (s *Server) fleetResult(ok bool) {
+	if s.breaker == nil {
+		return
+	}
+	if ok {
+		s.breaker.success()
+	} else {
+		s.breaker.failure()
+	}
+}
+
+// FleetReachable dials and health-probes every configured worker and
+// returns how many answered, caching the result for fleetProbeTTL.
+// Concurrent callers serialize on the cache, so at most one probe sweep is
+// in flight. Returns (0, 0) with no probing when no fleet is configured.
+func (s *Server) FleetReachable() (reachable, total int) {
+	total = len(s.cfg.MineWorkers)
+	if total == 0 {
+		return 0, 0
+	}
+	fp := &s.fleetProbe
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	if !fp.at.IsZero() && time.Since(fp.at) < fleetProbeTTL {
+		return fp.reachable, total
+	}
+	var n int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, addr := range s.cfg.MineWorkers {
+		wg.Add(1)
+		go func(addr string) {
+			defer wg.Done()
+			c, err := remote.Dial(addr, remote.DialOptions{
+				DialTimeout: fleetProbeTimeout,
+				StepTimeout: fleetProbeTimeout,
+			})
+			if err != nil {
+				return
+			}
+			defer c.Close()
+			if c.Ping() == nil {
+				mu.Lock()
+				n++
+				mu.Unlock()
+			}
+		}(addr)
+	}
+	wg.Wait()
+	fp.reachable = int(n)
+	fp.at = time.Now()
+	return fp.reachable, total
+}
+
+// BreakerStats returns the fleet circuit breaker's current view, or
+// (zero, false) when no breaker is active.
+func (s *Server) BreakerStats() (BreakerStats, bool) {
+	if s.breaker == nil {
+		return BreakerStats{}, false
+	}
+	return s.breaker.stats(), true
+}

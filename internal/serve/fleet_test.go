@@ -143,12 +143,11 @@ func TestMineJobFleetWorkerCountMismatch(t *testing.T) {
 	}
 }
 
-// TestMineJobFleetMidJobFailureFailsJob pins the no-fallback rule: once the
-// fleet is dialed, a worker that stalls past the step deadline fails the job
-// (typed, no install) rather than silently re-mining in-process.
-func TestMineJobFleetMidJobFailureFailsJob(t *testing.T) {
-	addrs := startFleet(t, 1)
-	// The second "worker" accepts and handshakes but never answers a frame.
+// startStalledWorker brings up a fake worker that handshakes as a v1 peer
+// and then swallows every frame without answering — the canonical mid-job
+// stall. Returns its address.
+func startStalledWorker(t *testing.T) string {
+	t.Helper()
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -174,34 +173,124 @@ func TestMineJobFleetMidJobFailureFailsJob(t *testing.T) {
 			}(c)
 		}
 	}()
-	addrs = append(addrs, l.Addr().String())
+	return l.Addr().String()
+}
+
+// TestMineJobFleetMidJobFailureRetriesThenFallsBack pins the retry +
+// recorded-fallback rule: a worker that stalls past the step deadline fails
+// each attempt; the coordinator re-dials and retries up to MineRetries, then
+// mines in-process, still completing the job — with the fallback reason,
+// attempt count, and breaker failure all recorded so the sick fleet is
+// never silently masked.
+func TestMineJobFleetMidJobFailureRetriesThenFallsBack(t *testing.T) {
+	addrs := []string{startFleet(t, 1)[0], startStalledWorker(t)}
 
 	s, _, _ := newTestServer(t, Config{
-		Workers:         2,
-		MineWorkers:     addrs,
-		MineStepTimeout: 200 * time.Millisecond,
+		Workers:          2,
+		MineWorkers:      addrs,
+		MineStepTimeout:  200 * time.Millisecond,
+		MineRetries:      2,
+		MineRetryBackoff: time.Millisecond,
 	})
 	p := mineFixtureParams()
 	p.Workers = 0
-	p.Install = true // must NOT install on failure
+	p.Install = true // fallback result is a real result; install proceeds
 	job, err := s.StartMine(p)
 	if err != nil {
 		t.Fatalf("StartMine: %v", err)
 	}
 	done := waitJob(t, s, job.ID)
-	if done.Status != JobFailed {
-		t.Fatalf("stalled-worker job status = %s, want failed", done.Status)
+	if done.Status != JobDone {
+		t.Fatalf("stalled-worker job status = %s (err %q), want done via fallback", done.Status, done.Error)
 	}
-	if !done.Distributed {
-		t.Fatal("failed fleet job did not report Distributed")
+	if done.Distributed {
+		t.Fatal("fallback job reported Distributed")
 	}
-	if !strings.Contains(done.Error, "worker 1") {
-		t.Fatalf("error does not name the worker: %q", done.Error)
+	if !strings.Contains(done.FleetFallback, "after 2 attempt(s)") ||
+		!strings.Contains(done.FleetFallback, "worker 1") {
+		t.Fatalf("fallback reason = %q, want attempts + failing worker", done.FleetFallback)
 	}
-	if done.Installed || done.Generation != 0 {
-		t.Fatal("failed job installed rules")
+	if done.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", done.Attempts)
 	}
-	if got := s.Generation(); got != 1 {
-		t.Fatalf("generation moved to %d after failed job", got)
+	if len(done.RuleKeys) == 0 || !done.Installed {
+		t.Fatalf("fallback result not served: rules=%d installed=%v", len(done.RuleKeys), done.Installed)
+	}
+	if got := s.nFleetFall.Load(); got != 1 {
+		t.Fatalf("fallback counter = %d, want 1", got)
+	}
+	bs, ok := s.BreakerStats()
+	if !ok {
+		t.Fatal("no breaker on a fleet-configured server")
+	}
+	if bs.ConsecutiveFailures != 1 || bs.State != BreakerClosed {
+		t.Fatalf("breaker after one failed job = %+v, want 1 consecutive failure, closed", bs)
+	}
+}
+
+// TestMineJobFleetBreakerTripsAndSkips drives the breaker through its whole
+// cycle: threshold consecutive fleet failures trip it open, open jobs skip
+// the fleet entirely (no dial latency, fallback recorded as breaker-open),
+// and after the cooldown a half-open probe against a healed fleet closes it
+// again.
+func TestMineJobFleetBreakerTripsAndSkips(t *testing.T) {
+	healthy := startFleet(t, 2)
+	stalled := []string{healthy[0], startStalledWorker(t)}
+
+	s, _, _ := newTestServer(t, Config{
+		Workers:               2,
+		MineWorkers:           stalled,
+		MineStepTimeout:       200 * time.Millisecond,
+		MineRetries:           1,
+		MineRetryBackoff:      time.Millisecond,
+		FleetBreakerThreshold: 2,
+		FleetBreakerCooldown:  time.Hour, // only the test clock moves it
+	})
+	p := mineFixtureParams()
+	p.Workers = 0
+	run := func() Job {
+		t.Helper()
+		job, err := s.StartMine(p)
+		if err != nil {
+			t.Fatalf("StartMine: %v", err)
+		}
+		done := waitJob(t, s, job.ID)
+		if done.Status != JobDone {
+			t.Fatalf("job status = %s: %s", done.Status, done.Error)
+		}
+		return done
+	}
+
+	// Two failed fleet jobs trip the breaker.
+	for i := 0; i < 2; i++ {
+		if done := run(); !strings.Contains(done.FleetFallback, "attempt") {
+			t.Fatalf("job %d fallback = %q, want fleet failure", i, done.FleetFallback)
+		}
+	}
+	bs, _ := s.BreakerStats()
+	if bs.State != BreakerOpen || bs.Trips != 1 {
+		t.Fatalf("breaker after threshold failures = %+v, want open with 1 trip", bs)
+	}
+
+	// While open, jobs skip the fleet without dialing.
+	if done := run(); done.Attempts != 0 || !strings.Contains(done.FleetFallback, "circuit breaker open") {
+		t.Fatalf("open-breaker job: attempts=%d fallback=%q", done.Attempts, done.FleetFallback)
+	}
+	if bs, _ = s.BreakerStats(); bs.Skips != 1 {
+		t.Fatalf("skips = %d, want 1", bs.Skips)
+	}
+
+	// Heal the fleet, expire the cooldown, and let the half-open probe close
+	// the breaker.
+	s.cfg.MineWorkers = healthy
+	s.breaker.mu.Lock()
+	s.breaker.openedAt = s.breaker.openedAt.Add(-2 * time.Hour)
+	s.breaker.mu.Unlock()
+	done := run()
+	if !done.Distributed || done.FleetFallback != "" {
+		t.Fatalf("probe job: distributed=%v fallback=%q", done.Distributed, done.FleetFallback)
+	}
+	if bs, _ = s.BreakerStats(); bs.State != BreakerClosed || bs.ConsecutiveFailures != 0 {
+		t.Fatalf("breaker after probe success = %+v, want closed", bs)
 	}
 }

@@ -118,14 +118,18 @@ type StatsResponse struct {
 	// snapshot's partition fragments outright (zero partition+freeze).
 	MineFragReuses int64 `json:"mineFragReuses"`
 	// Fleet reports the distributed-mining configuration and traffic:
-	// Workers is len(Config.MineWorkers), RemoteJobs counts jobs submitted
-	// to the fleet, Fallbacks counts fleet jobs that mined in-process
-	// because the fleet was unreachable (or the request pinned a worker
-	// count that does not match the fleet size).
+	// Workers is len(Config.MineWorkers), RemoteJobs counts jobs that
+	// completed on the fleet, RetriedJobs counts fleet jobs that succeeded
+	// only after at least one failed attempt, Fallbacks counts fleet-
+	// eligible jobs that mined in-process (breaker open, worker-count
+	// mismatch, or every retry exhausted), and Breaker — present when the
+	// fleet circuit breaker is active — is its current state.
 	Fleet struct {
-		Workers    int   `json:"workers"`
-		RemoteJobs int64 `json:"remoteJobs"`
-		Fallbacks  int64 `json:"fallbacks"`
+		Workers     int           `json:"workers"`
+		RemoteJobs  int64         `json:"remoteJobs"`
+		RetriedJobs int64         `json:"retriedJobs"`
+		Fallbacks   int64         `json:"fallbacks"`
+		Breaker     *BreakerStats `json:"breaker,omitempty"`
 	} `json:"fleet"`
 	Batch    BatchStats `json:"batch"`
 	Requests struct {
@@ -361,11 +365,23 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		status = "unavailable"
 		code = http.StatusServiceUnavailable
 	}
-	writeJSON(w, code, map[string]any{
+	body := map[string]any{
 		"status":     status,
 		"generation": s.gen.Load(),
 		"uptimeSec":  time.Since(s.start).Seconds(),
-	})
+	}
+	if total := len(s.cfg.MineWorkers); total > 0 {
+		reachable, _ := s.FleetReachable()
+		fleet := map[string]any{
+			"workers":   total,
+			"reachable": reachable,
+		}
+		if bs, ok := s.BreakerStats(); ok {
+			fleet["breaker"] = bs.State
+		}
+		body["fleet"] = fleet
+	}
+	writeJSON(w, code, body)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -390,7 +406,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.MineFragReuses = s.nFragReuse.Load()
 	resp.Fleet.Workers = len(s.cfg.MineWorkers)
 	resp.Fleet.RemoteJobs = s.nRemoteMine.Load()
+	resp.Fleet.RetriedJobs = s.nMineRetry.Load()
 	resp.Fleet.Fallbacks = s.nFleetFall.Load()
+	if bs, ok := s.BreakerStats(); ok {
+		resp.Fleet.Breaker = &bs
+	}
 	resp.Batch = s.batch.Stats()
 	resp.Requests.Identify = s.nIdentify.Load()
 	resp.Requests.Rules = s.nRules.Load()

@@ -84,9 +84,16 @@ type Job struct {
 	// byte-identical either way.
 	Distributed bool `json:"distributed,omitempty"`
 	// FleetFallback, when non-empty, is why a configured fleet was not used
-	// for this job (unreachable, or a pinned worker count that does not
-	// match the fleet size); the job then mined in-process.
+	// for this job: a pinned worker count that does not match the fleet
+	// size, the fleet circuit breaker open, or the fleet failing every
+	// retry attempt. The job then mined in-process — results are
+	// byte-identical, but the fallback is always recorded so a sick fleet
+	// cannot be masked.
 	FleetFallback string `json:"fleetFallback,omitempty"`
+	// Attempts is how many fleet attempts (dial + mine) this job made
+	// before succeeding or falling back (0 for jobs that never tried the
+	// fleet).
+	Attempts int `json:"attempts,omitempty"`
 }
 
 // maxJobs bounds the registry: when exceeded, the oldest finished jobs are
@@ -246,35 +253,43 @@ func (s *Server) runMine(id string, snap *Snapshot, pred core.Predicate, p MineP
 	var res *mine.Result
 	distributed := false
 	fleetFallback := ""
+	attempts := 0
 	if n := len(s.cfg.MineWorkers); n > 0 {
-		if opts.N != n {
+		switch {
+		case opts.N != n:
 			fleetFallback = fmt.Sprintf("job pinned %d workers but the fleet has %d", opts.N, n)
-		} else {
-			conns, err := remote.DialFleet(s.cfg.MineWorkers, remote.DialOptions{StepTimeout: s.cfg.MineStepTimeout})
-			if err != nil {
-				// Dial-phase failure (wraps remote.ErrFleetUnavailable): no
-				// worker has started anything, in-process fallback is clean.
-				fleetFallback = err.Error()
+		case !s.fleetAllow():
+			fleetFallback = "fleet circuit breaker open; mined in-process"
+		default:
+			// Each attempt re-dials the whole fleet, health-probes every
+			// worker, and re-runs the job from scratch; workers hold no
+			// cross-job state and Σ only installs on success, so a retried
+			// job is byte-identical to a clean one. The stop hook drains the
+			// retry loop early on shutdown instead of sleeping out backoffs.
+			var rep remote.JobReport
+			var mineErr error
+			res, rep, mineErr = remote.MineFleet(
+				ctx, pred, opts, s.cfg.MineWorkers,
+				remote.DialOptions{StepTimeout: s.cfg.MineStepTimeout},
+				s.retryPolicy(),
+				func() bool { return s.closed.Load() },
+			)
+			attempts = rep.Attempts
+			if mineErr != nil {
+				// Every attempt failed (or shutdown abandoned the retry
+				// loop). Fall back in-process as a *recorded* last resort:
+				// the breaker trips on repeated failures so a sick fleet is
+				// skipped — and surfaced — rather than silently re-mined
+				// around forever.
+				s.fleetResult(false)
+				res = nil
+				fleetFallback = fmt.Sprintf("fleet failed after %d attempt(s): %v", rep.Attempts, mineErr)
 			} else {
+				s.fleetResult(true)
 				distributed = true
 				s.nRemoteMine.Add(1)
-				var mineErr error
-				res, mineErr = remote.Mine(ctx, pred, opts, conns)
-				remote.CloseAll(conns)
-				if mineErr != nil {
-					// A failure mid-job — worker crash, stall past the step
-					// deadline, protocol breakdown — fails the job. No
-					// fallback: the fleet was healthy at admission, and
-					// silently re-mining could mask a sick fleet forever.
-					s.jobs.update(id, func(j *Job) {
-						j.Finished = time.Now()
-						j.Status = JobFailed
-						j.Error = mineErr.Error()
-						j.Distributed = true
-						j.ContextCached = ctxHit
-						j.FragmentsReused = ctx.Borrowed()
-					})
-					return
+				if rep.Attempts > 1 {
+					s.nMineRetry.Add(1)
 				}
 			}
 		}
@@ -326,6 +341,7 @@ func (s *Server) runMine(id string, snap *Snapshot, pred core.Predicate, p MineP
 		j.FragmentsReused = ctx.Borrowed()
 		j.Distributed = distributed
 		j.FleetFallback = fleetFallback
+		j.Attempts = attempts
 		if installErr != nil {
 			j.Status = JobFailed
 			j.Error = installErr.Error()

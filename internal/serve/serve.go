@@ -95,15 +95,32 @@ type Config struct {
 	// MineWorkers, when non-empty, lists the host:port addresses of gparworker
 	// services; mine jobs are then submitted to that fleet — one worker
 	// service per fragment — instead of mining in-process. The fleet is
-	// dialed per job; when it is unreachable the job falls back to in-process
-	// mining (a dial-phase failure touches nothing), while a failure
-	// mid-job — a worker crash or stall — fails the job with no install and
-	// no fallback. Results are byte-identical to in-process mining.
+	// dialed per job (workers cache fragments by content hash, so repeat
+	// dials are cheap) and each job retries the whole fleet cycle up to
+	// MineRetries times; a job whose retries are exhausted falls back to
+	// in-process mining as a last resort, recorded on the job and counted
+	// toward the circuit breaker. Results are byte-identical to in-process
+	// mining.
 	MineWorkers []string
 	// MineStepTimeout bounds each distributed superstep exchange per worker
 	// (the stalled-worker guillotine). Zero means the remote package default
 	// (2 minutes). Ignored without MineWorkers.
 	MineStepTimeout time.Duration
+	// MineRetries is the total number of fleet attempts per mine job, the
+	// first included (default 3). Each failed attempt closes the fleet,
+	// backs off, and re-dials from scratch.
+	MineRetries int
+	// MineRetryBackoff is the pause after a job's first failed fleet
+	// attempt, doubling per failure with bounded jitter (default 50ms).
+	MineRetryBackoff time.Duration
+	// FleetBreakerThreshold trips the fleet circuit breaker after this many
+	// consecutive mine jobs exhausted their fleet retries (default 3;
+	// negative disables the breaker). While open, fleet-eligible jobs mine
+	// in-process immediately instead of paying the dial+retry latency.
+	FleetBreakerThreshold int
+	// FleetBreakerCooldown is how long an open breaker waits before
+	// admitting one half-open probe job to the fleet (default 30s).
+	FleetBreakerCooldown time.Duration
 }
 
 func (c Config) defaults() Config {
@@ -130,6 +147,18 @@ func (c Config) defaults() Config {
 	}
 	if c.DefaultEta <= 0 {
 		c.DefaultEta = 1.0
+	}
+	if c.MineRetries <= 0 {
+		c.MineRetries = 3
+	}
+	if c.MineRetryBackoff <= 0 {
+		c.MineRetryBackoff = 50 * time.Millisecond
+	}
+	if c.FleetBreakerThreshold == 0 {
+		c.FleetBreakerThreshold = 3
+	}
+	if c.FleetBreakerCooldown <= 0 {
+		c.FleetBreakerCooldown = 30 * time.Second
 	}
 	return c
 }
@@ -163,6 +192,7 @@ type Server struct {
 	minePool *minePool  // parked mine.Shared worker sets (round arenas)
 	batch    *Batcher[*RuleEval]
 	jobs     *Jobs
+	breaker  *breaker // fleet circuit breaker; nil when disabled or no fleet
 
 	swapMu sync.Mutex // serializes snapshot swaps and symbol interning
 	snap   atomic.Pointer[Snapshot]
@@ -172,6 +202,8 @@ type Server struct {
 	closed atomic.Bool
 	jobWG  sync.WaitGroup
 
+	fleetProbe fleetProbe // cached /healthz fleet reachability
+
 	nIdentify   atomic.Int64
 	nRules      atomic.Int64
 	nMine       atomic.Int64
@@ -179,13 +211,14 @@ type Server struct {
 	nFragReuse  atomic.Int64 // mine jobs that ran on snapshot fragments
 	nRemoteMine atomic.Int64 // mine jobs submitted to the worker fleet
 	nFleetFall  atomic.Int64 // fleet jobs that fell back to in-process
+	nMineRetry  atomic.Int64 // fleet jobs that needed more than one attempt
 }
 
 // New returns a Server with no snapshot installed; handlers answer 503
 // until LoadSnapshot succeeds.
 func New(cfg Config) *Server {
 	cfg = cfg.defaults()
-	return &Server{
+	s := &Server{
 		cfg:      cfg,
 		pool:     NewPool(cfg.PoolSize),
 		cache:    NewCache(cfg.CacheCap),
@@ -196,6 +229,10 @@ func New(cfg Config) *Server {
 		jobs:     NewJobs(),
 		start:    time.Now(),
 	}
+	if len(cfg.MineWorkers) > 0 && cfg.FleetBreakerThreshold > 0 {
+		s.breaker = newBreaker(cfg.FleetBreakerThreshold, cfg.FleetBreakerCooldown)
+	}
+	return s
 }
 
 // Snapshot returns the currently served snapshot, or nil before the first
