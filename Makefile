@@ -2,7 +2,7 @@ GO ?= go
 BIN := bin
 
 .PHONY: all build vet test race bench bench-match bench-mine bench-short \
-	bench-mine-short bench-guard docs-check serve clean
+	bench-mine-short bench-guard docs-check loadtest overload serve clean
 
 all: vet build test
 
@@ -70,6 +70,18 @@ bench-mine-short:
 # (memoized pair distances), so it alone is waived from the alloc gate.
 bench-guard:
 	$(GO) run ./cmd/benchguard -allow-alloc BenchmarkDiversifyUpdate BENCH_match.json BENCH_mine.json
+
+# CI load smoke: boot a real server, drive it under and past capacity,
+# and assert it serves cleanly when calm, sheds 429s fast when saturated,
+# and never falls over. Finishes in a few seconds.
+loadtest:
+	$(GO) run ./cmd/gparload -quick
+
+# The full overload comparison behind the numbers in DESIGN.md: the same
+# offered load with shedding on vs off. Takes ~30s plus the startup mine;
+# for operators, not CI.
+overload:
+	$(GO) run ./cmd/gparload -overload -users 10000 -qps 300 -dur 10s
 
 # Fail if any internal package lacks a package-level doc comment — the
 # documentation gate CI runs on every push.

@@ -49,9 +49,15 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchguard: %s: %v\n", path, err)
 			os.Exit(2)
 		}
-		checked := 0
+		checked, unbaselined := 0, 0
 		for _, e := range rep.Benchmarks {
 			if e.Base == nil {
+				// A benchmark that did not exist at the baseline commit has
+				// nothing to regress against: report it and move on, so adding
+				// a benchmark never requires re-recording every baseline in
+				// the same commit.
+				unbaselined++
+				fmt.Printf("benchguard: %s: %s is new (no baseline); not gated\n", path, e.Name)
 				continue
 			}
 			checked++
@@ -66,8 +72,10 @@ func main() {
 				failed = true
 			}
 		}
-		if checked == 0 {
-			fmt.Fprintf(os.Stderr, "benchguard: %s: no baselined benchmarks found\n", path)
+		// An artifact of nothing but new entries still passes — but an empty
+		// artifact is a broken recording, not a tolerable one.
+		if checked == 0 && unbaselined == 0 {
+			fmt.Fprintf(os.Stderr, "benchguard: %s: no benchmarks found\n", path)
 			failed = true
 		}
 		fmt.Printf("benchguard: %s: %d baselined benchmarks checked (baseline %s)\n",

@@ -71,6 +71,10 @@ func main() {
 		backoff = flag.Duration("mine-retry-backoff", 0, "base backoff between fleet attempts, doubling with jitter (0 = 50ms)")
 		brkN    = flag.Int("breaker-threshold", 0, "consecutive fleet failures that open the circuit breaker (0 = default 3, negative = off)")
 		brkCool = flag.Duration("breaker-cooldown", 0, "how long an open breaker skips the fleet before probing (0 = 30s)")
+		reqTO   = flag.Duration("request-timeout", 0, "server-side identify deadline (0 = 30s, negative = off)")
+		maxQ    = flag.Int("max-queue", 0, "admission queue depth before shedding 429 (0 = 64, negative = off)")
+		queueTO = flag.Duration("queue-timeout", 0, "longest an admitted request may wait for a slot (0 = 1s)")
+		memLim  = flag.Uint64("mem-limit", 0, "heap watermark in bytes: >=90% rejects mine jobs, >=100% shrinks caches (0 = off)")
 	)
 	flag.Parse()
 
@@ -132,6 +136,10 @@ func main() {
 		BatchWindow:     *window,
 		DefaultEta:      *eta,
 		MineStepTimeout: *stepTO,
+		RequestTimeout:  *reqTO,
+		MaxQueue:        *maxQ,
+		QueueTimeout:    *queueTO,
+		MemLimitBytes:   *memLim,
 	}
 	if *fleet != "" {
 		cfg.MineWorkers = strings.Split(*fleet, ",")
@@ -147,7 +155,17 @@ func main() {
 	}
 	log.Printf("snapshot generation %d: %d rules, serving on %s", srv.Generation(), len(rules), *addr)
 
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	// The listener defends itself too: a client that trickles its headers,
+	// never reads its response, or parks an idle keep-alive cannot pin a
+	// connection forever. WriteTimeout outlasts the identify deadline so the
+	// server, not the socket, decides how a slow evaluation ends.
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
 

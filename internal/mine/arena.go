@@ -165,3 +165,13 @@ func (g *Gate) Size() int { return cap(g.sem) }
 
 func (g *Gate) acquire() { g.sem <- struct{}{} }
 func (g *Gate) release() { <-g.sem }
+
+// Acquire blocks until a worker slot is free and takes it. It lets a caller
+// that shares the gate with mining runs charge its own work against the same
+// CPU budget (or deliberately saturate the gate, parking every run at its
+// next superstep — the serving layer's tests open deterministic cancellation
+// windows this way). Pair with Release.
+func (g *Gate) Acquire() { g.acquire() }
+
+// Release returns a slot taken by Acquire.
+func (g *Gate) Release() { g.release() }

@@ -58,8 +58,8 @@ func TestDMineMultiArenasOnOffIdentity(t *testing.T) {
 	on := optsList[1] // N=2: sharded assembly and real message traffic
 	off := on
 	off.DisableArenas = true
-	wants := DMineMulti(g, preds, off)
-	gots := DMineMulti(g, preds, on)
+	wants := must(DMineMulti(g, preds, off))
+	gots := must(DMineMulti(g, preds, on))
 	if len(wants) != len(gots) {
 		t.Fatalf("result count differs: %d vs %d", len(wants), len(gots))
 	}

@@ -136,15 +136,16 @@ func (c *Context) check(pred core.Predicate, opts Options) error {
 
 // DMineCtx is DMine running on a prebuilt Context: identical results (the
 // differential tests pin byte-identity), but the partition + freeze
-// preamble is skipped. It panics if the context was built for a different
-// x-label or different (d, n) than pred/opts ask for.
-func DMineCtx(ctx *Context, pred core.Predicate, opts Options) *Result {
+// preamble is skipped. It errors if the context was built for a different
+// x-label or different (d, n) than pred/opts ask for, or — as a typed
+// *CanceledError — when a set Options.Ctx cancels the run.
+func DMineCtx(ctx *Context, pred core.Predicate, opts Options) (*Result, error) {
 	opts = opts.Defaults()
 	if err := ctx.check(pred, opts); err != nil {
-		panic(err)
+		return nil, err
 	}
 	m := newMiner(ctx, pred, opts, nil)
-	return m.run()
+	return m.runE()
 }
 
 // Shared is the cross-predicate accumulator of DMineMulti: everything that
@@ -184,13 +185,16 @@ func (sh *Shared) Context() *Context { return sh.ctx }
 
 // DMine mines pred reusing the accumulator's context and every run-to-run
 // survivable structure. Results are byte-identical to DMine(g, pred, opts).
-func (sh *Shared) DMine(pred core.Predicate, opts Options) *Result {
+// Errors are a context/options mismatch or, for a set Options.Ctx, the
+// typed *CanceledError; a canceled accumulator is reusable — the next run
+// resets every per-run structure, byte-identically to a fresh one.
+func (sh *Shared) DMine(pred core.Predicate, opts Options) (*Result, error) {
 	opts = opts.Defaults()
 	if err := sh.ctx.check(pred, opts); err != nil {
-		panic(err)
+		return nil, err
 	}
 	m := newMiner(sh.ctx, pred, opts, sh)
-	return m.run()
+	return m.runE()
 }
 
 // attachWorkers returns the per-fragment workers, creating them on first

@@ -38,7 +38,7 @@ func TestDMineCtxMatchesDMine(t *testing.T) {
 		want := fingerprint(DMine(g, pred, opts))
 		ctx := NewContext(g, pred.XLabel, opts)
 		for run := 0; run < 2; run++ {
-			got := fingerprint(DMineCtx(ctx, pred, opts))
+			got := fingerprint(must(DMineCtx(ctx, pred, opts)))
 			if got != want {
 				t.Fatalf("run %d on cached context differs from fresh DMine:\n--- fresh ---\n%s--- cached ---\n%s",
 					run, want, got)
@@ -60,7 +60,7 @@ func TestSharedAccumulatorByteIdentical(t *testing.T) {
 			continue
 		}
 		want := fingerprint(DMine(g, pred, opts))
-		got := fingerprint(sh.DMine(pred, opts))
+		got := fingerprint(must(sh.DMine(pred, opts)))
 		if got != want {
 			t.Fatalf("predicate %d: shared-accumulator result differs from fresh DMine:\n--- fresh ---\n%s--- shared ---\n%s",
 				i, want, got)
@@ -77,7 +77,7 @@ func TestDMineMultiMatchesIndependentRuns(t *testing.T) {
 	// Duplicate the first predicate to exercise the dedup path too.
 	input := append(append([]core.Predicate(nil), preds...), preds[0])
 
-	got := DMineMulti(g, input, opts)
+	got := must(DMineMulti(g, input, opts))
 	var wantOrder []core.Predicate
 	seen := map[core.Predicate]bool{}
 	for _, p := range input {
@@ -118,7 +118,7 @@ func TestConcurrentDMineSharedContext(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i] = fingerprint(DMineCtx(ctx, pred, opts))
+			results[i] = fingerprint(must(DMineCtx(ctx, pred, opts)))
 		}(i)
 	}
 	wg.Wait()
@@ -130,19 +130,21 @@ func TestConcurrentDMineSharedContext(t *testing.T) {
 }
 
 // TestDMineCtxRejectsMismatchedContext pins the guard: running against a
-// context built for different parameters is a programming error.
+// context built for different parameters is a programming error, reported
+// as an error (never a partial result).
 func TestDMineCtxRejectsMismatchedContext(t *testing.T) {
 	g, preds, opts := contextFixture(t)
 	pred := preds[0]
 	ctx := NewContext(g, pred.XLabel, opts)
 	bad := opts
 	bad.D = opts.D + 1
-	defer func() {
-		if recover() == nil {
-			t.Fatal("DMineCtx with mismatched d did not panic")
-		}
-	}()
-	DMineCtx(ctx, pred, bad)
+	res, err := DMineCtx(ctx, pred, bad)
+	if err == nil {
+		t.Fatal("DMineCtx with mismatched d did not error")
+	}
+	if res != nil {
+		t.Fatal("DMineCtx with mismatched d returned a result")
+	}
 }
 
 // TestContextAccessors covers the read-only surface the serving layer and

@@ -1,6 +1,7 @@
 package mine
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -43,6 +44,16 @@ type WorkerConn interface {
 	Mine(rd *wire.Round) (*wire.Messages, error)
 	// Finish ends the job, leaving the connection ready for the next one.
 	Finish() error
+}
+
+// CancelableConn is the optional WorkerConn extension the coordinator uses
+// to abandon a superstep that is already in flight: Cancel must unwedge any
+// blocked exchange promptly (the subsequent call on the connection fails
+// instead of waiting out its deadline) and may notify the worker so it
+// drops the job state early. Connections without it are simply left to
+// their per-step deadline, which bounds the hang either way.
+type CancelableConn interface {
+	Cancel()
 }
 
 // WorkerError is the typed failure of a distributed run: which worker broke
@@ -129,6 +140,37 @@ func (e *remoteEngine) fanOut(fn func(i int, c WorkerConn) error) error {
 	return nil
 }
 
+// fanOutCtx is fanOut with mid-superstep cancellation: while the fan-out is
+// in flight, a watcher cancels every CancelableConn as soon as ctx is done,
+// so a superstep blocked on a stalled worker unwedges immediately instead
+// of waiting out its step deadline. The coordinator maps the resulting
+// transport error back to a *CanceledError (miner.wrapCanceled). Contexts
+// with a nil Done channel (the poll-only test contexts) fall back to the
+// coordinator's superstep-boundary polls.
+func (e *remoteEngine) fanOutCtx(ctx context.Context, fn func(i int, c WorkerConn) error) error {
+	if ctx == nil || ctx.Done() == nil {
+		return e.fanOut(fn)
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		select {
+		case <-ctx.Done():
+			for _, c := range e.conns {
+				if cc, ok := c.(CancelableConn); ok {
+					cc.Cancel()
+				}
+			}
+		case <-stop:
+		}
+	}()
+	err := e.fanOut(fn)
+	close(stop)
+	<-done
+	return err
+}
+
 func (e *remoteEngine) attach(m *miner) ([]int, []int, error) {
 	e.shards = make([]asmScratch, len(e.conns))
 	for i := range e.shards {
@@ -139,7 +181,7 @@ func (e *remoteEngine) attach(m *miner) ([]int, []int, error) {
 	eccCap := m.opts.MaxEdges + 1
 	npq := make([]int, len(e.conns))
 	npqbar := make([]int, len(e.conns))
-	err := e.fanOut(func(i int, c WorkerConn) error {
+	err := e.fanOutCtx(m.opts.Ctx, func(i int, c WorkerConn) error {
 		frag := m.ctx.frags[i]
 		// Per-center whole-graph eccentricities, capped at the deepest
 		// probe the run can issue — the worker's substitute for the whole
@@ -198,7 +240,7 @@ func (e *remoteEngine) generate(m *miner, frontier []*Mined) ([]message, error) 
 	e.frontBuf = entries
 	rd := &wire.Round{Round: e.round, Frontier: entries}
 	replies := make([]*wire.Messages, len(e.conns))
-	err := e.fanOut(func(i int, c WorkerConn) error {
+	err := e.fanOutCtx(m.opts.Ctx, func(i int, c WorkerConn) error {
 		ms, err := c.Mine(rd)
 		if err != nil {
 			return err

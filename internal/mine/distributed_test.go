@@ -81,7 +81,7 @@ func TestDMineDistributedMatchesLocal(t *testing.T) {
 			o.N = n
 			o = o.Defaults()
 			ctx := NewContext(g, pred.XLabel, o)
-			want := DMineCtx(ctx, pred, o)
+			want := must(DMineCtx(ctx, pred, o))
 
 			got, err := DMineDistributed(ctx, pred, o, loopbackConns(n))
 			if err != nil {
@@ -109,7 +109,7 @@ func TestDMineDistributedArenasOff(t *testing.T) {
 		MaxEdges: 2, EmbedCap: 1 << 20, DisableArenas: true,
 	}.WithOptimizations().Defaults()
 	ctx := NewContext(g, pred.XLabel, o)
-	want := fingerprint(DMineCtx(ctx, pred, o))
+	want := fingerprint(must(DMineCtx(ctx, pred, o)))
 	got, err := DMineDistributed(ctx, pred, o, loopbackConns(3))
 	if err != nil {
 		t.Fatal(err)
@@ -131,7 +131,7 @@ func TestDMineDistributedEmbedCap(t *testing.T) {
 		MaxEdges: 2, EmbedCap: 1,
 	}.WithOptimizations().Defaults()
 	ctx := NewContext(g, pred.XLabel, o)
-	want := fingerprint(DMineCtx(ctx, pred, o))
+	want := fingerprint(must(DMineCtx(ctx, pred, o)))
 	got, err := DMineDistributed(ctx, pred, o, loopbackConns(2))
 	if err != nil {
 		t.Fatal(err)

@@ -2,6 +2,7 @@ package mine
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"gpar/internal/core"
 	"gpar/internal/graph"
@@ -97,7 +98,9 @@ func (e *localEngine) attach(m *miner) ([]int, []int, error) {
 		w.setRecycleMode(m.opts.DisableArenas)
 	}
 	pred := m.pred
-	e.parallel(m.opts.Gate, func(w *worker) { w.classify(pred) })
+	if err := e.parallel(m, func(w *worker) { w.classify(pred) }); err != nil {
+		return nil, nil, err
+	}
 	npq := make([]int, len(e.workers))
 	npqbar := make([]int, len(e.workers))
 	for i, w := range e.workers {
@@ -127,7 +130,9 @@ func (e *localEngine) generate(m *miner, frontier []*Mined) ([]message, error) {
 	}
 	e.lrBuf = lr
 	lp := m.localParams()
-	e.parallel(m.opts.Gate, func(w *worker) { w.localMine(lp, lr) })
+	if err := e.parallel(m, func(w *worker) { w.localMine(lp, lr) }); err != nil {
+		return nil, err
+	}
 	msgs := e.msgBuf[:0]
 	for _, w := range e.workers {
 		msgs = append(msgs, w.msgs...)
@@ -137,13 +142,12 @@ func (e *localEngine) generate(m *miner, frontier []*Mined) ([]message, error) {
 }
 
 func (e *localEngine) distribute(m *miner, frontier []*Mined) error {
-	e.parallel(m.opts.Gate, func(w *worker) {
+	return e.parallel(m, func(w *worker) {
 		w.beginFrontier()
 		for _, mined := range frontier {
 			w.setFrontierCenters(mined.id, mined.qCenters)
 		}
 	})
-	return nil
 }
 
 func (e *localEngine) numWorkers() int         { return len(e.workers) }
@@ -174,21 +178,38 @@ func (e *localEngine) close(m *miner) {
 
 // parallel runs fn on every worker concurrently and waits (one BSP
 // superstep). A configured Gate bounds how many run at once; results never
-// depend on the interleaving, only on the per-worker outputs.
-func (e *localEngine) parallel(gate *Gate, fn func(w *worker)) {
+// depend on the interleaving, only on the per-worker outputs. A done
+// Options.Ctx makes workers skip fn — both while queued on the gate and
+// once scheduled — and the superstep reports the context error: a partial
+// superstep (some workers ran, some skipped) must never reach assembly, so
+// the coordinator abandons the round entirely.
+func (e *localEngine) parallel(m *miner, fn func(w *worker)) error {
+	ctx, gate := m.opts.Ctx, m.opts.Gate
+	var skipped atomic.Bool
 	var wg sync.WaitGroup
 	for _, w := range e.workers {
 		wg.Add(1)
 		go func(w *worker) {
 			defer wg.Done()
 			if gate != nil {
-				gate.acquire()
+				if err := gate.acquireCtx(ctx); err != nil {
+					skipped.Store(true)
+					return
+				}
 				defer gate.release()
+			}
+			if ctx != nil && ctx.Err() != nil {
+				skipped.Store(true)
+				return
 			}
 			fn(w)
 		}(w)
 	}
 	wg.Wait()
+	if skipped.Load() {
+		return ctx.Err()
+	}
+	return nil
 }
 
 // classify computes Pq, q̄ and their supports over the worker's owned

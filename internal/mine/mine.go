@@ -21,6 +21,7 @@ package mine
 
 import (
 	"cmp"
+	"context"
 	"runtime"
 	"slices"
 	"sync"
@@ -40,6 +41,16 @@ type Options struct {
 	D      int     // radius bound d on r(PR, x)
 	Lambda float64 // diversification balance λ ∈ [0,1]
 	N      int     // number of workers (fragments); coordinator is extra
+
+	// Ctx, when non-nil, makes the run cancellable: the coordinator polls it
+	// at every BSP superstep boundary (and the engines check it per worker
+	// round), abandoning the run with a *CanceledError once the context is
+	// done. Nothing partial is ever returned or installed, and every arena,
+	// worker and pool entry is released cleanly — a canceled-then-rerun job
+	// is byte-identical to a clean run (pinned by the parity tests). A nil
+	// Ctx means the run cannot be canceled; the error-free entry points
+	// (DMine, DMineNo) require it to be nil.
+	Ctx context.Context
 
 	MaxEdges int // antecedent edge budget; also the number of BSP rounds
 	EmbedCap int // cap on embeddings enumerated per center when discovering
@@ -163,6 +174,8 @@ type Result struct {
 // preamble is built from scratch; callers that mine repeatedly over the
 // same graph should build a Context once and use DMineCtx (or, across the
 // predicates of one job, Shared.DMine) — results are byte-identical.
+// Options.Ctx must be nil here: this entry point has no error return, so
+// cancellable runs go through DMineCtx/Shared.DMine/DMineDistributed.
 func DMine(g *graph.Graph, pred core.Predicate, opts Options) *Result {
 	opts = opts.Defaults()
 	m := newMiner(NewContext(g, pred.XLabel, opts), pred, opts, nil)
@@ -419,12 +432,16 @@ func (m *miner) newRuleID() ruleID {
 	return m.lastID
 }
 
-// run drives runE for engines that cannot fail (the local engine).
+// run drives runE for runs that cannot fail: the local engine with a nil
+// Options.Ctx. The non-cancellable entry points (DMine, DMineNo) route
+// here and must not be handed a Ctx — a cancellation would surface as a
+// panic, because they have no error to return it through.
 func (m *miner) run() *Result {
 	res, err := m.runE()
 	if err != nil {
-		// Only the remote engine produces errors, and its entry points call
-		// runE directly; a local-engine error is a programming bug.
+		// Only the remote engine and a set Options.Ctx produce errors, and
+		// their entry points call runE directly; an error here is a
+		// programming bug.
 		panic(err)
 	}
 	return res
@@ -433,29 +450,36 @@ func (m *miner) run() *Result {
 // runE is the coordinator loop of Fig. 4, engine-agnostic: prepare (round
 // 0), then per round one generate superstep, the deterministic assemble
 // reduce, and the diversify/filter/distribute step. Errors are remote
-// worker failures; the deferred close releases workers on every exit path,
-// so a failed distributed run never leaks (and never installs a partial Σ —
-// the Result is simply not returned).
+// worker failures or a done Options.Ctx (a *CanceledError stamped with the
+// superstep reached); the deferred close releases workers on every exit
+// path, so a failed or canceled run never leaks (and never installs a
+// partial Σ — the Result is simply not returned).
 func (m *miner) runE() (*Result, error) {
 	defer m.eng.close(m)
+	if err := m.canceled(0); err != nil {
+		return nil, err
+	}
 	frontier, err := m.prepare()
 	if err != nil {
-		return nil, err
+		return nil, m.wrapCanceled(err, 0)
 	}
 	if frontier == nil {
 		// Trivial case 1: q(x,y) specifies no user in G.
 		return m.res, nil
 	}
 	for r := 1; r <= m.opts.MaxEdges && len(frontier) > 0; r++ {
+		if err := m.canceled(r); err != nil {
+			return nil, err
+		}
 		m.res.Rounds = r
 		msgs, err := m.eng.generate(m, frontier)
 		if err != nil {
-			return nil, err
+			return nil, m.wrapCanceled(err, r)
 		}
 		deltaE := m.assemble(frontier, msgs)
 		frontier, err = m.diversifyAndFilter(deltaE, r)
 		if err != nil {
-			return nil, err
+			return nil, m.wrapCanceled(err, r)
 		}
 	}
 

@@ -27,7 +27,11 @@ type MultiResult struct {
 // and one Shared accumulator, so worker scratch, extendability memos and
 // interning tables survive across the runs. Results are byte-identical to
 // mining each predicate independently with DMine.
-func DMineMulti(g *graph.Graph, preds []core.Predicate, opts Options) []MultiResult {
+//
+// A set Options.Ctx cancels the whole job with a *CanceledError: completed
+// predicates are discarded along with the in-flight one, so a multi-mine
+// either delivers every result or none.
+func DMineMulti(g *graph.Graph, preds []core.Predicate, opts Options) ([]MultiResult, error) {
 	opts = opts.Defaults()
 	seen := make(map[core.Predicate]bool, len(preds))
 	shared := make(map[graph.Label]*Shared)
@@ -42,9 +46,13 @@ func DMineMulti(g *graph.Graph, preds []core.Predicate, opts Options) []MultiRes
 			sh = NewShared(NewContext(g, p.XLabel, opts))
 			shared[p.XLabel] = sh
 		}
-		out = append(out, MultiResult{Pred: p, Result: sh.DMine(p, opts)})
+		res, err := sh.DMine(p, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, MultiResult{Pred: p, Result: res})
 	}
-	return out
+	return out, nil
 }
 
 // FrequentPredicates collects the topN most frequent edge predicates of g —
@@ -104,6 +112,6 @@ func FrequentPredicates(g *graph.Graph, topN int, edgeLabel graph.Label) []core.
 
 // DMineAuto mines without a user-given predicate: it collects the topN most
 // frequent edge predicates and mines GPARs for each.
-func DMineAuto(g *graph.Graph, topN int, opts Options) []MultiResult {
+func DMineAuto(g *graph.Graph, topN int, opts Options) ([]MultiResult, error) {
 	return DMineMulti(g, FrequentPredicates(g, topN, graph.NoLabel), opts)
 }

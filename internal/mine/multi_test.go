@@ -50,7 +50,7 @@ func TestDMineMulti(t *testing.T) {
 		YLabel:    syms.Intern(gen.LFrench),
 	}
 	// Duplicates collapse.
-	res := DMineMulti(f.G, []core.Predicate{visit, like, visit}, baseOpts())
+	res := must(DMineMulti(f.G, []core.Predicate{visit, like, visit}, baseOpts()))
 	if len(res) != 2 {
 		t.Fatalf("got %d results want 2 (dup collapsed)", len(res))
 	}
@@ -72,7 +72,7 @@ func TestDMineMulti(t *testing.T) {
 func TestDMineAuto(t *testing.T) {
 	syms := graph.NewSymbols()
 	f := gen.G1(syms)
-	res := DMineAuto(f.G, 2, baseOpts())
+	res := must(DMineAuto(f.G, 2, baseOpts()))
 	if len(res) != 2 {
 		t.Fatalf("got %d results want 2", len(res))
 	}

@@ -1,9 +1,11 @@
 package remote
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"testing"
 	"time"
 
@@ -60,7 +62,7 @@ func TestChaosFaultClassesRetriedJobMatchesClean(t *testing.T) {
 		MaxEdges: 2, EmbedCap: 1 << 20,
 	}.WithOptimizations().Defaults()
 	ctx := mine.NewContext(g, pred.XLabel, o)
-	want := fingerprint(mine.DMineCtx(ctx, pred, o))
+	want := fingerprint(mustMine(mine.DMineCtx(ctx, pred, o)))
 
 	cases := []struct {
 		name string
@@ -169,7 +171,7 @@ func TestChaosRetriedByteIdentityAcrossWorkerCounts(t *testing.T) {
 			o.N = n
 			o = o.Defaults()
 			ctx := mine.NewContext(g, pred.XLabel, o)
-			want := fingerprint(mine.DMineCtx(ctx, pred, o))
+			want := fingerprint(mustMine(mine.DMineCtx(ctx, pred, o)))
 
 			addrs, _ := chaosFleet(t, n, ServerOptions{}, func(worker, conn int) *netfault.Script {
 				if worker == n-1 && conn == 0 {
@@ -279,6 +281,119 @@ func TestChaosStopAbandonsRetries(t *testing.T) {
 	}
 }
 
+// TestChaosCancelAgainstStalledWorker is the cancellation liveness pin: a
+// coordinator-side cancel fired while a worker is stalled mid-superstep
+// (its round reply never arrives, and the step deadline is a full minute
+// away) must unwedge the blocked exchange immediately, return a typed
+// *mine.CanceledError without retrying, and leak no goroutines. Both the
+// v3 path (idle peers get a Cancel frame) and a v2-capped fleet (deadline
+// slam only) must behave identically from the coordinator's side. CI runs
+// this under -race.
+func TestChaosCancelAgainstStalledWorker(t *testing.T) {
+	g, pred := pokecFixture(150, 3)
+	o := mine.Options{
+		K: 4, Sigma: 2, D: 2, Lambda: 0.5, N: 2,
+		MaxEdges: 2, EmbedCap: 1 << 20,
+	}.WithOptimizations().Defaults()
+	mctx := mine.NewContext(g, pred.XLabel, o)
+
+	for _, tc := range []struct {
+		name       string
+		maxVersion int // server-side protocol cap; 0 = current
+	}{
+		{"v3-cancel-frame", 0},
+		{"v2-deadline-only", 2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			addrs, _ := chaosFleet(t, 2, ServerOptions{MaxVersion: tc.maxVersion},
+				func(worker, conn int) *netfault.Script {
+					if worker == 0 {
+						return &netfault.Script{SkipBytes: 5, StallAtFrame: frRound1}
+					}
+					return nil
+				})
+			before := runtime.NumGoroutine()
+			runCtx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			co := o
+			co.Ctx = runCtx
+			timer := time.AfterFunc(150*time.Millisecond, cancel)
+			defer timer.Stop()
+
+			type outcome struct {
+				res *mine.Result
+				rep JobReport
+				err error
+			}
+			done := make(chan outcome, 1)
+			start := time.Now()
+			go func() {
+				res, rep, err := MineFleet(mctx, pred, co, addrs,
+					DialOptions{StepTimeout: time.Minute}, noSleep(3), nil)
+				done <- outcome{res, rep, err}
+			}()
+			var out outcome
+			select {
+			case out = <-done:
+			case <-time.After(20 * time.Second):
+				t.Fatal("cancel against a stalled worker hung past the watchdog")
+			}
+			if out.res != nil {
+				t.Fatal("canceled job returned a result")
+			}
+			var ce *mine.CanceledError
+			if !errors.As(out.err, &ce) {
+				t.Fatalf("error %T (%v), want *mine.CanceledError", out.err, out.err)
+			}
+			if !errors.Is(out.err, context.Canceled) {
+				t.Fatalf("error %v does not unwrap to context.Canceled", out.err)
+			}
+			if out.rep.Attempts != 1 {
+				t.Fatalf("attempts = %d, want 1 (a canceled job must not retry)", out.rep.Attempts)
+			}
+			if elapsed := time.Since(start); elapsed > 10*time.Second {
+				t.Fatalf("cancel took %v; the one-minute step deadline must not be what fired", elapsed)
+			}
+			// Leak check: everything MineFleet spawned (dials, watcher, the
+			// stalled exchange) must wind down once the fleet is closed. The
+			// worker services' accept loops predate `before`, so the count
+			// settles back to it; allow brief scheduler noise.
+			settleBy := time.Now().Add(5 * time.Second)
+			for runtime.NumGoroutine() > before+2 {
+				if time.Now().After(settleBy) {
+					t.Fatalf("goroutine leak after cancel: %d before, %d after", before, runtime.NumGoroutine())
+				}
+				time.Sleep(50 * time.Millisecond)
+			}
+		})
+	}
+}
+
+// TestChaosPreCanceledJobNeverDials: a run context that is already dead
+// ends MineFleet before any attempt touches the network.
+func TestChaosPreCanceledJobNeverDials(t *testing.T) {
+	g, pred := pokecFixture(150, 3)
+	o := mine.Options{
+		K: 4, Sigma: 2, D: 2, Lambda: 0.5, N: 1,
+		MaxEdges: 2, EmbedCap: 1 << 20,
+	}.WithOptimizations().Defaults()
+	mctx := mine.NewContext(g, pred.XLabel, o)
+	dead, cancel := context.WithCancel(context.Background())
+	cancel()
+	o.Ctx = dead
+	// No listener behind this address: a dial attempt would fail loudly
+	// rather than hang, but the point is it must not happen at all.
+	res, _, err := MineFleet(mctx, pred, o, []string{"127.0.0.1:1"},
+		DialOptions{DialTimeout: time.Second}, noSleep(3), nil)
+	if res != nil {
+		t.Fatal("pre-canceled job returned a result")
+	}
+	var ce *mine.CanceledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error %T (%v), want *mine.CanceledError", err, err)
+	}
+}
+
 // TestChaosFragmentShipsOncePerWorker: repeat jobs over re-dialed
 // connections ship each worker's fragment exactly once — the first job
 // pays one FragShip per worker, every later job (and every retry) is all
@@ -291,7 +406,7 @@ func TestChaosFragmentShipsOncePerWorker(t *testing.T) {
 		MaxEdges: 2, EmbedCap: 1 << 20,
 	}.WithOptimizations().Defaults()
 	ctx := mine.NewContext(g, pred.XLabel, o)
-	want := fingerprint(mine.DMineCtx(ctx, pred, o))
+	want := fingerprint(mustMine(mine.DMineCtx(ctx, pred, o)))
 
 	addrs, svs := chaosFleet(t, 2, ServerOptions{}, func(worker, conn int) *netfault.Script {
 		return nil

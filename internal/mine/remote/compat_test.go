@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"gpar/internal/mine"
+	"gpar/internal/mine/wire"
 )
 
 // strictV1Conn emulates a legacy v1 worker's handshake behavior in front of
@@ -64,7 +65,7 @@ func compatMine(t *testing.T, addrs []string) ([]int, string) {
 		MaxEdges: 2, EmbedCap: 1 << 20,
 	}.WithOptimizations().Defaults()
 	ctx := mine.NewContext(g, pred.XLabel, o)
-	want := fingerprint(mine.DMineCtx(ctx, pred, o))
+	want := fingerprint(mustMine(mine.DMineCtx(ctx, pred, o)))
 
 	conns, err := DialFleet(addrs, DialOptions{StepTimeout: 30 * time.Second})
 	if err != nil {
@@ -89,10 +90,10 @@ func compatMine(t *testing.T, addrs []string) ([]int, string) {
 	return versions, got
 }
 
-// TestCompatLegacySlamDowngrade: a legacy worker that slams v2 hellos still
-// interoperates — the dialer redials proposing v1, the job runs the inline-
-// fragment v1 path, and the result matches, even mixed with a v2 worker in
-// the same fleet.
+// TestCompatLegacySlamDowngrade: a legacy worker that slams modern hellos
+// still interoperates — the dialer redials proposing v1, the job runs the
+// inline-fragment v1 path, and the result matches, even mixed with a
+// current-version worker in the same fleet.
 func TestCompatLegacySlamDowngrade(t *testing.T) {
 	inner, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -104,8 +105,8 @@ func TestCompatLegacySlamDowngrade(t *testing.T) {
 	modern := startWorkers(t, 1, ServerOptions{})[0]
 
 	versions, _ := compatMine(t, []string{legacy, modern})
-	if versions[0] != 1 || versions[1] != 2 {
-		t.Fatalf("negotiated versions = %v, want [1 2]", versions)
+	if versions[0] != 1 || versions[1] != wire.Version {
+		t.Fatalf("negotiated versions = %v, want [1 %d]", versions, wire.Version)
 	}
 }
 
@@ -132,7 +133,7 @@ func TestCompatV1CappedDialer(t *testing.T) {
 		MaxEdges: 2, EmbedCap: 1 << 20,
 	}.WithOptimizations().Defaults()
 	ctx := mine.NewContext(g, pred.XLabel, o)
-	want := fingerprint(mine.DMineCtx(ctx, pred, o))
+	want := fingerprint(mustMine(mine.DMineCtx(ctx, pred, o)))
 
 	addrs := startWorkers(t, 2, ServerOptions{})
 	conns, err := DialFleet(addrs, DialOptions{StepTimeout: 30 * time.Second, MaxVersion: 1})

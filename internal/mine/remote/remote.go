@@ -74,18 +74,33 @@ func (o DialOptions) defaults() DialOptions {
 // mine.WorkerConn; calls are sequential per Conn (the distributed engine
 // guarantees it). Errors are sticky: after any failure every later call
 // fails immediately, so a broken worker cannot half-participate in a
-// subsequent job.
+// subsequent job. Cancel is the one concurrent entry point — it may be
+// called from any goroutine while an exchange is in flight.
 type Conn struct {
 	c       net.Conn
 	opts    DialOptions
 	version int    // negotiated protocol version
 	buf     []byte // frame read buffer, reused
 	enc     []byte // payload encode buffer, reused
-	err     error  // sticky failure
+	err     error  // sticky failure; written only by the driving goroutine
 
 	fragHits  int // setups the worker acked straight from its cache
 	fragShips int // setups that needed the fragment body shipped
+
+	// cancelMu guards the cancellation handshake between the driving
+	// goroutine and a concurrent Cancel: the canceled flag, the inflight
+	// flag, and — critically — every SetDeadline call, so a send/recv
+	// arming a fresh step deadline can never overwrite Cancel's immediate
+	// one and resurrect a stall.
+	cancelMu sync.Mutex
+	canceled bool
+	inflight bool // an exchange holds the socket (send sent, reply pending)
 }
+
+// errCanceled is the sticky verdict of a canceled connection. The
+// coordinator maps any engine failure under a done context to
+// *mine.CanceledError, so callers rarely see this directly.
+var errCanceled = errors.New("remote: job canceled")
 
 // Dial connects to one worker and negotiates the protocol version. A
 // legacy v1 worker that slams the connection on an unknown hello (instead
@@ -137,12 +152,33 @@ func (c *Conn) fail(err error) error {
 	return err
 }
 
+// armDeadline sets a fresh step deadline and marks an exchange in flight,
+// refusing once the connection has been canceled — a canceled connection's
+// immediate deadline must never be re-armed.
+func (c *Conn) armDeadline() error {
+	c.cancelMu.Lock()
+	defer c.cancelMu.Unlock()
+	if c.canceled {
+		return errCanceled
+	}
+	c.inflight = true
+	return c.c.SetDeadline(time.Now().Add(c.opts.StepTimeout))
+}
+
+// endExchange marks the socket idle again (a Cancel arriving now sends the
+// wire frame instead of slamming the deadline mid-read).
+func (c *Conn) endExchange() {
+	c.cancelMu.Lock()
+	c.inflight = false
+	c.cancelMu.Unlock()
+}
+
 // send writes one frame under a fresh step deadline.
 func (c *Conn) send(typ byte, payload []byte) error {
 	if c.err != nil {
 		return c.err
 	}
-	if err := c.c.SetDeadline(time.Now().Add(c.opts.StepTimeout)); err != nil {
+	if err := c.armDeadline(); err != nil {
 		return c.fail(err)
 	}
 	if err := wire.WriteFrame(c.c, typ, payload); err != nil {
@@ -158,11 +194,12 @@ func (c *Conn) recv() (byte, []byte, error) {
 	if c.err != nil {
 		return 0, nil, c.err
 	}
-	if err := c.c.SetDeadline(time.Now().Add(c.opts.StepTimeout)); err != nil {
+	if err := c.armDeadline(); err != nil {
 		return 0, nil, c.fail(err)
 	}
 	typ, reply, buf, err := wire.ReadFrame(c.c, c.buf, c.opts.MaxFrame)
 	c.buf = buf
+	c.endExchange()
 	if err != nil {
 		return 0, nil, c.fail(err)
 	}
@@ -286,6 +323,33 @@ func (c *Conn) Mine(rd *wire.Round) (*wire.Messages, error) {
 func (c *Conn) Finish() error {
 	_, err := c.roundTrip(wire.TypeFinish, nil, wire.TypeFinish)
 	return err
+}
+
+// Cancel implements mine.CancelableConn: it abandons whatever job is in
+// flight on this connection, from any goroutine. If an exchange holds the
+// socket, the deadline is slammed to now so the blocked read or write
+// returns immediately (the worker notices the dead connection via its own
+// read deadline); if the socket is idle and the peer speaks v3, a Cancel
+// frame is sent first so the worker drops its job state promptly. Either
+// way the connection is finished: send and recv refuse to re-arm the
+// deadline once canceled, so the failure is sticky and the coordinator —
+// which asked for the abort — reports it as a *mine.CanceledError.
+func (c *Conn) Cancel() {
+	c.cancelMu.Lock()
+	defer c.cancelMu.Unlock()
+	if c.canceled {
+		return
+	}
+	c.canceled = true
+	if !c.inflight && c.version >= 3 {
+		// Best-effort: a short write deadline keeps a wedged socket from
+		// blocking the canceler, and a failure just means the worker waits
+		// out its read deadline instead.
+		if c.c.SetDeadline(time.Now().Add(time.Second)) == nil {
+			_ = wire.WriteFrame(c.c, wire.TypeCancel, nil)
+		}
+	}
+	_ = c.c.SetDeadline(time.Now())
 }
 
 // Close tears the connection down. Safe after errors.

@@ -34,6 +34,22 @@ func startWorkers(t testing.TB, n int, opts ServerOptions) []string {
 	return addrs
 }
 
+// mustMine / mustMulti unwrap (value, error) mining pairs; the
+// differentials below never expect the local reference runs to fail.
+func mustMine(res *mine.Result, err error) *mine.Result {
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+func mustMulti(res []mine.MultiResult, err error) []mine.MultiResult {
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
 // fingerprint serializes every exported field of a Result — including the
 // per-worker op counts, which must survive the wire — so local and
 // distributed runs compare byte-identically.
@@ -76,7 +92,7 @@ func TestMineMatchesLocalTCP(t *testing.T) {
 			o.N = n
 			o = o.Defaults()
 			ctx := mine.NewContext(g, pred.XLabel, o)
-			want := fingerprint(mine.DMineCtx(ctx, pred, o))
+			want := fingerprint(mustMine(mine.DMineCtx(ctx, pred, o)))
 
 			addrs := startWorkers(t, n, ServerOptions{})
 			conns, err := DialFleet(addrs, DialOptions{StepTimeout: 30 * time.Second})
@@ -110,7 +126,7 @@ func TestMineMultiJobReuse(t *testing.T) {
 		MaxEdges: 2, EmbedCap: 1 << 20,
 	}.WithOptimizations().Defaults()
 
-	want := mine.DMineMulti(g, preds, o)
+	want := mustMulti(mine.DMineMulti(g, preds, o))
 
 	addrs := startWorkers(t, 3, ServerOptions{})
 	conns, err := DialFleet(addrs, DialOptions{StepTimeout: 30 * time.Second})
@@ -332,7 +348,7 @@ func TestArenasOffTCP(t *testing.T) {
 		MaxEdges: 2, EmbedCap: 1 << 20, DisableArenas: true,
 	}.WithOptimizations().Defaults()
 	ctx := mine.NewContext(g, pred.XLabel, o)
-	want := fingerprint(mine.DMineCtx(ctx, pred, o))
+	want := fingerprint(mustMine(mine.DMineCtx(ctx, pred, o)))
 
 	addrs := startWorkers(t, 2, ServerOptions{})
 	conns, err := DialFleet(addrs, DialOptions{StepTimeout: 30 * time.Second})

@@ -1,6 +1,7 @@
 package remote
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"time"
@@ -137,6 +138,13 @@ func MineFleet(ctx *mine.Context, pred core.Predicate, opts mine.Options, addrs 
 				break
 			}
 		}
+		// A run context that died between attempts ends the job with the same
+		// typed error an in-flight cancel produces.
+		if opts.Ctx != nil {
+			if cerr := opts.Ctx.Err(); cerr != nil {
+				return nil, rep, &mine.CanceledError{Superstep: 0, Err: cerr}
+			}
+		}
 		rep.Attempts = attempt
 		conns, err := DialFleet(addrs, dopts)
 		if err != nil {
@@ -159,6 +167,12 @@ func MineFleet(ctx *mine.Context, pred core.Predicate, opts mine.Options, addrs 
 		}
 		CloseAll(conns)
 		if err != nil {
+			// A canceled run is not a fleet failure: the caller asked for the
+			// abort, so retrying would defy it. Surface the typed error as is.
+			var ce *mine.CanceledError
+			if errors.As(err, &ce) {
+				return nil, rep, err
+			}
 			rep.WorkerFailures++
 			lastErr = err
 			continue

@@ -73,6 +73,7 @@ type Service struct {
 	activeConns atomic.Int64
 	jobs        atomic.Int64
 	pings       atomic.Int64
+	cancels     atomic.Int64 // jobs dropped by a coordinator Cancel frame
 }
 
 // NewService builds a worker service.
@@ -87,6 +88,7 @@ type ServiceStats struct {
 	TotalConns  int64          `json:"totalConns"`
 	Jobs        int64          `json:"jobs"`
 	Pings       int64          `json:"pings"`
+	Cancels     int64          `json:"cancels"`
 	FragCache   FragCacheStats `json:"fragCache"`
 }
 
@@ -97,6 +99,7 @@ func (sv *Service) Stats() ServiceStats {
 		TotalConns:  sv.conns.Load(),
 		Jobs:        sv.jobs.Load(),
 		Pings:       sv.pings.Load(),
+		Cancels:     sv.cancels.Load(),
 		FragCache:   sv.frags.stats(),
 	}
 }
@@ -251,6 +254,22 @@ func (sv *Service) serveConn(conn net.Conn) {
 			}
 			if wire.WriteFrame(conn, wire.TypeFinish, nil) != nil {
 				return
+			}
+		case wire.TypeCancel:
+			// v3+: the coordinator abandoned the job. Drop the runtime (its
+			// arenas return to the pool) and answer nothing — the coordinator
+			// has already stopped listening for this job; the connection stays
+			// up for the next JobSetup. Legal between jobs too (a cancel can
+			// race a job's natural end).
+			if version < 3 {
+				fail(protocolErr("cancel frame on a pre-v3 connection"))
+				return
+			}
+			if rt != nil {
+				rt.Close()
+				rt = nil
+				sv.cancels.Add(1)
+				opts.logf("remote: %v: job canceled by coordinator", peer)
 			}
 		default:
 			fail(protocolErr("unexpected frame type"))

@@ -35,7 +35,12 @@ const (
 	// Version is the highest protocol version this package speaks.
 	// Version 2 adds health probes (TypePing) and the content-addressed
 	// fragment exchange (JobSetup.FragHash, TypeFragNeed, TypeFragHave).
-	Version = 2
+	// Version 3 adds cooperative job cancellation (TypeCancel). (The issue
+	// that introduced cancellation called for it to ride on "v2"; version 2
+	// was already taken by the fragment exchange, so it ships as version 3 —
+	// same negotiation mechanics, older peers simply never see the frame and
+	// rely on step deadlines instead.)
+	Version = 3
 	// MinVersion is the oldest version this package interoperates with.
 	MinVersion = 1
 )
@@ -68,6 +73,13 @@ const (
 	// TypeFragHave: coordinator → worker reply to TypeFragNeed: the
 	// fragment body for the named content hash. v2+.
 	TypeFragHave byte = 9
+	// TypeCancel: coordinator → worker. The in-flight job is abandoned; the
+	// worker drops its runtime and awaits the next TypeJobSetup on the same
+	// connection. No reply — the coordinator has already stopped listening
+	// for this job, and the empty-payload frame exists only so the worker
+	// can release resources promptly instead of holding them until its read
+	// deadline. v3+.
+	TypeCancel byte = 10
 )
 
 // DefaultMaxFrame bounds how large a frame the read side accepts by

@@ -50,6 +50,15 @@ func (c *Cache) Purge() int {
 	return c.lru.purge()
 }
 
+// Shrink evicts the least-recently-used half of the cache and returns how
+// many entries were dropped. The hard memory watermark calls it to shed
+// cache memory while keeping the hot half of the working set.
+func (c *Cache) Shrink() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.shrink((c.lru.ll.Len() + 1) / 2)
+}
+
 // Stats returns current counters.
 func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()

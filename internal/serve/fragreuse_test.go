@@ -16,6 +16,15 @@ import (
 	"gpar/internal/pattern"
 )
 
+// mustMine unwraps a (result, error) mining pair; the differentials below
+// never expect errors.
+func mustMine(res *mine.Result, err error) *mine.Result {
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
 // resultFingerprint serializes the exported surface of a mining result so
 // the fragment-sharing differential can compare byte-for-byte.
 func resultFingerprint(res *mine.Result) string {
@@ -75,8 +84,8 @@ func TestSnapshotFragmentReuseIdentity(t *testing.T) {
 	if fresh.Borrowed() || !borrowed.Borrowed() {
 		t.Fatalf("Borrowed() flags wrong: fresh=%v borrowed=%v", fresh.Borrowed(), borrowed.Borrowed())
 	}
-	want := resultFingerprint(mine.DMineCtx(fresh, pred, opts))
-	got := resultFingerprint(mine.DMineCtx(borrowed, pred, opts))
+	want := resultFingerprint(mustMine(mine.DMineCtx(fresh, pred, opts)))
+	got := resultFingerprint(mustMine(mine.DMineCtx(borrowed, pred, opts)))
 	if got != want {
 		t.Fatalf("mining on snapshot fragments differs from fresh partition:\n--- fresh ---\n%s--- borrowed ---\n%s",
 			want, got)
@@ -98,11 +107,11 @@ func TestMinePoolRoundReuse(t *testing.T) {
 		K: 5, Sigma: 2, D: snap.D, Lambda: 0.5, N: len(snap.frags), MaxEdges: 2,
 	}.WithOptimizations().Defaults()
 	ctx := mine.ContextFromFragments(snap.G, pred.XLabel, snap.D, len(snap.frags), snap.fragmentList())
-	want := resultFingerprint(mine.DMineCtx(ctx, pred, opts))
+	want := resultFingerprint(mustMine(mine.DMineCtx(ctx, pred, opts)))
 
 	pool := newMinePool(2)
 	sh, ep1 := pool.acquire(ctx)
-	if got := resultFingerprint(sh.DMine(pred, opts)); got != want {
+	if got := resultFingerprint(mustMine(sh.DMine(pred, opts))); got != want {
 		t.Fatalf("first pooled job differs from fresh run:\n%s\nvs\n%s", got, want)
 	}
 	pool.park(sh, ep1, true)
@@ -110,7 +119,7 @@ func TestMinePoolRoundReuse(t *testing.T) {
 	if sh2 != sh {
 		t.Fatal("second job did not reuse the parked worker set")
 	}
-	if got := resultFingerprint(sh2.DMine(pred, opts)); got != want {
+	if got := resultFingerprint(mustMine(sh2.DMine(pred, opts))); got != want {
 		t.Fatalf("recycled-worker-set job differs from fresh run:\n%s\nvs\n%s", got, want)
 	}
 	pool.park(sh2, ep2, true)

@@ -2,13 +2,16 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
 	"net/http"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -139,9 +142,55 @@ type StatsResponse struct {
 		Swaps    int64 `json:"swaps"`
 	} `json:"requests"`
 	Jobs map[JobStatus]int `json:"jobs"`
+	// Admission reports the overload front door: how many requests are
+	// evaluating vs queued, and how many were shed (429) because the queue
+	// was full or the wait exceeded its budget. Absent when MaxQueue < 0.
+	Admission *AdmissionStats `json:"admission,omitempty"`
+	// Mem reports the heap watermark ladder. Absent when MemLimitBytes == 0.
+	Mem *MemStats `json:"mem,omitempty"`
+	// Saturation is the live occupancy of the two CPU pools plus the
+	// admission queue depth — the signals to watch before shedding starts.
+	Saturation struct {
+		PoolInUse     int   `json:"poolInUse"`
+		PoolSize      int   `json:"poolSize"`
+		QueueDepth    int64 `json:"queueDepth"`
+		MineGateInUse int   `json:"mineGateInUse"`
+		MineGateSize  int   `json:"mineGateSize"`
+	} `json:"saturation"`
+	// Lifecycle counts terminal-path events: client-side aborts, explicit
+	// DELETE cancels, request deadlines, and recovered panics.
+	Lifecycle struct {
+		CancelRequests int64 `json:"cancelRequests"`
+		Deadlines      int64 `json:"deadlines"`
+		ClientGone     int64 `json:"clientGone"`
+		Panics         int64 `json:"panics"`
+		JobPanics      int64 `json:"jobPanics"`
+	} `json:"lifecycle"`
 }
 
-// Handler returns the server's HTTP API.
+// AdmissionStats is the /stats view of the bounded admission queue.
+type AdmissionStats struct {
+	Running      int   `json:"running"`
+	RunningCap   int   `json:"runningCap"`
+	Queued       int64 `json:"queued"`
+	MaxQueue     int   `json:"maxQueue"`
+	ShedFull     int64 `json:"shedFull"`
+	ShedTimeout  int64 `json:"shedTimeout"`
+	QueueTimeout string `json:"queueTimeout"`
+}
+
+// MemStats is the /stats view of the heap watermark ladder.
+type MemStats struct {
+	LimitBytes   uint64 `json:"limitBytes"`
+	HeapBytes    uint64 `json:"heapBytes"`
+	Level        string `json:"level"`
+	MineRejects  int64  `json:"mineRejects"`
+	CacheShrinks int64  `json:"cacheShrinks"`
+}
+
+// Handler returns the server's HTTP API, wrapped in the panic-recovery
+// middleware: a panicking handler answers 500 with a request ID instead of
+// tearing down the connection, and the panic is counted on /stats.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/identify", s.handleIdentify)
@@ -150,9 +199,31 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/mine", s.handleMine)
 	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /stats", s.handleStats)
-	return mux
+	return s.recoverPanics(mux)
+}
+
+// recoverPanics tags every response with an X-Request-ID and converts
+// handler panics into a 500 JSON error naming that ID, so operators can
+// correlate a client-reported failure with server logs. If the handler
+// already wrote a header before panicking, the body write below is a no-op
+// garbage tail on a broken response — acceptable, the alternative is the
+// connection reset Go's default panic handling produces.
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reqID := fmt.Sprintf("r-%d", s.reqSeq.Add(1))
+		w.Header().Set("X-Request-ID", reqID)
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.nPanics.Add(1)
+				httpError(w, http.StatusInternalServerError,
+					"internal error (request %s): %v", reqID, rec)
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
 }
 
 // ready returns the current snapshot or writes the appropriate error.
@@ -218,6 +289,33 @@ func (s *Server) handleIdentify(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Deadline propagation: the request carries the client's own context
+	// plus the server-side ceiling. Admission happens after the body is
+	// decoded (bad requests must not queue) and before any evaluation work.
+	ctx := r.Context()
+	if s.cfg.RequestTimeout > 0 {
+		var cancelReq context.CancelFunc
+		ctx, cancelReq = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancelReq()
+	}
+	if s.admit != nil {
+		release, err := s.admit.admit(ctx)
+		if err != nil {
+			s.shedResponse(w, err)
+			return
+		}
+		defer release()
+	}
+	// Hard memory watermark: shed cache memory before evaluating. The shed
+	// is attributed to whichever request observes the level — degradation
+	// is a property of the server, not of the victim request, which still
+	// gets its answer.
+	if s.mem != nil && s.mem.level() >= memHard {
+		s.nCacheShrink.Add(1)
+		s.cache.Shrink()
+		s.mineCtx.Shrink()
+	}
+
 	start := time.Now()
 	resp := IdentifyResponse{Generation: snap.Gen, Eta: eta}
 	// Evaluate the selected rules concurrently; the shared Pool still
@@ -238,6 +336,15 @@ func (s *Server) handleIdentify(w http.ResponseWriter, r *http.Request) {
 		}(i, sr)
 	}
 	wg.Wait()
+	// Evaluations run to completion once started — partial results must
+	// never enter the shared cache — so the deadline is enforced at the
+	// boundaries: a request whose deadline passed while it evaluated
+	// answers 503 rather than pretending it met its budget.
+	if err := ctx.Err(); err != nil {
+		s.nDeadline.Add(1)
+		httpError(w, http.StatusServiceUnavailable, "deadline exceeded during evaluation: %v", err)
+		return
+	}
 	identified := make(map[graph.NodeID]bool)
 	for i, sr := range selected {
 		o := outcomes[i]
@@ -270,6 +377,33 @@ func (s *Server) handleIdentify(w http.ResponseWriter, r *http.Request) {
 	resp.Count = len(resp.Identified)
 	resp.ElapsedMs = float64(time.Since(start).Microseconds()) / 1000
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// shedResponse maps an admission failure to its HTTP verdict: queue-full
+// and queue-timeout shed with 429 + Retry-After (one queue-timeout is an
+// honest estimate of when capacity frees up), a request-side deadline that
+// expired while queued answers 503, and a client that vanished gets
+// nothing — writing to it is wasted work, which is the point of shedding.
+func (s *Server) shedResponse(w http.ResponseWriter, err error) {
+	retryAfter := int(s.cfg.QueueTimeout / time.Second)
+	if retryAfter < 1 {
+		retryAfter = 1
+	}
+	switch {
+	case errors.Is(err, errQueueFull):
+		s.nShedFull.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+		httpError(w, http.StatusTooManyRequests, "overloaded: admission queue full")
+	case errors.Is(err, errQueueTimeout):
+		s.nShedTimeout.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+		httpError(w, http.StatusTooManyRequests, "overloaded: queued longer than %s", s.cfg.QueueTimeout)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.nDeadline.Add(1)
+		httpError(w, http.StatusServiceUnavailable, "deadline exceeded while queued")
+	default: // context.Canceled: the client hung up
+		s.nClientGone.Add(1)
+	}
 }
 
 func (s *Server) handleRulesGet(w http.ResponseWriter, r *http.Request) {
@@ -339,9 +473,34 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 	}
 	job, err := s.StartMine(p)
 	if err != nil {
+		if errors.Is(err, errMemPressure) {
+			w.Header().Set("Retry-After", "5")
+			httpError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	writeJSON(w, http.StatusAccepted, job)
+}
+
+// handleJobCancel is DELETE /v1/jobs/{id}: it delivers a cancellation to a
+// pending or running mine job. 202 means the cancel was signaled — the job
+// flips to canceled when its run observes the context at the next superstep
+// boundary; poll GET /v1/jobs/{id} for the terminal state. Jobs already
+// finished answer 409.
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, found, signaled := s.jobs.cancelJob(id)
+	if !found {
+		httpError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	if !signaled {
+		httpError(w, http.StatusConflict, "job %s already %s", id, job.Status)
+		return
+	}
+	s.nCancelReq.Add(1)
 	writeJSON(w, http.StatusAccepted, job)
 }
 
@@ -417,6 +576,36 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Requests.Mine = s.nMine.Load()
 	resp.Requests.Swaps = s.nSwap.Load()
 	resp.Jobs = s.jobs.Counts()
+	if s.admit != nil {
+		resp.Admission = &AdmissionStats{
+			Running:      s.admit.inUse(),
+			RunningCap:   cap(s.admit.slots),
+			Queued:       s.admit.depth(),
+			MaxQueue:     s.admit.maxQueue,
+			ShedFull:     s.nShedFull.Load(),
+			ShedTimeout:  s.nShedTimeout.Load(),
+			QueueTimeout: s.cfg.QueueTimeout.String(),
+		}
+		resp.Saturation.QueueDepth = s.admit.depth()
+	}
+	if s.mem != nil {
+		resp.Mem = &MemStats{
+			LimitBytes:   s.mem.limit,
+			HeapBytes:    s.mem.heap(),
+			Level:        levelName(s.mem.level()),
+			MineRejects:  s.nMemRejects.Load(),
+			CacheShrinks: s.nCacheShrink.Load(),
+		}
+	}
+	resp.Saturation.PoolInUse = s.pool.InUse()
+	resp.Saturation.PoolSize = s.pool.Size()
+	resp.Saturation.MineGateInUse = s.mineGate.InUse()
+	resp.Saturation.MineGateSize = s.mineGate.Size()
+	resp.Lifecycle.CancelRequests = s.nCancelReq.Load()
+	resp.Lifecycle.Deadlines = s.nDeadline.Load()
+	resp.Lifecycle.ClientGone = s.nClientGone.Load()
+	resp.Lifecycle.Panics = s.nPanics.Load()
+	resp.Lifecycle.JobPanics = s.nJobPanics.Load()
 	writeJSON(w, http.StatusOK, resp)
 }
 

@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -38,17 +40,37 @@ type MineParams struct {
 	// Install swaps the mined top-k in as the served rule set on success,
 	// bumping the generation and invalidating the match-set cache.
 	Install bool `json:"install,omitempty"`
+	// TimeoutMs caps the job's wall-clock run time; past it the run is
+	// canceled at its next BSP superstep boundary and the job finishes in
+	// the deadline_exceeded terminal state. 0 means no deadline.
+	TimeoutMs int `json:"timeoutMs,omitempty"`
 }
 
 // JobStatus is the lifecycle of a mine job.
 type JobStatus string
 
 const (
-	JobPending JobStatus = "pending"
-	JobRunning JobStatus = "running"
-	JobDone    JobStatus = "done"
-	JobFailed  JobStatus = "failed"
+	JobPending  JobStatus = "pending"
+	JobRunning  JobStatus = "running"
+	JobDone     JobStatus = "done"
+	JobFailed   JobStatus = "failed"
+	JobCanceled JobStatus = "canceled"          // DELETE /v1/jobs/{id} or shutdown drain
+	JobDeadline JobStatus = "deadline_exceeded" // the job's timeoutMs expired mid-run
 )
+
+// terminal reports whether a status is final: terminal jobs are evictable
+// from the registry and cannot be canceled.
+func terminal(st JobStatus) bool {
+	switch st {
+	case JobDone, JobFailed, JobCanceled, JobDeadline:
+		return true
+	}
+	return false
+}
+
+// errMemPressure rejects new mine jobs at the soft memory watermark; the
+// handler maps it to 503.
+var errMemPressure = errors.New("serve: heap above memory watermark; not accepting mine jobs")
 
 // Job is one asynchronous DMine run. Fields are snapshots; the registry
 // returns copies, so readers never observe a job mid-update.
@@ -94,6 +116,11 @@ type Job struct {
 	// before succeeding or falling back (0 for jobs that never tried the
 	// fleet).
 	Attempts int `json:"attempts,omitempty"`
+
+	// cancel stops the job's run context. It is installed at creation (so a
+	// DELETE can never race an unregistered job) and cleared when the job
+	// reaches a terminal state.
+	cancel context.CancelFunc
 }
 
 // maxJobs bounds the registry: when exceeded, the oldest finished jobs are
@@ -113,7 +140,7 @@ func NewJobs() *Jobs {
 	return &Jobs{m: make(map[string]*Job)}
 }
 
-func (j *Jobs) create(p MineParams) Job {
+func (j *Jobs) create(p MineParams, cancel context.CancelFunc) Job {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.seq++
@@ -122,12 +149,13 @@ func (j *Jobs) create(p MineParams) Job {
 		Status:  JobPending,
 		Params:  p,
 		Created: time.Now(),
+		cancel:  cancel,
 	}
 	j.m[job.ID] = job
 	for len(j.m) > maxJobs {
 		var oldest *Job
 		for _, cand := range j.m {
-			if cand.Status != JobDone && cand.Status != JobFailed {
+			if !terminal(cand.Status) {
 				continue
 			}
 			if oldest == nil || cand.Created.Before(oldest.Created) {
@@ -140,6 +168,26 @@ func (j *Jobs) create(p MineParams) Job {
 		delete(j.m, oldest.ID)
 	}
 	return *job
+}
+
+// cancelJob delivers a cancellation to a live job. It returns the job's
+// snapshot, whether the id exists, and whether a cancel was actually
+// signaled (false for jobs already in a terminal state). The job does not
+// flip to canceled here — the running goroutine observes the context at
+// its next superstep boundary and records the terminal state itself, so
+// status transitions stay single-writer.
+func (j *Jobs) cancelJob(id string) (Job, bool, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	job, ok := j.m[id]
+	if !ok {
+		return Job{}, false, false
+	}
+	if terminal(job.Status) || job.cancel == nil {
+		return *job, true, false
+	}
+	job.cancel()
+	return *job, true, true
 }
 
 func (j *Jobs) update(id string, fn func(*Job)) {
@@ -188,12 +236,19 @@ func (j *Jobs) Counts() map[JobStatus]int {
 // DMine run in the background, returning the pending job. The whole
 // admission runs under the swap lock: Symbols.Lookup must not race a
 // concurrent Intern (PUT /v1/rules), and the closed-check + jobWG.Add must
-// serialize with Shutdown so no job registers after the drain begins.
+// serialize with Shutdown so no job registers after the drain begins. At
+// the soft memory watermark new jobs are rejected outright (errMemPressure)
+// — mining is the deferrable, large-working-set workload, so it sheds
+// first.
 func (s *Server) StartMine(p MineParams) (Job, error) {
 	s.swapMu.Lock()
 	defer s.swapMu.Unlock()
 	if s.closed.Load() {
 		return Job{}, fmt.Errorf("serve: server is shutting down")
+	}
+	if s.mem != nil && s.mem.level() >= memSoft {
+		s.nMemRejects.Add(1)
+		return Job{}, errMemPressure
 	}
 	snap := s.snap.Load()
 	if snap == nil {
@@ -203,14 +258,38 @@ func (s *Server) StartMine(p MineParams) (Job, error) {
 	if err != nil {
 		return Job{}, err
 	}
-	job := s.jobs.create(p)
+	// The job context parents on baseCtx (so Shutdown cancels every job) and
+	// is registered with the job before the goroutine launches, so a DELETE
+	// arriving immediately after the 202 always finds something to cancel.
+	var jobCtx context.Context
+	var cancel context.CancelFunc
+	if p.TimeoutMs > 0 {
+		jobCtx, cancel = context.WithTimeout(s.baseCtx, time.Duration(p.TimeoutMs)*time.Millisecond)
+	} else {
+		jobCtx, cancel = context.WithCancel(s.baseCtx)
+	}
+	job := s.jobs.create(p, cancel)
 	s.jobWG.Add(1)
-	go s.runMine(job.ID, snap, pred, p)
+	go s.runMine(job.ID, jobCtx, cancel, snap, pred, p)
 	return job, nil
 }
 
-func (s *Server) runMine(id string, snap *Snapshot, pred core.Predicate, p MineParams) {
+func (s *Server) runMine(id string, jobCtx context.Context, cancel context.CancelFunc, snap *Snapshot, pred core.Predicate, p MineParams) {
 	defer s.jobWG.Done()
+	defer cancel()
+	defer func() {
+		// A panicking mine job must not take the daemon down (or leak its
+		// jobWG slot): record it as a failed job and keep serving.
+		if r := recover(); r != nil {
+			s.nJobPanics.Add(1)
+			s.jobs.update(id, func(j *Job) {
+				j.Finished = time.Now()
+				j.Status = JobFailed
+				j.Error = fmt.Sprintf("panic: %v", r)
+				j.cancel = nil
+			})
+		}
+	}()
 	s.jobs.update(id, func(j *Job) {
 		j.Status = JobRunning
 		j.Started = time.Now()
@@ -224,6 +303,7 @@ func (s *Server) runMine(id string, snap *Snapshot, pred core.Predicate, p MineP
 		MaxEdges: p.MaxEdges, MaxCandidatesPerRound: p.Cap,
 	}.WithOptimizations().Defaults()
 	opts.Gate = s.mineGate
+	opts.Ctx = jobCtx
 	if n := len(s.cfg.MineWorkers); n > 0 && p.Workers == 0 {
 		// A fleet job runs one worker service per fragment, so the fleet size
 		// sets the partition granularity unless the request pinned a count.
@@ -251,6 +331,7 @@ func (s *Server) runMine(id string, snap *Snapshot, pred core.Predicate, p MineP
 		s.nFragReuse.Add(1)
 	}
 	var res *mine.Result
+	var mineErr error
 	distributed := false
 	fleetFallback := ""
 	attempts := 0
@@ -267,46 +348,75 @@ func (s *Server) runMine(id string, snap *Snapshot, pred core.Predicate, p MineP
 			// job is byte-identical to a clean one. The stop hook drains the
 			// retry loop early on shutdown instead of sleeping out backoffs.
 			var rep remote.JobReport
-			var mineErr error
 			res, rep, mineErr = remote.MineFleet(
 				ctx, pred, opts, s.cfg.MineWorkers,
 				remote.DialOptions{StepTimeout: s.cfg.MineStepTimeout},
 				s.retryPolicy(),
-				func() bool { return s.closed.Load() },
+				func() bool { return s.closed.Load() || jobCtx.Err() != nil },
 			)
 			attempts = rep.Attempts
-			if mineErr != nil {
-				// Every attempt failed (or shutdown abandoned the retry
-				// loop). Fall back in-process as a *recorded* last resort:
-				// the breaker trips on repeated failures so a sick fleet is
-				// skipped — and surfaced — rather than silently re-mined
-				// around forever.
-				s.fleetResult(false)
-				res = nil
-				fleetFallback = fmt.Sprintf("fleet failed after %d attempt(s): %v", rep.Attempts, mineErr)
-			} else {
+			switch {
+			case mineErr == nil:
 				s.fleetResult(true)
 				distributed = true
 				s.nRemoteMine.Add(1)
 				if rep.Attempts > 1 {
 					s.nMineRetry.Add(1)
 				}
+			case isCanceled(mineErr):
+				// The job itself was canceled or timed out — not a fleet
+				// failure: no breaker strike, and no in-process fallback
+				// (it would only be canceled again).
+			default:
+				// Every attempt failed (or shutdown abandoned the retry
+				// loop). Fall back in-process as a *recorded* last resort:
+				// the breaker trips on repeated failures so a sick fleet is
+				// skipped — and surfaced — rather than silently re-mined
+				// around forever.
+				s.fleetResult(false)
+				fleetFallback = fmt.Sprintf("fleet failed after %d attempt(s): %v", rep.Attempts, mineErr)
+				res, mineErr = nil, nil
 			}
 		}
 		if fleetFallback != "" {
 			s.nFleetFall.Add(1)
 		}
 	}
-	if res == nil {
+	if res == nil && mineErr == nil {
 		// Mine in-process on a pooled accumulator: a recycled worker set
 		// brings its grown round arenas and memoized probes from previous
 		// jobs over this context. Parked again afterwards for the next job —
 		// unless a swap purged the pool mid-run or the LRU evicted this
 		// context, in which case parking would pin a context no future job
-		// can be handed.
+		// can be handed. A canceled run parks too: the accumulator resets
+		// every per-run structure on its next acquire, byte-identically to a
+		// fresh one (pinned by the mine package's parity tests).
 		sh, poolEpoch := s.minePool.acquire(ctx)
-		res = sh.DMine(pred, opts)
+		res, mineErr = sh.DMine(pred, opts)
 		s.minePool.park(sh, poolEpoch, s.mineCtx.Contains(key))
+	}
+	if mineErr != nil {
+		status, msg := JobFailed, mineErr.Error()
+		var ce *mine.CanceledError
+		if errors.As(mineErr, &ce) {
+			if errors.Is(ce.Err, context.DeadlineExceeded) {
+				status = JobDeadline
+			} else {
+				status = JobCanceled
+			}
+		}
+		s.jobs.update(id, func(j *Job) {
+			j.Finished = time.Now()
+			j.Status = status
+			j.Error = msg
+			j.ContextCached = ctxHit
+			j.FragmentsReused = ctx.Borrowed()
+			j.Distributed = distributed
+			j.FleetFallback = fleetFallback
+			j.Attempts = attempts
+			j.cancel = nil
+		})
+		return
 	}
 
 	rules := make([]*core.Rule, 0, len(res.TopK))
@@ -348,7 +458,14 @@ func (s *Server) runMine(id string, snap *Snapshot, pred core.Predicate, p MineP
 		} else {
 			j.Status = JobDone
 		}
+		j.cancel = nil
 	})
+}
+
+// isCanceled reports whether err is (or wraps) a mining cancellation.
+func isCanceled(err error) bool {
+	var ce *mine.CanceledError
+	return errors.As(err, &ce)
 }
 
 // lookupPred resolves the mine predicate's label names without interning.

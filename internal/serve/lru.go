@@ -83,6 +83,22 @@ func (l *lru[K, V]) remove(key K) {
 	}
 }
 
+// shrink evicts up to n least-recently-used entries, returning how many
+// were dropped. Unlike purge it preserves the hot end — the memory-pressure
+// ladder halves caches rather than emptying them, so the working set that
+// is still earning its keep survives.
+func (l *lru[K, V]) shrink(n int) int {
+	dropped := 0
+	for dropped < n && l.ll.Len() > 0 {
+		oldest := l.ll.Back()
+		l.ll.Remove(oldest)
+		delete(l.byKey, oldest.Value.(*lruEntry[K, V]).key)
+		l.evictions++
+		dropped++
+	}
+	return dropped
+}
+
 // purge drops every entry and returns how many were dropped.
 func (l *lru[K, V]) purge() int {
 	n := l.ll.Len()

@@ -96,6 +96,17 @@ func (c *MineContextCache) Purge() int {
 	return c.lru.purge()
 }
 
+// Shrink evicts the least-recently-used half of the cache and returns how
+// many contexts were dropped. Called under the hard memory watermark;
+// contexts are the server's largest cached objects, so halving here is the
+// biggest single lever the degradation ladder has. Jobs already holding an
+// evicted context finish on it (contexts are immutable).
+func (c *MineContextCache) Shrink() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.shrink((c.lru.ll.Len() + 1) / 2)
+}
+
 // Stats returns current counters for /stats.
 func (c *MineContextCache) Stats() CacheStats {
 	c.mu.Lock()

@@ -43,8 +43,8 @@ func BenchmarkMineJobCold(b *testing.B) {
 		if hit {
 			b.Fatal("cold job hit the cache")
 		}
-		if res := mine.DMineCtx(ctx, pred, opts); len(res.TopK) == 0 {
-			b.Fatal("no rules mined")
+		if res, err := mine.DMineCtx(ctx, pred, opts); err != nil || len(res.TopK) == 0 {
+			b.Fatalf("no rules mined (err=%v)", err)
 		}
 	}
 }
@@ -69,8 +69,8 @@ func BenchmarkMineJobWarm(b *testing.B) {
 		if !hit {
 			b.Fatal("warm job missed the cache")
 		}
-		if res := mine.DMineCtx(ctx, pred, opts); len(res.TopK) == 0 {
-			b.Fatal("no rules mined")
+		if res, err := mine.DMineCtx(ctx, pred, opts); err != nil || len(res.TopK) == 0 {
+			b.Fatalf("no rules mined (err=%v)", err)
 		}
 	}
 	b.StopTimer()
@@ -124,8 +124,8 @@ func BenchmarkMineJobSnapshotReuse(b *testing.B) {
 			b.Fatal("job did not reuse the snapshot fragments")
 		}
 		sh, epoch := pool.acquire(ctx)
-		if res := sh.DMine(pred, opts); len(res.TopK) == 0 {
-			b.Fatal("no rules mined")
+		if res, err := sh.DMine(pred, opts); err != nil || len(res.TopK) == 0 {
+			b.Fatalf("no rules mined (err=%v)", err)
 		}
 		pool.park(sh, epoch, true)
 	}

@@ -1,0 +1,331 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// rawDo issues one request and returns the response with its body drained,
+// for tests that need status and headers rather than decoded JSON.
+func rawDo(t *testing.T, method, url string, body []byte) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp
+}
+
+func TestAdmitterQueueAndShed(t *testing.T) {
+	a := newAdmitter(1, 1, 200*time.Millisecond)
+
+	release, err := a.admit(context.Background())
+	if err != nil {
+		t.Fatalf("first admit: %v", err)
+	}
+	if a.inUse() != 1 {
+		t.Fatalf("inUse = %d, want 1", a.inUse())
+	}
+
+	// Fill the one queue slot with a waiter, then the next arrival must be
+	// shed instantly with queue-full.
+	queued := make(chan error, 1)
+	go func() {
+		r, err := a.admit(context.Background())
+		if err == nil {
+			r()
+		}
+		queued <- err
+	}()
+	waitFor(t, time.Second, func() bool { return a.depth() == 1 })
+	if _, err := a.admit(context.Background()); !errors.Is(err, errQueueFull) {
+		t.Fatalf("admit with full queue: %v, want errQueueFull", err)
+	}
+
+	// Releasing the running slot hands it to the waiter.
+	release()
+	if err := <-queued; err != nil {
+		t.Fatalf("queued admit after release: %v", err)
+	}
+
+	// A waiter whose budget expires is shed with queue-timeout.
+	release, err = a.admit(context.Background())
+	if err != nil {
+		t.Fatalf("re-admit: %v", err)
+	}
+	if _, err := a.admit(context.Background()); !errors.Is(err, errQueueTimeout) {
+		t.Fatalf("admit past the queue budget: %v, want errQueueTimeout", err)
+	}
+
+	// A caller whose own context dies while queued gets that context's error.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := a.admit(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("admit with dead context: %v, want context.Canceled", err)
+	}
+	release()
+	if a.inUse() != 0 || a.depth() != 0 {
+		t.Fatalf("admitter not drained: inUse=%d depth=%d", a.inUse(), a.depth())
+	}
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestIdentifySheddingUnderSaturation pins the HTTP half of the overload
+// front door: with the single evaluation slot held, a request that waits out
+// the queue budget and a request that finds the queue full both answer 429
+// with a Retry-After, the counters tell the two apart, and service resumes
+// as soon as the slot frees.
+func TestIdentifySheddingUnderSaturation(t *testing.T) {
+	s, ts, _ := newTestServer(t, Config{
+		Workers: 2, PoolSize: 1, MaxQueue: 1, QueueTimeout: 150 * time.Millisecond,
+	})
+
+	release, err := s.admit.admit(context.Background())
+	if err != nil {
+		t.Fatalf("saturating the admission slot: %v", err)
+	}
+
+	// One client queues (it will eventually shed on the queue budget)...
+	timedOut := make(chan *http.Response, 1)
+	go func() { timedOut <- rawDo(t, "POST", ts.URL+"/v1/identify", []byte(`{}`)) }()
+	waitFor(t, 2*time.Second, func() bool { return s.admit.depth() == 1 })
+
+	// ...so the next arrival finds the queue full and sheds instantly.
+	start := time.Now()
+	resp := rawDo(t, "POST", ts.URL+"/v1/identify", []byte(`{}`))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("queue-full request: %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("queue-full 429 carries no Retry-After")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("queue-full shed took %v, want instant", elapsed)
+	}
+
+	resp = <-timedOut
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("queue-timeout request: %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("queue-timeout 429 carries no Retry-After")
+	}
+
+	// Capacity frees up: the same request is served again.
+	release()
+	if resp := rawDo(t, "POST", ts.URL+"/v1/identify", []byte(`{}`)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("identify after release: %d, want 200", resp.StatusCode)
+	}
+
+	var st StatsResponse
+	doJSON(t, "GET", ts.URL+"/stats", nil, &st)
+	if st.Admission == nil {
+		t.Fatal("stats missing admission block")
+	}
+	if st.Admission.ShedFull < 1 || st.Admission.ShedTimeout < 1 {
+		t.Errorf("shed counters full=%d timeout=%d, want both >= 1",
+			st.Admission.ShedFull, st.Admission.ShedTimeout)
+	}
+	if st.Admission.RunningCap != 1 || st.Admission.MaxQueue != 1 {
+		t.Errorf("admission config on stats: %+v", st.Admission)
+	}
+}
+
+// TestIdentifyDeadlineWhileQueued: a request whose server-side deadline
+// expires before a slot frees answers 503 (not 429 — the server was not
+// refusing it, it just could not serve it in time) and counts as a deadline.
+func TestIdentifyDeadlineWhileQueued(t *testing.T) {
+	s, ts, _ := newTestServer(t, Config{
+		Workers: 2, PoolSize: 1, MaxQueue: 4,
+		QueueTimeout: 5 * time.Second, RequestTimeout: 60 * time.Millisecond,
+	})
+	release, err := s.admit.admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	resp := rawDo(t, "POST", ts.URL+"/v1/identify", []byte(`{}`))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("deadline-while-queued: %d, want 503", resp.StatusCode)
+	}
+	var st StatsResponse
+	doJSON(t, "GET", ts.URL+"/stats", nil, &st)
+	if st.Lifecycle.Deadlines < 1 {
+		t.Errorf("deadlines = %d, want >= 1", st.Lifecycle.Deadlines)
+	}
+}
+
+// TestIdentifyClientGoneWhileQueued: a client that hangs up while queued is
+// counted and charged nothing else — no 429, no deadline.
+func TestIdentifyClientGoneWhileQueued(t *testing.T) {
+	s, ts, _ := newTestServer(t, Config{
+		Workers: 2, PoolSize: 1, MaxQueue: 4, QueueTimeout: 5 * time.Second,
+	})
+	release, err := s.admit.admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, "POST", ts.URL+"/v1/identify", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		done <- err
+	}()
+	waitFor(t, 2*time.Second, func() bool { return s.admit.depth() == 1 })
+	cancel()
+	if err := <-done; err == nil {
+		t.Fatal("canceled client request unexpectedly succeeded")
+	}
+	waitFor(t, 2*time.Second, func() bool { return s.nClientGone.Load() >= 1 })
+}
+
+// TestMemWatermarkDegrade drives the heap watermark ladder with a fake
+// sampler: soft rejects new mine jobs with 503 + Retry-After, hard
+// additionally shrinks the match-set cache while still answering the
+// identify that observed it, and dropping back below the watermark restores
+// mine admission.
+func TestMemWatermarkDegrade(t *testing.T) {
+	s, ts, _ := newTestServer(t, Config{Workers: 2, MemLimitBytes: 1 << 30})
+	setHeap := func(h uint64) {
+		s.mem.mu.Lock()
+		s.mem.sample = func() uint64 { return h }
+		s.mem.lastAt = time.Time{} // next read re-samples
+		s.mem.mu.Unlock()
+	}
+
+	mineBody := []byte(`{"xLabel":"cust","edgeLabel":"visit","yLabel":"restaurant",
+		"k":2,"sigma":1,"maxEdges":1,"cap":10}`)
+
+	// Soft (≥ 90%): mine jobs are the deferrable workload, so they shed first.
+	setHeap(1<<30 - 1<<26) // 960 MiB of a 1 GiB limit ≈ 94%
+	resp := rawDo(t, "POST", ts.URL+"/v1/mine", mineBody)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("mine at soft watermark: %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("memory-pressure 503 carries no Retry-After")
+	}
+	// Identify is never memory-shed: its footprint is bounded by the pool.
+	if resp := rawDo(t, "POST", ts.URL+"/v1/identify", []byte(`{}`)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("identify at soft watermark: %d, want 200", resp.StatusCode)
+	}
+	var st StatsResponse
+	doJSON(t, "GET", ts.URL+"/stats", nil, &st)
+	if st.Mem == nil || st.Mem.Level != "soft" || st.Mem.MineRejects < 1 {
+		t.Fatalf("stats at soft watermark: %+v", st.Mem)
+	}
+
+	// Hard (≥ limit): the identify that observes it sheds cache memory but
+	// still gets its answer.
+	setHeap(1 << 30)
+	if resp := rawDo(t, "POST", ts.URL+"/v1/identify", []byte(`{}`)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("identify at hard watermark: %d, want 200", resp.StatusCode)
+	}
+	doJSON(t, "GET", ts.URL+"/stats", nil, &st)
+	if st.Mem == nil || st.Mem.Level != "hard" || st.Mem.CacheShrinks < 1 {
+		t.Fatalf("stats at hard watermark: %+v", st.Mem)
+	}
+
+	// Back under the watermark, mine jobs are admitted again.
+	setHeap(1 << 20)
+	var job Job
+	if code := doJSON(t, "POST", ts.URL+"/v1/mine", mineBody, &job); code != http.StatusAccepted {
+		t.Fatalf("mine below watermark: %d, want 202", code)
+	}
+	waitFor(t, 10*time.Second, func() bool {
+		j, ok := s.jobs.Get(job.ID)
+		return ok && terminal(j.Status)
+	})
+}
+
+// TestCacheShrinkKeepsHotHalf pins the degrade primitive itself: Shrink
+// evicts the cold (LRU) half and keeps the hot half resident.
+func TestCacheShrinkKeepsHotHalf(t *testing.T) {
+	c := NewCache(16)
+	for i := 0; i < 8; i++ {
+		c.Put(fmt.Sprintf("k%d", i), &RuleEval{})
+	}
+	// Touch the upper half so it is the hot end.
+	for i := 4; i < 8; i++ {
+		c.Get(fmt.Sprintf("k%d", i))
+	}
+	if evicted := c.Shrink(); evicted != 4 {
+		t.Fatalf("Shrink evicted %d, want 4", evicted)
+	}
+	for i := 0; i < 4; i++ {
+		if _, ok := c.Get(fmt.Sprintf("k%d", i)); ok {
+			t.Errorf("cold entry k%d survived the shrink", i)
+		}
+	}
+	for i := 4; i < 8; i++ {
+		if _, ok := c.Get(fmt.Sprintf("k%d", i)); !ok {
+			t.Errorf("hot entry k%d was evicted", i)
+		}
+	}
+}
+
+// TestPanicRecoveryMiddleware: a panicking handler answers 500 with an
+// X-Request-ID instead of resetting the connection, the panic is counted,
+// and ordinary responses carry request IDs too.
+func TestPanicRecoveryMiddleware(t *testing.T) {
+	s, ts, _ := newTestServer(t, Config{Workers: 2})
+
+	h := s.recoverPanics(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("boom")
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/panic", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("panicking handler: %d, want 500", rec.Code)
+	}
+	reqID := rec.Header().Get("X-Request-ID")
+	if reqID == "" {
+		t.Fatal("panic response carries no X-Request-ID")
+	}
+	if body := rec.Body.String(); !strings.Contains(body, reqID) || !strings.Contains(body, "boom") {
+		t.Errorf("panic body %q does not name the request ID and the panic", body)
+	}
+
+	if resp := rawDo(t, "GET", ts.URL+"/healthz", nil); resp.Header.Get("X-Request-ID") == "" {
+		t.Error("ordinary response carries no X-Request-ID")
+	}
+	var st StatsResponse
+	doJSON(t, "GET", ts.URL+"/stats", nil, &st)
+	if st.Lifecycle.Panics != 1 {
+		t.Errorf("panics = %d, want 1", st.Lifecycle.Panics)
+	}
+}

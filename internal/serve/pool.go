@@ -21,6 +21,10 @@ func NewPool(n int) *Pool {
 // Size reports the concurrency bound.
 func (p *Pool) Size() int { return cap(p.sem) }
 
+// InUse reports how many tasks hold a slot right now — the /stats
+// saturation signal for the identify pool.
+func (p *Pool) InUse() int { return len(p.sem) }
+
 // Do runs all tasks, at most Size at a time pool-wide, and waits for them.
 // The calling goroutine also executes tasks (it runs the last one inline
 // once a slot is free), so Do never deadlocks on an exhausted pool.

@@ -121,6 +121,27 @@ type Config struct {
 	// FleetBreakerCooldown is how long an open breaker waits before
 	// admitting one half-open probe job to the fleet (default 30s).
 	FleetBreakerCooldown time.Duration
+
+	// RequestTimeout is the server-side deadline stacked on every identify
+	// request's own context: evaluation that has not finished by then
+	// answers 503 instead of holding resources indefinitely for a client
+	// that has likely given up. Default 30s; negative disables.
+	RequestTimeout time.Duration
+	// MaxQueue bounds how many identify requests may wait for an evaluation
+	// slot beyond the PoolSize already running; requests past the bound are
+	// shed immediately with 429 + Retry-After. Default 64; negative disables
+	// admission control entirely (the no-shedding mode the load harness
+	// compares against — under sustained overload it collapses).
+	MaxQueue int
+	// QueueTimeout is the longest an admitted request may wait in the
+	// admission queue before being shed with 429. Default 1s.
+	QueueTimeout time.Duration
+	// MemLimitBytes arms the memory watermark (0 = off): at ≥ 90% live heap
+	// new mine jobs are rejected with 503, and at ≥ 100% the match-set and
+	// mine-context caches are shrunk — degrade before dying. The limit
+	// should sit under the container/cgroup limit with headroom for
+	// transient allocation.
+	MemLimitBytes uint64
 }
 
 func (c Config) defaults() Config {
@@ -160,6 +181,15 @@ func (c Config) defaults() Config {
 	if c.FleetBreakerCooldown <= 0 {
 		c.FleetBreakerCooldown = 30 * time.Second
 	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 64
+	}
+	if c.QueueTimeout <= 0 {
+		c.QueueTimeout = time.Second
+	}
 	return c
 }
 
@@ -193,6 +223,8 @@ type Server struct {
 	batch    *Batcher[*RuleEval]
 	jobs     *Jobs
 	breaker  *breaker // fleet circuit breaker; nil when disabled or no fleet
+	admit    *admitter
+	mem      *memWatch // heap watermark; nil when MemLimitBytes is 0
 
 	swapMu sync.Mutex // serializes snapshot swaps and symbol interning
 	snap   atomic.Pointer[Snapshot]
@@ -201,6 +233,11 @@ type Server struct {
 	start  time.Time
 	closed atomic.Bool
 	jobWG  sync.WaitGroup
+	// baseCtx is the parent of every mine job's context: Shutdown cancels
+	// it, so the drain actively stops running jobs instead of waiting them
+	// out.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
 
 	fleetProbe fleetProbe // cached /healthz fleet reachability
 
@@ -212,6 +249,17 @@ type Server struct {
 	nRemoteMine atomic.Int64 // mine jobs submitted to the worker fleet
 	nFleetFall  atomic.Int64 // fleet jobs that fell back to in-process
 	nMineRetry  atomic.Int64 // fleet jobs that needed more than one attempt
+
+	reqSeq       atomic.Uint64 // request IDs for the recovery middleware
+	nShedFull    atomic.Int64  // 429s: admission queue full on arrival
+	nShedTimeout atomic.Int64  // 429s: queue wait exceeded QueueTimeout
+	nDeadline    atomic.Int64  // identify requests past their deadline
+	nClientGone  atomic.Int64  // identify requests whose client vanished while queued
+	nCancelReq   atomic.Int64  // DELETE /v1/jobs cancellations delivered
+	nMemRejects  atomic.Int64  // mine jobs rejected at the soft watermark
+	nCacheShrink atomic.Int64  // hard-watermark cache shrink events
+	nPanics      atomic.Int64  // handler panics recovered to 500
+	nJobPanics   atomic.Int64  // mine-job panics recovered to failed jobs
 }
 
 // New returns a Server with no snapshot installed; handlers answer 503
@@ -232,6 +280,13 @@ func New(cfg Config) *Server {
 	if len(cfg.MineWorkers) > 0 && cfg.FleetBreakerThreshold > 0 {
 		s.breaker = newBreaker(cfg.FleetBreakerThreshold, cfg.FleetBreakerCooldown)
 	}
+	if cfg.MaxQueue >= 0 {
+		s.admit = newAdmitter(cfg.PoolSize, cfg.MaxQueue, cfg.QueueTimeout)
+	}
+	if cfg.MemLimitBytes > 0 {
+		s.mem = newMemWatch(cfg.MemLimitBytes)
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	return s
 }
 
@@ -311,14 +366,20 @@ func (s *Server) installIfCurrent(expectG *graph.Graph, pred core.Predicate, rul
 	return s.loadLocked(expectG, pred, rules)
 }
 
-// Shutdown stops accepting work and waits for running mine jobs, up to
-// ctx's deadline. Handlers answer 503 after Shutdown begins.
+// Shutdown stops accepting work, cancels every running mine job through
+// the job-context plumbing, and waits for them to drain, up to ctx's
+// deadline. Canceled jobs finish in the canceled terminal state — the
+// drain is active, not a hope that jobs finish on their own. Handlers
+// answer 503 after Shutdown begins.
 func (s *Server) Shutdown(ctx context.Context) error {
 	// closed flips under the swap lock so it serializes with StartMine's
 	// closed-check + jobWG.Add: no job can register after the drain begins.
 	s.swapMu.Lock()
 	s.closed.Store(true)
 	s.swapMu.Unlock()
+	// Every job context is a child of baseCtx; canceling it reaches each
+	// run's per-superstep checks (and unwedges fleet exchanges in flight).
+	s.baseCancel()
 	done := make(chan struct{})
 	go func() {
 		s.jobWG.Wait()

@@ -230,7 +230,10 @@ func TestCacheHitAndSwapInvalidation(t *testing.T) {
 }
 
 func TestIdentifyCoalescesConcurrentDuplicates(t *testing.T) {
-	_, ts, _ := newTestServer(t, Config{Workers: 2, BatchWindow: 40 * time.Millisecond})
+	// PoolSize is pinned: on a small machine the default pool (and with it
+	// the admission cap) can be 1, which serializes the clients before the
+	// batcher ever sees a concurrent duplicate.
+	_, ts, _ := newTestServer(t, Config{Workers: 2, PoolSize: 8, BatchWindow: 40 * time.Millisecond})
 
 	const clients = 32
 	var wg sync.WaitGroup

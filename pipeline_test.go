@@ -110,7 +110,10 @@ func TestPipelineMultiPredicate(t *testing.T) {
 		K: 3, Sigma: 2, D: 2, Lambda: 0.5, N: 2,
 		MaxEdges: 2, MaxCandidatesPerRound: 20,
 	}.WithOptimizations()
-	results := mine.DMineMulti(g, preds, opts)
+	results, err := mine.DMineMulti(g, preds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(results) != 2 {
 		t.Fatalf("got %d results", len(results))
 	}
