@@ -2,7 +2,8 @@ GO ?= go
 BIN := bin
 
 .PHONY: all build vet test race bench bench-match bench-mine bench-short \
-	bench-mine-short bench-guard docs-check loadtest overload serve clean
+	bench-mine-short bench-guard docs-check fuzz-smoke loadtest overload \
+	serve clean
 
 all: vet build test
 
@@ -20,8 +21,16 @@ test:
 # of surfacing a typed error fails the build instead of wedging it.
 race:
 	$(GO) test -race ./internal/serve/ ./internal/partition/ ./internal/match/ \
-	    ./internal/mine/ ./internal/netfault/
+	    ./internal/graph/ ./internal/mine/ ./internal/netfault/
 	$(GO) test -race -timeout 120s ./internal/mine/wire/ ./internal/mine/remote/
+
+# Short coverage-guided runs of the delta ingest fuzz targets (the wire
+# decode in serve and the op application in graph). Go allows one target
+# per -fuzz invocation, so each runs separately; seed corpora also run on
+# every plain `make test`.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz 'FuzzApplyDelta' -fuzztime 20s ./internal/graph/
+	$(GO) test -run '^$$' -fuzz 'FuzzDeltaHandler' -fuzztime 20s ./internal/serve/
 
 # Run the hot-path benchmarks with -benchmem and record them, joined
 # against their recorded baselines, in BENCH_match.json (matcher, vs
@@ -31,7 +40,7 @@ race:
 bench: bench-match bench-mine
 
 bench-match:
-	$(GO) test -run '^$$' -bench 'BenchmarkAnchoredMatch|BenchmarkMatchSet$$|BenchmarkIdentify' \
+	$(GO) test -run '^$$' -bench 'BenchmarkAnchoredMatch|BenchmarkMatchSet$$|BenchmarkIdentify|BenchmarkDeltaApply' \
 	    -benchmem -benchtime=1s ./internal/match/ ./internal/serve/ > bench.out
 	$(GO) run ./cmd/benchjson -set match -o BENCH_match.json < bench.out
 	@rm -f bench.out

@@ -12,13 +12,14 @@
 //
 // Endpoints:
 //
-//	POST /v1/identify   {"rules":[...keys], "eta":1.5}  → Σ(x,G,η)
-//	GET  /v1/rules      browse the resident rule set
-//	PUT  /v1/rules      hot-swap the rule set (core rule text format)
-//	POST /v1/mine       async DMine job; {"install":true} hot-swaps on success
-//	GET  /v1/jobs[/id]  job status
-//	GET  /healthz       liveness + generation
-//	GET  /stats         cache / batcher / request counters
+//	POST /v1/identify     {"rules":[...keys], "eta":1.5}  → Σ(x,G,η)
+//	GET  /v1/rules        browse the resident rule set
+//	PUT  /v1/rules        hot-swap the rule set (core rule text format)
+//	POST /v1/graph/delta  apply a mutation batch as a new snapshot generation
+//	POST /v1/mine         async DMine job; {"install":true} hot-swaps on success
+//	GET  /v1/jobs[/id]    job status
+//	GET  /healthz         liveness + generation
+//	GET  /stats           cache / batcher / request / delta counters
 package main
 
 import (
@@ -43,38 +44,40 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		graphIn = flag.String("graph", "", "input graph file (exclusive with -gen)")
-		genKind = flag.String("gen", "", "generate the graph: pokec | gplus | synthetic")
-		users   = flag.Int("users", 2000, "user count for -gen pokec/gplus")
-		nv      = flag.Int("v", 10000, "nodes for -gen synthetic")
-		ne      = flag.Int("e", 20000, "edges for -gen synthetic")
-		seed    = flag.Int64("seed", 1, "random seed for -gen")
-		rulesIn = flag.String("rules", "", "input rules file")
-		predStr = flag.String("pred", "", "predicate xLabel,edgeLabel,yLabel (required without -rules)")
-		doMine  = flag.Bool("mine", false, "mine rules at startup with DMine")
-		k       = flag.Int("k", 10, "top-k size for -mine")
-		sigma   = flag.Int("sigma", 10, "support threshold σ for -mine")
-		d       = flag.Int("d", 2, "radius bound for -mine")
-		lambda  = flag.Float64("lambda", 0.5, "diversification balance λ for -mine")
-		maxEd   = flag.Int("max-edges", 3, "antecedent edge budget for -mine")
-		capRd   = flag.Int("cap", 100, "mining candidates per round (0 = unlimited)")
-		workers = flag.Int("n", 4, "graph fragments (partition width)")
-		pool    = flag.Int("pool", 0, "matching concurrency bound (0 = GOMAXPROCS minus the mine share)")
-		mineCPU = flag.Float64("mine-share", 0, "fraction of GOMAXPROCS mine jobs may occupy together (0 = default 0.5)")
-		cache   = flag.Int("cache", 256, "match-set cache capacity")
-		window  = flag.Duration("batch-window", 0, "identify coalescing window (e.g. 2ms)")
-		eta     = flag.Float64("eta", 1.0, "default confidence bound η")
-		fleet   = flag.String("mine-workers", "", "comma-separated gparworker addresses; mine jobs run on this fleet")
-		stepTO  = flag.Duration("mine-step-timeout", 0, "per-superstep worker deadline for -mine-workers (0 = 2m)")
-		retries = flag.Int("mine-retries", 0, "fleet attempts per mine job before in-process fallback (0 = default 3)")
-		backoff = flag.Duration("mine-retry-backoff", 0, "base backoff between fleet attempts, doubling with jitter (0 = 50ms)")
-		brkN    = flag.Int("breaker-threshold", 0, "consecutive fleet failures that open the circuit breaker (0 = default 3, negative = off)")
-		brkCool = flag.Duration("breaker-cooldown", 0, "how long an open breaker skips the fleet before probing (0 = 30s)")
-		reqTO   = flag.Duration("request-timeout", 0, "server-side identify deadline (0 = 30s, negative = off)")
-		maxQ    = flag.Int("max-queue", 0, "admission queue depth before shedding 429 (0 = 64, negative = off)")
-		queueTO = flag.Duration("queue-timeout", 0, "longest an admitted request may wait for a slot (0 = 1s)")
-		memLim  = flag.Uint64("mem-limit", 0, "heap watermark in bytes: >=90% rejects mine jobs, >=100% shrinks caches (0 = off)")
+		addr      = flag.String("addr", ":8080", "listen address")
+		graphIn   = flag.String("graph", "", "input graph file (exclusive with -gen)")
+		genKind   = flag.String("gen", "", "generate the graph: pokec | gplus | synthetic")
+		users     = flag.Int("users", 2000, "user count for -gen pokec/gplus")
+		nv        = flag.Int("v", 10000, "nodes for -gen synthetic")
+		ne        = flag.Int("e", 20000, "edges for -gen synthetic")
+		seed      = flag.Int64("seed", 1, "random seed for -gen")
+		rulesIn   = flag.String("rules", "", "input rules file")
+		predStr   = flag.String("pred", "", "predicate xLabel,edgeLabel,yLabel (required without -rules)")
+		doMine    = flag.Bool("mine", false, "mine rules at startup with DMine")
+		k         = flag.Int("k", 10, "top-k size for -mine")
+		sigma     = flag.Int("sigma", 10, "support threshold σ for -mine")
+		d         = flag.Int("d", 2, "radius bound for -mine")
+		lambda    = flag.Float64("lambda", 0.5, "diversification balance λ for -mine")
+		maxEd     = flag.Int("max-edges", 3, "antecedent edge budget for -mine")
+		capRd     = flag.Int("cap", 100, "mining candidates per round (0 = unlimited)")
+		workers   = flag.Int("n", 4, "graph fragments (partition width)")
+		pool      = flag.Int("pool", 0, "matching concurrency bound (0 = GOMAXPROCS minus the mine share)")
+		mineCPU   = flag.Float64("mine-share", 0, "fraction of GOMAXPROCS mine jobs may occupy together (0 = default 0.5)")
+		cache     = flag.Int("cache", 256, "match-set cache capacity")
+		window    = flag.Duration("batch-window", 0, "identify coalescing window (e.g. 2ms)")
+		eta       = flag.Float64("eta", 1.0, "default confidence bound η")
+		fleet     = flag.String("mine-workers", "", "comma-separated gparworker addresses; mine jobs run on this fleet")
+		stepTO    = flag.Duration("mine-step-timeout", 0, "per-superstep worker deadline for -mine-workers (0 = 2m)")
+		retries   = flag.Int("mine-retries", 0, "fleet attempts per mine job before in-process fallback (0 = default 3)")
+		backoff   = flag.Duration("mine-retry-backoff", 0, "base backoff between fleet attempts, doubling with jitter (0 = 50ms)")
+		brkN      = flag.Int("breaker-threshold", 0, "consecutive fleet failures that open the circuit breaker (0 = default 3, negative = off)")
+		brkCool   = flag.Duration("breaker-cooldown", 0, "how long an open breaker skips the fleet before probing (0 = 30s)")
+		reqTO     = flag.Duration("request-timeout", 0, "server-side identify deadline (0 = 30s, negative = off)")
+		maxQ      = flag.Int("max-queue", 0, "admission queue depth before shedding 429 (0 = 64, negative = off)")
+		queueTO   = flag.Duration("queue-timeout", 0, "longest an admitted request may wait for a slot (0 = 1s)")
+		memLim    = flag.Uint64("mem-limit", 0, "heap watermark in bytes: >=90% rejects mine jobs, >=100% shrinks caches (0 = off)")
+		compactN  = flag.Int("compact-threshold", 0, "overlay ops that trigger background delta compaction (0 = off)")
+		compactIv = flag.Duration("compact-interval", 0, "periodic delta compaction interval (0 = off)")
 	)
 	flag.Parse()
 
@@ -129,17 +132,18 @@ func main() {
 	}
 
 	cfg := serve.Config{
-		Workers:         *workers,
-		MineShare:       *mineCPU,
-		PoolSize:        *pool,
-		CacheCap:        *cache,
-		BatchWindow:     *window,
-		DefaultEta:      *eta,
-		MineStepTimeout: *stepTO,
-		RequestTimeout:  *reqTO,
-		MaxQueue:        *maxQ,
-		QueueTimeout:    *queueTO,
-		MemLimitBytes:   *memLim,
+		Workers:          *workers,
+		MineShare:        *mineCPU,
+		PoolSize:         *pool,
+		CacheCap:         *cache,
+		BatchWindow:      *window,
+		DefaultEta:       *eta,
+		MineStepTimeout:  *stepTO,
+		RequestTimeout:   *reqTO,
+		MaxQueue:         *maxQ,
+		QueueTimeout:     *queueTO,
+		MemLimitBytes:    *memLim,
+		CompactThreshold: *compactN,
 	}
 	if *fleet != "" {
 		cfg.MineWorkers = strings.Split(*fleet, ",")
@@ -169,6 +173,30 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
 
+	// Periodic compaction: fold any delta overlay back into a real freeze on
+	// a timer, independent of the op-count threshold. A tick with no overlay
+	// is a no-op.
+	var compactDone chan struct{}
+	if *compactIv > 0 {
+		compactDone = make(chan struct{})
+		go func() {
+			tick := time.NewTicker(*compactIv)
+			defer tick.Stop()
+			for {
+				select {
+				case <-compactDone:
+					return
+				case <-tick.C:
+					if gen, did, err := srv.Compact(); err != nil {
+						log.Printf("compact: %v", err)
+					} else if did {
+						log.Printf("compacted delta overlay; generation %d", gen)
+					}
+				}
+			}
+		}()
+	}
+
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	select {
@@ -176,6 +204,9 @@ func main() {
 		fatal(err)
 	case sig := <-sigc:
 		log.Printf("received %v; draining", sig)
+	}
+	if compactDone != nil {
+		close(compactDone)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()

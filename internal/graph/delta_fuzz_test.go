@@ -1,0 +1,100 @@
+package graph_test
+
+import (
+	"errors"
+	"slices"
+	"testing"
+
+	"gpar/internal/graph"
+)
+
+// fuzzFixture builds the small frozen base graph every fuzz input mutates.
+func fuzzFixture() (*graph.Graph, []graph.Label, []graph.Label) {
+	g := graph.New(nil)
+	s := g.Symbols()
+	var nodeLabels, edgeLabels []graph.Label
+	for _, n := range []string{"A", "B", "C"} {
+		nodeLabels = append(nodeLabels, s.Intern(n))
+	}
+	for _, n := range []string{"x", "y"} {
+		edgeLabels = append(edgeLabels, s.Intern(n))
+	}
+	for i := 0; i < 8; i++ {
+		g.AddNodeL(nodeLabels[i%len(nodeLabels)])
+	}
+	for i := 0; i < 8; i++ {
+		g.AddEdgeL(graph.NodeID(i), graph.NodeID((i+3)%8), edgeLabels[i%len(edgeLabels)])
+	}
+	g.Freeze()
+	return g, nodeLabels, edgeLabels
+}
+
+// decodeDeltaOps maps arbitrary bytes onto a delta batch, 5 bytes per op.
+// Signed narrowing deliberately produces negative IDs and labels, and kind
+// values outside the valid range, so the decoder reaches every rejection
+// path as well as every apply path.
+func decodeDeltaOps(data []byte) []graph.DeltaOp {
+	var ops []graph.DeltaOp
+	for len(data) >= 5 && len(ops) < 64 {
+		ops = append(ops, graph.DeltaOp{
+			Kind:  graph.DeltaOpKind(data[0] % 6),
+			Node:  graph.NodeID(int8(data[1])),
+			From:  graph.NodeID(int8(data[2])),
+			To:    graph.NodeID(int8(data[3])),
+			Label: graph.Label(int8(data[4])),
+		})
+		data = data[5:]
+	}
+	return ops
+}
+
+// FuzzApplyDelta pins the delta batch contract: any byte-derived batch
+// either fails with a typed *DeltaError and zero effect on the base graph,
+// or yields an overlay graph observationally identical to a from-scratch
+// rebuild — never a panic, never a silent partial application.
+func FuzzApplyDelta(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0, 1})                               // add-node A
+	f.Add([]byte{2, 0, 0, 1, 4, 3, 0, 0, 3, 4})                // add-edge, del-edge
+	f.Add([]byte{4, 2, 0, 0, 2, 1, 0, 0, 0, 3, 2, 0, 8, 0, 4}) // relabel, add-node, edge to new node
+	f.Add([]byte{0, 0, 0, 0, 0, 5, 255, 255, 255, 255})        // invalid kinds and IDs
+	f.Fuzz(func(t *testing.T, data []byte) {
+		base, _, _ := fuzzFixture()
+		nodes, edges := base.NumNodes(), base.NumEdges()
+		ops := decodeDeltaOps(data)
+
+		d, err := base.ApplyDelta(ops)
+		if base.NumNodes() != nodes || base.NumEdges() != edges || base.Overlaid() {
+			t.Fatalf("ApplyDelta mutated the base graph")
+		}
+		if err != nil {
+			var de *graph.DeltaError
+			if !errors.As(err, &de) {
+				t.Fatalf("error is %T (%v), want *DeltaError", err, err)
+			}
+			if de.Index < 0 || de.Index >= len(ops) {
+				t.Fatalf("error index %d out of batch range %d", de.Index, len(ops))
+			}
+			if d != nil {
+				t.Fatalf("failed batch still produced a graph")
+			}
+			return
+		}
+
+		// Success: the overlay must match a from-scratch rebuild and keep
+		// every structural invariant.
+		m := newDeltaModel(base)
+		m.apply(ops)
+		compareGraphs(t, "fuzz", d, m.rebuild())
+		for v := graph.NodeID(0); int(v) < d.NumNodes(); v++ {
+			if !slices.IsSortedFunc(d.Out(v), func(a, b graph.Edge) int {
+				if a.Label != b.Label {
+					return int(a.Label) - int(b.Label)
+				}
+				return int(a.To) - int(b.To)
+			}) {
+				t.Fatalf("Out(%d) not (Label,To)-sorted: %v", v, d.Out(v))
+			}
+		}
+	})
+}

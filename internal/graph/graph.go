@@ -43,6 +43,12 @@ type Graph struct {
 	// any goroutine observing true may read csr without locks.
 	frozen atomic.Bool
 	csr    *csrIndex
+
+	// ov, when non-nil on a frozen graph, marks this graph as a delta
+	// overlay over csr (see delta.go): csr is shared with the base graph
+	// and stale for the overlay's touched nodes, which the CSR-backed read
+	// paths route around. Immutable once set, like csr.
+	ov *overlay
 }
 
 // New returns an empty graph using the given symbol table. If syms is nil a
@@ -169,6 +175,7 @@ func (g *Graph) thaw() {
 	if g.frozen.Load() {
 		g.frozen.Store(false)
 		g.csr = nil
+		g.ov = nil
 	}
 }
 
@@ -195,6 +202,9 @@ func (g *Graph) HasEdge(from, to NodeID, l Label) bool {
 // a filtered copy. The caller must not mutate the result.
 func (g *Graph) OutRangeL(v NodeID, l Label) []Edge {
 	if g.frozen.Load() {
+		if ov := g.ov; ov != nil && ov.bypass(v) {
+			return labelRun(g.out[v], l)
+		}
 		c := g.csr
 		return rangeL(c.outE, c.outLab, c.outLabOff, c.outLabStart, v, l)
 	}
@@ -211,6 +221,9 @@ func (g *Graph) OutRangeL(v NodeID, l Label) []Edge {
 // source node of an edge To -> v labeled l.
 func (g *Graph) InRangeL(v NodeID, l Label) []Edge {
 	if g.frozen.Load() {
+		if ov := g.ov; ov != nil && ov.bypass(v) {
+			return labelRun(g.in[v], l)
+		}
 		c := g.csr
 		return rangeL(c.inE, c.inLab, c.inLabOff, c.inLabStart, v, l)
 	}
@@ -309,6 +322,11 @@ func (g *Graph) rebuild() {
 // never mutates the graph, so it is safe under concurrency.
 func (g *Graph) NodesWithLabel(l Label) []NodeID {
 	if g.frozen.Load() {
+		if ov := g.ov; ov != nil {
+			if nodes, ok := ov.nodesByLabel[l]; ok {
+				return nodes
+			}
+		}
 		c := g.csr
 		if l < 0 || int(l)+1 >= len(c.labelOff) {
 			return nil
@@ -328,6 +346,9 @@ func (g *Graph) CountLabel(l Label) int {
 // when the graph is frozen.
 func (g *Graph) NodeLabels() []Label {
 	if g.frozen.Load() {
+		if ov := g.ov; ov != nil {
+			return ov.labelsSorted
+		}
 		return g.csr.labelsSorted
 	}
 	g.rebuild()

@@ -42,6 +42,24 @@ func (c *Cache) Put(key string, val *RuleEval) {
 	c.lru.put(key, val)
 }
 
+// Carry renames oldKey's entry to newKey — the delta path's selective
+// invalidation: an evaluation provably unaffected by a mutation batch moves
+// to the new generation's key instead of being recomputed. Recency and
+// hit/miss counters are untouched. It reports whether an entry existed.
+func (c *Cache) Carry(oldKey, newKey string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.carry(oldKey, newKey)
+}
+
+// Remove drops key's entry if present (counted as an eviction) and reports
+// whether one existed.
+func (c *Cache) Remove(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.remove(key)
+}
+
 // Purge drops every entry (snapshot swap) and returns how many were
 // dropped.
 func (c *Cache) Purge() int {

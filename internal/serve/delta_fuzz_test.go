@@ -1,0 +1,56 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// FuzzDeltaHandler throws arbitrary bytes at POST /v1/graph/delta. Whatever
+// arrives, the handler must answer 202, 400 or 409 — never panic, never
+// leave the server unable to identify — and only a 202 may move the
+// generation.
+func FuzzDeltaHandler(f *testing.F) {
+	f.Add([]byte(`{"ops":[{"op":"addNode","label":"island"}]}`))
+	f.Add([]byte(`{"ops":[{"op":"addNode","label":"x"},{"op":"addEdge","from":11,"to":0,"label":"friend"}]}`))
+	f.Add([]byte(`{"ops":[{"op":"addEdge","from":0,"to":1,"label":"friend"}]}`))
+	f.Add([]byte(`{"ops":[{"op":"delEdge","from":0,"to":1,"label":"friend"}]}`))
+	f.Add([]byte(`{"ops":[{"op":"setLabel","node":-1,"label":"cust"}]}`))
+	f.Add([]byte(`{"ops":[{"op":"addEdge","from":2147483647,"to":-2,"label":""}]}`))
+	f.Add([]byte(`{"ops":[]}`))
+	f.Add([]byte(`{nope`))
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		g, pred, rules := fixture(t)
+		s := New(Config{Workers: 2})
+		if err := s.LoadSnapshot(g, pred, rules); err != nil {
+			t.Fatalf("LoadSnapshot: %v", err)
+		}
+		h := s.Handler()
+
+		req := httptest.NewRequest("POST", "/v1/graph/delta", strings.NewReader(string(body)))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		switch rec.Code {
+		case http.StatusAccepted:
+			if s.Generation() != 2 {
+				t.Fatalf("202 but generation %d", s.Generation())
+			}
+		case http.StatusBadRequest, http.StatusConflict:
+			if s.Generation() != 1 {
+				t.Fatalf("%d but generation %d", rec.Code, s.Generation())
+			}
+		default:
+			t.Fatalf("delta status %d (%s) for body %q", rec.Code, rec.Body.Bytes(), body)
+		}
+
+		// The server must keep serving over whatever state the batch left.
+		idReq := httptest.NewRequest("POST", "/v1/identify", strings.NewReader(`{}`))
+		idRec := httptest.NewRecorder()
+		h.ServeHTTP(idRec, idReq)
+		if idRec.Code != 200 {
+			t.Fatalf("identify after delta: %d (%s)", idRec.Code, idRec.Body.Bytes())
+		}
+	})
+}

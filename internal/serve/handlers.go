@@ -142,6 +142,23 @@ type StatsResponse struct {
 		Swaps    int64 `json:"swaps"`
 	} `json:"requests"`
 	Jobs map[JobStatus]int `json:"jobs"`
+	// Delta reports live-graph maintenance: applied batches and ops, refused
+	// batches, the current snapshot's overlay state, selective match-set
+	// invalidation traffic (carried vs dropped entries), warm mine-result
+	// hits, and compaction activity.
+	Delta struct {
+		Batches          int64 `json:"batches"`
+		Ops              int64 `json:"ops"`
+		Rejected         int64 `json:"rejected"`
+		Overlaid         bool  `json:"overlaid"`
+		OverlayOps       int   `json:"overlayOps"`
+		RulesCarried     int64 `json:"rulesCarried"`
+		RulesInvalidated int64 `json:"rulesInvalidated"`
+		WarmMineHits     int64 `json:"warmMineHits"`
+		Compactions      int64 `json:"compactions"`
+		CompactAborts    int64 `json:"compactAborts"`
+		CompactThreshold int   `json:"compactThreshold"`
+	} `json:"delta"`
 	// Admission reports the overload front door: how many requests are
 	// evaluating vs queued, and how many were shed (429) because the queue
 	// was full or the wait exceeded its budget. Absent when MaxQueue < 0.
@@ -170,12 +187,12 @@ type StatsResponse struct {
 
 // AdmissionStats is the /stats view of the bounded admission queue.
 type AdmissionStats struct {
-	Running      int   `json:"running"`
-	RunningCap   int   `json:"runningCap"`
-	Queued       int64 `json:"queued"`
-	MaxQueue     int   `json:"maxQueue"`
-	ShedFull     int64 `json:"shedFull"`
-	ShedTimeout  int64 `json:"shedTimeout"`
+	Running      int    `json:"running"`
+	RunningCap   int    `json:"runningCap"`
+	Queued       int64  `json:"queued"`
+	MaxQueue     int    `json:"maxQueue"`
+	ShedFull     int64  `json:"shedFull"`
+	ShedTimeout  int64  `json:"shedTimeout"`
 	QueueTimeout string `json:"queueTimeout"`
 }
 
@@ -197,6 +214,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/rules", s.handleRulesGet)
 	mux.HandleFunc("PUT /v1/rules", s.handleRulesPut)
 	mux.HandleFunc("POST /v1/mine", s.handleMine)
+	mux.HandleFunc("POST /v1/graph/delta", s.handleDelta)
 	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
@@ -553,7 +571,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.Pred = snap.PredDisplay
 		resp.Rules = len(snap.Rules)
 		resp.Fragments = len(snap.frags)
+		resp.Delta.Overlaid = snap.G.Overlaid()
+		resp.Delta.OverlayOps = snap.G.OverlayOps()
 	}
+	resp.Delta.Batches = s.nDeltaBatches.Load()
+	resp.Delta.Ops = s.nDeltaOps.Load()
+	resp.Delta.Rejected = s.nDeltaRejects.Load()
+	resp.Delta.RulesCarried = s.nRuleCarried.Load()
+	resp.Delta.RulesInvalidated = s.nRuleInvalidated.Load()
+	resp.Delta.WarmMineHits = s.nWarmMineHits.Load()
+	resp.Delta.Compactions = s.nCompactions.Load()
+	resp.Delta.CompactAborts = s.nCompactAborts.Load()
+	resp.Delta.CompactThreshold = s.cfg.CompactThreshold
 	resp.PoolSize = s.pool.Size()
 	resp.CPUBudget.Procs = runtime.GOMAXPROCS(0)
 	resp.CPUBudget.MineShare = s.cfg.MineShare

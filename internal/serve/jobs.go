@@ -116,6 +116,14 @@ type Job struct {
 	// before succeeding or falling back (0 for jobs that never tried the
 	// fleet).
 	Attempts int `json:"attempts,omitempty"`
+	// ServedGeneration is the snapshot generation the job was admitted
+	// against — the graph it mined.
+	ServedGeneration uint64 `json:"servedGeneration,omitempty"`
+	// WarmStarted reports that the job was answered from a carried mine
+	// result of an earlier generation whose parameters matched and whose
+	// reach no intervening delta touched: no mining ran at all. The result
+	// is byte-identical to a fresh run by the carry invariant (delta.go).
+	WarmStarted bool `json:"warmStarted,omitempty"`
 
 	// cancel stops the job's run context. It is installed at creation (so a
 	// DELETE can never race an unregistered job) and cleared when the job
@@ -140,16 +148,17 @@ func NewJobs() *Jobs {
 	return &Jobs{m: make(map[string]*Job)}
 }
 
-func (j *Jobs) create(p MineParams, cancel context.CancelFunc) Job {
+func (j *Jobs) create(p MineParams, servedGen uint64, cancel context.CancelFunc) Job {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.seq++
 	job := &Job{
-		ID:      fmt.Sprintf("job-%d", j.seq),
-		Status:  JobPending,
-		Params:  p,
-		Created: time.Now(),
-		cancel:  cancel,
+		ID:               fmt.Sprintf("job-%d", j.seq),
+		Status:           JobPending,
+		Params:           p,
+		Created:          time.Now(),
+		ServedGeneration: servedGen,
+		cancel:           cancel,
 	}
 	j.m[job.ID] = job
 	for len(j.m) > maxJobs {
@@ -268,7 +277,7 @@ func (s *Server) StartMine(p MineParams) (Job, error) {
 	} else {
 		jobCtx, cancel = context.WithCancel(s.baseCtx)
 	}
-	job := s.jobs.create(p, cancel)
+	job := s.jobs.create(p, snap.Gen, cancel)
 	s.jobWG.Add(1)
 	go s.runMine(job.ID, jobCtx, cancel, snap, pred, p)
 	return job, nil
@@ -310,32 +319,50 @@ func (s *Server) runMine(id string, jobCtx context.Context, cancel context.Cance
 		// Results are byte-identical across worker counts either way.
 		opts.N = n
 	}
-	key := MineCtxKey{Gen: snap.Gen, XLabel: pred.XLabel, D: opts.D, N: opts.N}
-	ctx, ctxHit := s.mineCtx.GetOrBuild(key, func() *mine.Context {
-		// When the job's (xLabel, d, n) matches the serving snapshot's own
-		// partition layout, the snapshot's frozen fragments serve the mine
-		// job as-is: no partition, no Freeze, not even on a cold cache.
-		if pred.XLabel == snap.Pred.XLabel && opts.D == snap.D && opts.N == len(snap.frags) {
-			return mine.ContextFromFragments(snap.G, pred.XLabel, opts.D, opts.N, snap.fragmentList())
-		}
-		return mine.NewContext(snap.G, pred.XLabel, opts)
-	})
-	if s.gen.Load() != key.Gen {
-		// A swap raced the build. Its Purge may have run before this key
-		// was inserted, and no future job keys this generation, so the
-		// entry would only pin the retired snapshot's fragments. This run
-		// still mines on ctx — the snapshot it was admitted against.
-		s.mineCtx.Discard(key)
-	}
-	if ctx.Borrowed() {
-		s.nFragReuse.Add(1)
-	}
 	var res *mine.Result
 	var mineErr error
+	var ctx *mine.Context
+	ctxHit := false
+	fragsReused := false
 	distributed := false
 	fleetFallback := ""
 	attempts := 0
-	if n := len(s.cfg.MineWorkers); n > 0 {
+	warmStarted := false
+	if wres := s.warmGet(pred, opts, snap.Gen); wres != nil {
+		// A completed result with these exact parameters was carried to this
+		// generation — every delta since it ran stayed outside its reach, so
+		// re-mining would reproduce it byte for byte. Skip even the context.
+		res = wres
+		warmStarted = true
+		s.nWarmMineHits.Add(1)
+	}
+	key := MineCtxKey{Gen: snap.Gen, XLabel: pred.XLabel, D: opts.D, N: opts.N}
+	if !warmStarted {
+		ctx, ctxHit = s.mineCtx.GetOrBuild(key, func() *mine.Context {
+			// When the job's (xLabel, d, n) matches the serving snapshot's own
+			// partition layout, the snapshot's frozen fragments serve the mine
+			// job as-is: no partition, no Freeze, not even on a cold cache.
+			// Delta-derived snapshots are excluded: their "fragments" are
+			// identity chunks over the shared overlay graph, not the real
+			// partition layout ContextFromFragments requires.
+			if !snap.fromDelta && pred.XLabel == snap.Pred.XLabel && opts.D == snap.D && opts.N == len(snap.frags) {
+				return mine.ContextFromFragments(snap.G, pred.XLabel, opts.D, opts.N, snap.fragmentList())
+			}
+			return mine.NewContext(snap.G, pred.XLabel, opts)
+		})
+		if s.gen.Load() != key.Gen {
+			// A swap raced the build. Its Purge may have run before this key
+			// was inserted, and no future job keys this generation, so the
+			// entry would only pin the retired snapshot's fragments. This run
+			// still mines on ctx — the snapshot it was admitted against.
+			s.mineCtx.Discard(key)
+		}
+		fragsReused = ctx.Borrowed()
+		if fragsReused {
+			s.nFragReuse.Add(1)
+		}
+	}
+	if n := len(s.cfg.MineWorkers); n > 0 && !warmStarted {
 		switch {
 		case opts.N != n:
 			fleetFallback = fmt.Sprintf("job pinned %d workers but the fleet has %d", opts.N, n)
@@ -410,7 +437,7 @@ func (s *Server) runMine(id string, jobCtx context.Context, cancel context.Cance
 			j.Status = status
 			j.Error = msg
 			j.ContextCached = ctxHit
-			j.FragmentsReused = ctx.Borrowed()
+			j.FragmentsReused = fragsReused
 			j.Distributed = distributed
 			j.FleetFallback = fleetFallback
 			j.Attempts = attempts
@@ -419,6 +446,12 @@ func (s *Server) runMine(id string, jobCtx context.Context, cancel context.Cance
 		return
 	}
 
+	if !warmStarted {
+		// Record the completed result for warm starts; stored before any
+		// install so the install's generation bump retargets it along with
+		// every other live entry.
+		s.warmPut(pred, opts, snap.Gen, res)
+	}
 	rules := make([]*core.Rule, 0, len(res.TopK))
 	keys := make([]string, 0, len(res.TopK))
 	// Rule.Key renders label names; serialize against concurrent interning
@@ -448,7 +481,8 @@ func (s *Server) runMine(id string, jobCtx context.Context, cancel context.Cance
 		j.Installed = installed
 		j.Generation = gen
 		j.ContextCached = ctxHit
-		j.FragmentsReused = ctx.Borrowed()
+		j.FragmentsReused = fragsReused
+		j.WarmStarted = warmStarted
 		j.Distributed = distributed
 		j.FleetFallback = fleetFallback
 		j.Attempts = attempts

@@ -74,13 +74,36 @@ func (l *lru[K, V]) contains(key K) bool {
 	return ok
 }
 
-// remove drops key's entry if present, counting an eviction.
-func (l *lru[K, V]) remove(key K) {
+// remove drops key's entry if present, counting an eviction, and reports
+// whether an entry was dropped.
+func (l *lru[K, V]) remove(key K) bool {
 	if el, ok := l.byKey[key]; ok {
 		l.ll.Remove(el)
 		delete(l.byKey, key)
 		l.evictions++
+		return true
 	}
+	return false
+}
+
+// carry renames oldKey's entry to newKey, keeping its recency position and
+// leaving every counter alone — it is a rename, not an access, an eviction
+// or an insertion, so hit/miss arithmetic stays meaningful across it. It
+// reports whether an entry was carried; an existing newKey entry is
+// replaced.
+func (l *lru[K, V]) carry(oldKey, newKey K) bool {
+	el, ok := l.byKey[oldKey]
+	if !ok {
+		return false
+	}
+	if old, ok := l.byKey[newKey]; ok {
+		l.ll.Remove(old)
+		delete(l.byKey, newKey)
+	}
+	delete(l.byKey, oldKey)
+	el.Value.(*lruEntry[K, V]).key = newKey
+	l.byKey[newKey] = el
+	return true
 }
 
 // shrink evicts up to n least-recently-used entries, returning how many

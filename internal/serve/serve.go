@@ -142,6 +142,13 @@ type Config struct {
 	// should sit under the container/cgroup limit with headroom for
 	// transient allocation.
 	MemLimitBytes uint64
+
+	// CompactThreshold triggers background compaction once a delta overlay
+	// has accumulated this many ops since the last real freeze: the overlay
+	// is folded into a fresh frozen graph and hot-swapped in (see
+	// Server.Compact). 0 disables threshold-triggered compaction; operators
+	// may still compact on a timer via Server.Compact.
+	CompactThreshold int
 }
 
 func (c Config) defaults() Config {
@@ -241,6 +248,13 @@ type Server struct {
 
 	fleetProbe fleetProbe // cached /healthz fleet reachability
 
+	// warm holds completed mine results carried across generations whose
+	// deltas provably cannot affect them (see delta.go); guarded by warmMu,
+	// not swapMu, because runMine reads and writes it off the swap lock.
+	warmMu      sync.Mutex
+	warm        map[warmKey]*warmEntry
+	compactBusy atomic.Bool // one background compaction at a time
+
 	nIdentify   atomic.Int64
 	nRules      atomic.Int64
 	nMine       atomic.Int64
@@ -260,6 +274,15 @@ type Server struct {
 	nCacheShrink atomic.Int64  // hard-watermark cache shrink events
 	nPanics      atomic.Int64  // handler panics recovered to 500
 	nJobPanics   atomic.Int64  // mine-job panics recovered to failed jobs
+
+	nDeltaBatches    atomic.Int64 // delta batches applied
+	nDeltaOps        atomic.Int64 // delta ops applied across all batches
+	nDeltaRejects    atomic.Int64 // delta batches refused (400 or 409)
+	nRuleCarried     atomic.Int64 // match-set cache entries carried across deltas
+	nRuleInvalidated atomic.Int64 // match-set cache entries dropped by deltas
+	nWarmMineHits    atomic.Int64 // mine jobs answered from a carried result
+	nCompactions     atomic.Int64 // overlay compactions installed
+	nCompactAborts   atomic.Int64 // compactions abandoned (raced swap or error)
 }
 
 // New returns a Server with no snapshot installed; handlers answer 503
@@ -320,8 +343,17 @@ func (s *Server) loadLocked(g *graph.Graph, pred core.Predicate, rules []*core.R
 	if err != nil {
 		return 0, err
 	}
+	prev := s.snap.Load()
 	snap.Gen = s.gen.Add(1)
 	s.snap.Store(snap)
+	// Warm mine results depend only on the graph and mining parameters, not
+	// on the served rule set: a rules-only swap carries them forward, a new
+	// graph drops them.
+	if prev != nil && prev.G == g {
+		s.warmCarry(prev.Gen, snap.Gen, -1)
+	} else {
+		s.warmPurge()
+	}
 	s.cache.Purge()
 	// Mine contexts are keyed by generation, so old entries could never be
 	// served again; purging reclaims their fragment memory eagerly — and

@@ -46,6 +46,10 @@ type Snapshot struct {
 	byKey       map[string]*ServedRule
 
 	frags []*fragEval
+	// fromDelta marks a snapshot derived by DeriveDeltaSnapshot: fragments
+	// are identity chunks over a shared overlay graph, not real partition
+	// layouts, so mine jobs must not borrow them via fragmentList.
+	fromDelta bool
 	// D is the partition radius used for the fragments.
 	D int
 	// SuppQ1 and SuppQbar are supp(q,G) and supp(q̄,G): the LCWA
