@@ -3,7 +3,7 @@ BIN := bin
 
 .PHONY: all build vet test race bench bench-match bench-mine bench-short \
 	bench-mine-short bench-guard docs-check fuzz-smoke loadtest overload \
-	serve clean
+	crashtest serve clean
 
 all: vet build test
 
@@ -24,13 +24,15 @@ race:
 	    ./internal/graph/ ./internal/mine/ ./internal/netfault/
 	$(GO) test -race -timeout 120s ./internal/mine/wire/ ./internal/mine/remote/
 
-# Short coverage-guided runs of the delta ingest fuzz targets (the wire
-# decode in serve and the op application in graph). Go allows one target
-# per -fuzz invocation, so each runs separately; seed corpora also run on
-# every plain `make test`.
+# Short coverage-guided runs of the fuzz targets: delta ingest (wire decode
+# in serve, op application in graph) and the durability decoders (snapshot
+# file format, WAL replay). Go allows one target per -fuzz invocation, so
+# each runs separately; seed corpora also run on every plain `make test`.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz 'FuzzApplyDelta' -fuzztime 20s ./internal/graph/
 	$(GO) test -run '^$$' -fuzz 'FuzzDeltaHandler' -fuzztime 20s ./internal/serve/
+	$(GO) test -run '^$$' -fuzz 'FuzzSnapshotDecode' -fuzztime 20s ./internal/snapfile/
+	$(GO) test -run '^$$' -fuzz 'FuzzWALReplay' -fuzztime 20s ./internal/serve/
 
 # Run the hot-path benchmarks with -benchmem and record them, joined
 # against their recorded baselines, in BENCH_match.json (matcher, vs
@@ -40,8 +42,8 @@ fuzz-smoke:
 bench: bench-match bench-mine
 
 bench-match:
-	$(GO) test -run '^$$' -bench 'BenchmarkAnchoredMatch|BenchmarkMatchSet$$|BenchmarkIdentify|BenchmarkDeltaApply' \
-	    -benchmem -benchtime=1s ./internal/match/ ./internal/serve/ > bench.out
+	$(GO) test -run '^$$' -bench 'BenchmarkAnchoredMatch|BenchmarkMatchSet$$|BenchmarkIdentify|BenchmarkDeltaApply|BenchmarkWALAppend|BenchmarkSnapshotLoad' \
+	    -benchmem -benchtime=1s ./internal/match/ ./internal/serve/ ./internal/snapfile/ > bench.out
 	$(GO) run ./cmd/benchjson -set match -o BENCH_match.json < bench.out
 	@rm -f bench.out
 
@@ -92,6 +94,16 @@ loadtest:
 overload:
 	$(GO) run ./cmd/gparload -overload -users 10000 -qps 300 -dur 10s
 
+# The durability suite under the race detector: the disk fault harness,
+# the snapshot format's truncation/bit-flip sweeps and crash-safe writes,
+# and the crash-recovery differential oracle (kill-points at every WAL
+# write). The tight timeout is the hang watchdog: recovery that wedges on
+# an injected fault fails the build instead of stalling it.
+crashtest:
+	$(GO) test -race -timeout 120s ./internal/diskfault/ ./internal/snapfile/
+	$(GO) test -race -timeout 120s -run 'TestCrashRecoveryOracle|TestRecover|TestCheckpoint|TestDeltaAborts|TestShutdownFlushes' \
+	    ./internal/serve/
+
 # Fail if any internal package lacks a package-level doc comment — the
 # documentation gate CI runs on every push.
 docs-check:
@@ -104,5 +116,6 @@ serve: build
 	    -pred "user,like_music,music:Disco" -mine -k 8 -sigma 20
 
 clean:
-	rm -rf $(BIN)
+	rm -rf $(BIN) data demo-data
 	find . -name '*.test' -type f -delete
+	find . \( -name '*.gpsnap' -o -name '*.wal' -o -name '*.corrupt' \) -type f -delete

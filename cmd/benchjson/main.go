@@ -66,7 +66,10 @@ type (
 	report      = benchfmt.Report
 )
 
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
+// The optional MB/s column appears when a benchmark calls b.SetBytes
+// (the durability benchmarks do); it must be skipped, not mistaken for
+// the B/op column.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+[\d.]+ MB/s)?(?:\s+([\d.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")

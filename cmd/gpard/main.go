@@ -9,6 +9,17 @@
 //	gpard -addr :8080 -graph graph.txt -rules rules.txt
 //	gpard -addr :8080 -gen pokec -users 2000 -seed 1 \
 //	      -pred "user,like_music,music:Disco" -mine -k 8 -sigma 20
+//	gpard -addr :8080 -data-dir /var/lib/gpard -wal-sync always
+//
+// With -data-dir the daemon is durable: every snapshot swap is
+// checkpointed to a checksummed snapshot file and every accepted delta
+// batch is appended to a write-ahead log before it is acknowledged
+// (-wal-sync controls the fsync policy: always | interval | none). On
+// restart, if the directory holds a recoverable state, the daemon
+// recovers it — newest valid snapshot plus WAL replay — and the
+// -graph/-gen/-rules/-mine flags are skipped; corrupt files are
+// quarantined as *.corrupt, never deleted. See DESIGN.md, "Durability &
+// crash recovery".
 //
 // Endpoints:
 //
@@ -78,58 +89,12 @@ func main() {
 		memLim    = flag.Uint64("mem-limit", 0, "heap watermark in bytes: >=90% rejects mine jobs, >=100% shrinks caches (0 = off)")
 		compactN  = flag.Int("compact-threshold", 0, "overlay ops that trigger background delta compaction (0 = off)")
 		compactIv = flag.Duration("compact-interval", 0, "periodic delta compaction interval (0 = off)")
+		dataDir   = flag.String("data-dir", "", "durable data directory: checkpoints snapshots + a delta WAL and recovers from them at startup")
+		walSync   = flag.String("wal-sync", "always", "WAL fsync policy for -data-dir: always | interval | none")
+		walSyncIv = flag.Duration("wal-sync-interval", 100*time.Millisecond, "flush period for -wal-sync interval")
 	)
 	flag.Parse()
-
-	g, syms, err := loadGraph(*graphIn, *genKind, *users, *nv, *ne, *seed)
-	if err != nil {
-		fatal(err)
-	}
-	log.Printf("graph: %d nodes, %d edges", g.NumNodes(), g.NumEdges())
-
-	var rules []*core.Rule
-	var pred core.Predicate
-	switch {
-	case *rulesIn != "" && (*doMine || *predStr != ""):
-		fatal(errors.New("-rules is exclusive with -mine/-pred (the rule file fixes the predicate)"))
-	case *rulesIn != "":
-		f, err := os.Open(*rulesIn)
-		if err != nil {
-			fatal(err)
-		}
-		rules, err = core.ReadRules(f, syms)
-		f.Close()
-		if err != nil {
-			fatal(err)
-		}
-		if len(rules) == 0 {
-			fatal(errors.New("rules file is empty"))
-		}
-		pred = rules[0].Pred
-		log.Printf("loaded %d rules from %s", len(rules), *rulesIn)
-	case *predStr != "":
-		pred, err = parsePred(syms, *predStr)
-		if err != nil {
-			fatal(err)
-		}
-		if *doMine {
-			opts := mine.Options{
-				K: *k, Sigma: *sigma, D: *d, Lambda: *lambda, N: *workers,
-				MaxEdges: *maxEd, MaxCandidatesPerRound: *capRd,
-			}.WithOptimizations()
-			start := time.Now()
-			res := mine.DMine(g, pred, opts)
-			for _, mm := range res.TopK {
-				rules = append(rules, mm.Rule)
-			}
-			log.Printf("mined %d rules (F=%.4f) in %s", len(rules), res.F,
-				time.Since(start).Round(time.Millisecond))
-		} else {
-			log.Printf("starting with an empty rule set; POST /v1/mine or PUT /v1/rules to load")
-		}
-	default:
-		fatal(errors.New("one of -rules or -pred is required"))
-	}
+	bootStart := time.Now()
 
 	cfg := serve.Config{
 		Workers:          *workers,
@@ -154,10 +119,91 @@ func main() {
 		log.Printf("mine jobs run on a %d-worker fleet (retry + recorded in-process fallback; circuit breaker on repeated failure)", len(cfg.MineWorkers))
 	}
 	srv := serve.New(cfg)
-	if err := srv.LoadSnapshot(g, pred, rules); err != nil {
-		fatal(err)
+
+	// Recovery-first boot: with -data-dir, state on disk wins over the
+	// graph/rule flags — a restart resumes the exact pre-crash generation
+	// without any re-ingest. The flags only matter for the very first start
+	// against an empty directory.
+	recovered := false
+	if *dataDir != "" {
+		if err := srv.EnablePersistence(serve.PersistOptions{
+			Dir:          *dataDir,
+			Sync:         serve.SyncPolicy(*walSync),
+			SyncInterval: *walSyncIv,
+		}); err != nil {
+			fatal(err)
+		}
+		rep, err := srv.Recover()
+		if err != nil {
+			fatal(err)
+		}
+		if rep.Recovered {
+			recovered = true
+			snap := srv.Snapshot()
+			log.Printf("recovered generation %d from %s: snapshot %s + %d WAL records (%d truncated, %d quarantined)",
+				rep.Generation, *dataDir, rep.Snapshot, rep.Replayed, rep.Truncated, len(rep.Quarantined))
+			log.Printf("graph: %d nodes, %d edges; %d rules", snap.G.NumNodes(), snap.G.NumEdges(), len(snap.Rules))
+		} else {
+			log.Printf("data dir %s holds no snapshot; loading initial state from flags", *dataDir)
+		}
 	}
-	log.Printf("snapshot generation %d: %d rules, serving on %s", srv.Generation(), len(rules), *addr)
+
+	if !recovered {
+		g, syms, err := loadGraph(*graphIn, *genKind, *users, *nv, *ne, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		log.Printf("graph: %d nodes, %d edges", g.NumNodes(), g.NumEdges())
+
+		var rules []*core.Rule
+		var pred core.Predicate
+		switch {
+		case *rulesIn != "" && (*doMine || *predStr != ""):
+			fatal(errors.New("-rules is exclusive with -mine/-pred (the rule file fixes the predicate)"))
+		case *rulesIn != "":
+			f, err := os.Open(*rulesIn)
+			if err != nil {
+				fatal(err)
+			}
+			rules, err = core.ReadRules(f, syms)
+			f.Close()
+			if err != nil {
+				fatal(err)
+			}
+			if len(rules) == 0 {
+				fatal(errors.New("rules file is empty"))
+			}
+			pred = rules[0].Pred
+			log.Printf("loaded %d rules from %s", len(rules), *rulesIn)
+		case *predStr != "":
+			pred, err = parsePred(syms, *predStr)
+			if err != nil {
+				fatal(err)
+			}
+			if *doMine {
+				opts := mine.Options{
+					K: *k, Sigma: *sigma, D: *d, Lambda: *lambda, N: *workers,
+					MaxEdges: *maxEd, MaxCandidatesPerRound: *capRd,
+				}.WithOptimizations()
+				start := time.Now()
+				res := mine.DMine(g, pred, opts)
+				for _, mm := range res.TopK {
+					rules = append(rules, mm.Rule)
+				}
+				log.Printf("mined %d rules (F=%.4f) in %s", len(rules), res.F,
+					time.Since(start).Round(time.Millisecond))
+			} else {
+				log.Printf("starting with an empty rule set; POST /v1/mine or PUT /v1/rules to load")
+			}
+		default:
+			fatal(errors.New("one of -rules or -pred is required"))
+		}
+		if err := srv.LoadSnapshot(g, pred, rules); err != nil {
+			fatal(err)
+		}
+	}
+	log.Printf("snapshot generation %d: serving on %s (startup %s)",
+		srv.Generation(), *addr, time.Since(bootStart).Round(time.Millisecond))
 
 	// The listener defends itself too: a client that trickles its headers,
 	// never reads its response, or parks an idle keep-alive cannot pin a

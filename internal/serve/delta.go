@@ -204,6 +204,13 @@ func deltaImpact(old, new *graph.Graph, touched []graph.NodeID, xl graph.Label, 
 func (s *Server) ApplyDelta(req DeltaRequest) (*DeltaResponse, error) {
 	s.swapMu.Lock()
 	defer s.swapMu.Unlock()
+	return s.applyDeltaLocked(req)
+}
+
+// applyDeltaLocked is ApplyDelta with s.swapMu already held; WAL recovery
+// replays logged batches through it (with persistence suppressed) so replay
+// interns symbols and derives snapshots exactly like live traffic.
+func (s *Server) applyDeltaLocked(req DeltaRequest) (*DeltaResponse, error) {
 	if s.closed.Load() {
 		return nil, fmt.Errorf("serve: server is shutting down")
 	}
@@ -234,6 +241,14 @@ func (s *Server) ApplyDelta(req DeltaRequest) (*DeltaResponse, error) {
 
 	next := DeriveDeltaSnapshot(snap, g2, s.cfg)
 	next.Gen = s.gen.Add(1)
+	// Durability barrier: the accepted batch reaches the WAL (per the sync
+	// policy) before any publication side effect; on failure the generation
+	// rolls back and the client sees the error, so no generation is ever
+	// served that recovery could not reproduce.
+	if err := s.persistAppend(next.Gen, req); err != nil {
+		s.gen.Store(next.Gen - 1)
+		return nil, fmt.Errorf("serve: delta not logged: %w", err)
+	}
 	carried, invalidated := 0, 0
 	for _, sr := range snap.Rules {
 		oldKey := fmt.Sprintf("g%d|%s", snap.Gen, sr.Key)
@@ -330,6 +345,11 @@ func (s *Server) Compact() (uint64, bool, error) {
 		return s.gen.Load(), false, err
 	}
 	next.Gen = s.gen.Add(1)
+	// A compaction is a swap like any other: checkpoint before publish.
+	if err := s.persistCheckpoint(next); err != nil {
+		s.gen.Store(next.Gen - 1)
+		return s.gen.Load(), false, err
+	}
 	for _, sr := range snap.Rules {
 		s.cache.Carry(
 			fmt.Sprintf("g%d|%s", snap.Gen, sr.Key),

@@ -159,6 +159,10 @@ type StatsResponse struct {
 		CompactAborts    int64 `json:"compactAborts"`
 		CompactThreshold int   `json:"compactThreshold"`
 	} `json:"delta"`
+	// Persistence reports the durability layer: snapshot loads at recovery,
+	// WAL traffic, replayed and truncated records, quarantined files, and the
+	// generation of the newest checkpoint. Absent when persistence is off.
+	Persistence *PersistenceStats `json:"persistence,omitempty"`
 	// Admission reports the overload front door: how many requests are
 	// evaluating vs queued, and how many were shed (429) because the queue
 	// was full or the wait exceeded its budget. Absent when MaxQueue < 0.
@@ -542,10 +546,15 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		status = "unavailable"
 		code = http.StatusServiceUnavailable
 	}
+	durability := "off"
+	if p := s.persist; p != nil {
+		durability = string(p.policy)
+	}
 	body := map[string]any{
 		"status":     status,
 		"generation": s.gen.Load(),
 		"uptimeSec":  time.Since(s.start).Seconds(),
+		"durability": durability,
 	}
 	if total := len(s.cfg.MineWorkers); total > 0 {
 		reachable, _ := s.FleetReachable()
@@ -605,6 +614,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Requests.Mine = s.nMine.Load()
 	resp.Requests.Swaps = s.nSwap.Load()
 	resp.Jobs = s.jobs.Counts()
+	if p := s.persist; p != nil {
+		resp.Persistence = p.stats()
+	}
 	if s.admit != nil {
 		resp.Admission = &AdmissionStats{
 			Running:      s.admit.inUse(),

@@ -237,6 +237,12 @@ type Server struct {
 	snap   atomic.Pointer[Snapshot]
 	gen    atomic.Uint64
 
+	// persist is the durability layer — snapshot checkpoints plus the delta
+	// WAL (persist.go) — or nil when persistence is disabled. Installed
+	// under swapMu by EnablePersistence; the swap and delta paths consult it
+	// before publishing any new generation.
+	persist *persister
+
 	start  time.Time
 	closed atomic.Bool
 	jobWG  sync.WaitGroup
@@ -345,6 +351,14 @@ func (s *Server) loadLocked(g *graph.Graph, pred core.Predicate, rules []*core.R
 	}
 	prev := s.snap.Load()
 	snap.Gen = s.gen.Add(1)
+	// Durability barrier: a full swap (load, rules install, compaction)
+	// checkpoints a snapshot file and rotates the WAL before the new
+	// generation is published — never after, so no served generation can be
+	// lost to a crash.
+	if err := s.persistCheckpoint(snap); err != nil {
+		s.gen.Store(snap.Gen - 1)
+		return 0, err
+	}
 	s.snap.Store(snap)
 	// Warm mine results depend only on the graph and mining parameters, not
 	// on the served rule set: a rules-only swap carries them forward, a new
@@ -417,12 +431,20 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.jobWG.Wait()
 		close(done)
 	}()
+	var err error
 	select {
 	case <-done:
-		return nil
 	case <-ctx.Done():
-		return ctx.Err()
+		err = ctx.Err()
 	}
+	// With the drain over (or abandoned) no delta can append: flush the WAL
+	// tail to durable storage and release the file.
+	if p := s.persist; p != nil {
+		if cerr := p.close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // identifyOne evaluates one rule of the snapshot through the cache and the
